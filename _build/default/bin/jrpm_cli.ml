@@ -1,0 +1,351 @@
+(* The jrpm command-line driver.
+
+   Subcommands mirror the Jrpm life cycle (paper Fig. 1):
+     jrpm run FILE        compile and run a Javelin program sequentially
+     jrpm profile FILE    run under TEST tracing; print per-STL statistics
+     jrpm deps FILE       extended-TEST dependency profile per STL
+     jrpm auto FILE       the whole cycle: trace, select, recompile, TLS run
+     jrpm bench NAME      run a bundled benchmark through the whole cycle
+     jrpm list            list bundled benchmarks *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let with_frontend_errors f =
+  try f () with
+  | Ir.Lexer.Error (msg, pos) ->
+      Printf.eprintf "lexical error (%s): %s\n"
+        (Format.asprintf "%a" Ir.Ast.pp_pos pos)
+        msg;
+      exit 1
+  | Ir.Parser.Error (msg, pos) ->
+      Printf.eprintf "syntax error (%s): %s\n"
+        (Format.asprintf "%a" Ir.Ast.pp_pos pos)
+        msg;
+      exit 1
+  | Ir.Typecheck.Error (msg, pos) ->
+      Printf.eprintf "type error (%s): %s\n"
+        (Format.asprintf "%a" Ir.Ast.pp_pos pos)
+        msg;
+      exit 1
+  | Hydra.Machine.Trap msg ->
+      Printf.eprintf "runtime trap: %s\n" msg;
+      exit 2
+
+(* ---------------- arguments ---------------- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Javelin source file")
+
+let name_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"benchmark name")
+
+let size_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "size"; "n" ] ~docv:"N" ~doc:"dataset scale (default: benchmark default)")
+
+let banks_arg =
+  Arg.(
+    value
+    & opt int Hydra.Cost.comparator_banks
+    & info [ "banks" ] ~docv:"N" ~doc:"number of TEST comparator banks")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"print per-STL detail")
+
+let sync_arg =
+  Arg.(
+    value & flag
+    & info [ "sync" ]
+        ~doc:
+          "enable learned synchronization in the TLS hardware (delays \
+           previously-violating loads instead of restarting)")
+
+let tracer_config banks =
+  { Test_core.Tracer.default_config with Test_core.Tracer.banks }
+
+(* ---------------- run ---------------- *)
+
+let run_cmd =
+  let run file =
+    with_frontend_errors (fun () ->
+        let prog, _ =
+          Compiler.Codegen.compile_source ~mode:Compiler.Codegen.Plain
+            (read_file file)
+        in
+        let r = Hydra.Seq_interp.run prog in
+        List.iter
+          (fun v -> print_endline (Ir.Value.to_string v))
+          r.Hydra.Seq_interp.output;
+        Printf.printf "[%d cycles, %d instructions]\n" r.Hydra.Seq_interp.cycles
+          r.Hydra.Seq_interp.instructions)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"compile and run a Javelin program sequentially")
+    Term.(const run $ file_arg)
+
+(* ---------------- profile ---------------- *)
+
+let print_stl_header table stl =
+  let s = Compiler.Stl_table.stl_of table stl in
+  Printf.printf "STL %d: %s, loop at block L%d (depth %d, height %d)%s\n" stl
+    s.Compiler.Stl_table.func_name s.Compiler.Stl_table.header
+    s.Compiler.Stl_table.static_depth s.Compiler.Stl_table.height
+    (if s.Compiler.Stl_table.traced then "" else "  [filtered: obviously serial]")
+
+let print_stats_table stats estimates =
+  Util.Text_table.print
+    ~aligns:
+      Util.Text_table.[ Right; Right; Right; Right; Right; Right; Right; Right; Right ]
+    ~header:
+      [
+        "STL"; "cycles"; "threads"; "entries"; "T(avg)"; "arc f(t-1)";
+        "arc len"; "ovf"; "est speedup";
+      ]
+    (List.map
+       (fun (stl, st) ->
+         let e = List.assoc stl estimates in
+         [
+           string_of_int stl;
+           string_of_int st.Test_core.Stats.cycles;
+           string_of_int st.Test_core.Stats.threads;
+           string_of_int st.Test_core.Stats.entries;
+           Printf.sprintf "%.0f" (Test_core.Stats.avg_thread_size st);
+           Printf.sprintf "%.2f" (Test_core.Stats.crit_prev_freq st);
+           Printf.sprintf "%.0f" (Test_core.Stats.avg_crit_prev_len st);
+           Printf.sprintf "%.2f" (Test_core.Stats.overflow_freq st);
+           Printf.sprintf "%.2f" e.Test_core.Analyzer.est_speedup;
+         ])
+       stats)
+
+let profile_cmd =
+  let profile file banks =
+    with_frontend_errors (fun () ->
+        let tracer, plain_cycles =
+          Jrpm.Pipeline.profile_only ~tracer_config:(tracer_config banks)
+            (read_file file)
+        in
+        let stats = Test_core.Tracer.stats tracer in
+        let estimates =
+          List.map (fun (stl, s) -> (stl, Test_core.Analyzer.estimate s)) stats
+        in
+        Printf.printf "sequential cycles: %d\n" plain_cycles;
+        Printf.printf "max dynamic STL nesting: %d, untraced activations: %d\n\n"
+          (Test_core.Tracer.max_dynamic_depth tracer)
+          (Test_core.Tracer.untraced_activations tracer);
+        print_stats_table stats estimates)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"run sequentially under TEST tracing and print per-STL statistics")
+    Term.(const profile $ file_arg $ banks_arg)
+
+(* ---------------- deps (extended TEST) ---------------- *)
+
+let deps_cmd =
+  let deps file banks =
+    with_frontend_errors (fun () ->
+        let src = read_file file in
+        let tac = Compiler.Opt.program (Ir.Lower.compile src) in
+        let table = Compiler.Stl_table.build tac in
+        let prog =
+          Compiler.Codegen.generate
+            ~mode:(Compiler.Codegen.Annotated { optimized = true })
+            table tac
+        in
+        let tracer =
+          Test_core.Tracer.create ~config:(tracer_config banks) ()
+        in
+        ignore
+          (Hydra.Seq_interp.run ~tracing:true
+             ~sink:(Test_core.Tracer.sink tracer) prog);
+        List.iter
+          (fun (stl, st) ->
+            let entries = Test_core.Dep_profile.of_stats prog st in
+            if entries <> [] then begin
+              print_stl_header table stl;
+              Format.printf "%a@." Test_core.Dep_profile.pp entries
+            end)
+          (Test_core.Tracer.stats tracer))
+  in
+  Cmd.v
+    (Cmd.info "deps"
+       ~doc:
+         "print the extended-TEST dependency profile (arcs binned by load PC) \
+          for guiding optimization")
+    Term.(const deps $ file_arg $ banks_arg)
+
+(* ---------------- dump ---------------- *)
+
+let dump_cmd =
+  let dump file mode =
+    with_frontend_errors (fun () ->
+        let src = read_file file in
+        let tac = Compiler.Opt.program (Ir.Lower.compile src) in
+        let table = Compiler.Stl_table.build tac in
+        let mode =
+          match mode with
+          | "plain" -> Compiler.Codegen.Plain
+          | "annotated" -> Compiler.Codegen.Annotated { optimized = true }
+          | "base" -> Compiler.Codegen.Annotated { optimized = false }
+          | "tls" ->
+              let selected =
+                Array.to_list table.Compiler.Stl_table.stls
+                |> List.filter_map (fun (s : Compiler.Stl_table.stl) ->
+                       if s.Compiler.Stl_table.traced then
+                         Some s.Compiler.Stl_table.id
+                       else None)
+              in
+              Compiler.Codegen.Tls { selected }
+          | m ->
+              Printf.eprintf "unknown mode %s (plain|annotated|base|tls)\n" m;
+              exit 1
+        in
+        let prog = Compiler.Codegen.generate ~mode table tac in
+        Array.iter
+          (fun f -> Format.printf "%a@." Hydra.Native.pp_func f)
+          prog.Hydra.Native.funcs;
+        List.iter
+          (fun (_, (p : Hydra.Native.stl_plan)) ->
+            Printf.printf
+              "plan stl %d: func #%d body@%d inductors=[%s] reductions=%d \
+               globalized=[%s] invariants=%d\n"
+              p.Hydra.Native.stl_id p.Hydra.Native.plan_func
+              p.Hydra.Native.body_start
+              (String.concat ","
+                 (List.map
+                    (fun (s, st) -> Printf.sprintf "%d%+d" s st)
+                    p.Hydra.Native.inductors))
+              (List.length p.Hydra.Native.reductions)
+              (String.concat ","
+                 (List.map
+                    (fun (s, a) -> Printf.sprintf "%d@%d" s a)
+                    p.Hydra.Native.globalized))
+              (List.length p.Hydra.Native.invariants))
+          prog.Hydra.Native.stl_plans)
+  in
+  let mode_arg =
+    Arg.(
+      value
+      & opt string "plain"
+      & info [ "mode" ] ~docv:"MODE" ~doc:"plain | annotated | base | tls")
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"disassemble the generated native code")
+    Term.(const dump $ file_arg $ mode_arg)
+
+(* ---------------- auto / bench ---------------- *)
+
+let print_report verbose (r : Jrpm.Pipeline.report) =
+  Printf.printf "== %s ==\n" r.Jrpm.Pipeline.name;
+  Printf.printf "sequential:        %d cycles\n" r.Jrpm.Pipeline.plain_cycles;
+  Printf.printf "profiling slowdown: base %.1f%%, optimized %.1f%%\n"
+    (100. *. (r.Jrpm.Pipeline.base.Jrpm.Pipeline.slowdown -. 1.))
+    (100. *. (r.Jrpm.Pipeline.opt.Jrpm.Pipeline.slowdown -. 1.));
+  Printf.printf "loops: %d (max dynamic nest %d)\n" r.Jrpm.Pipeline.loop_count
+    r.Jrpm.Pipeline.max_dynamic_depth;
+  Printf.printf "selected STLs: %d, predicted speedup %.2f\n"
+    (List.length r.Jrpm.Pipeline.selection.Test_core.Analyzer.chosen)
+    r.Jrpm.Pipeline.selection.Test_core.Analyzer.predicted_speedup;
+  List.iter
+    (fun (c : Test_core.Analyzer.choice) ->
+      let s =
+        Compiler.Stl_table.stl_of r.Jrpm.Pipeline.table
+          c.Test_core.Analyzer.chosen_stl
+      in
+      Printf.printf "  - STL %d in %s: coverage %.1f%%, est %.2fx\n"
+        c.Test_core.Analyzer.chosen_stl s.Compiler.Stl_table.func_name
+        (100. *. c.Test_core.Analyzer.coverage)
+        c.Test_core.Analyzer.speedup)
+    r.Jrpm.Pipeline.selection.Test_core.Analyzer.chosen;
+  Printf.printf "speculative run:   %d cycles, actual speedup %.2f\n"
+    r.Jrpm.Pipeline.tls_cycles r.Jrpm.Pipeline.actual_speedup;
+  Printf.printf
+    "  committed %d threads, %d violations, %d overflow stalls, %d forwards\n"
+    r.Jrpm.Pipeline.spec_stats.Hydra.Tls_sim.threads_committed
+    r.Jrpm.Pipeline.spec_stats.Hydra.Tls_sim.violations
+    r.Jrpm.Pipeline.spec_stats.Hydra.Tls_sim.overflow_stalls
+    r.Jrpm.Pipeline.spec_stats.Hydra.Tls_sim.forwarded_loads;
+  Printf.printf "outputs match sequential: %b\n" r.Jrpm.Pipeline.outputs_match;
+  (match r.Jrpm.Pipeline.method_candidates with
+  | [] -> ()
+  | cands ->
+      print_endline
+        "method-return decompositions not covered by loop STLs (Sec 4.1):";
+      List.iter
+        (fun (c : Test_core.Method_profile.candidate) ->
+          Printf.printf "  - %s: %d calls, avg %.0f cycles, %.1f%% uncovered\n"
+            c.Test_core.Method_profile.cand_name
+            c.Test_core.Method_profile.cand_calls
+            c.Test_core.Method_profile.avg_cycles
+            (100. *. c.Test_core.Method_profile.uncovered_coverage))
+        cands);
+  if verbose then begin
+    print_newline ();
+    print_stats_table r.Jrpm.Pipeline.stats r.Jrpm.Pipeline.estimates
+  end
+
+let auto_cmd =
+  let auto file banks verbose sync =
+    with_frontend_errors (fun () ->
+        let r =
+          Jrpm.Pipeline.run ~tracer_config:(tracer_config banks) ~sync
+            ~name:(Filename.basename file) (read_file file)
+        in
+        print_report verbose r)
+  in
+  Cmd.v
+    (Cmd.info "auto"
+       ~doc:
+         "full dynamic parallelization cycle: profile, select STLs, recompile, \
+          run speculatively")
+    Term.(const auto $ file_arg $ banks_arg $ verbose_arg $ sync_arg)
+
+let bench_cmd =
+  let bench name size banks verbose sync =
+    match Workloads.Registry.find name with
+    | None ->
+        Printf.eprintf "unknown benchmark %s; try `jrpm list`\n" name;
+        exit 1
+    | Some w ->
+        let n = Option.value ~default:w.Workloads.Workload.default_size size in
+        with_frontend_errors (fun () ->
+            let r =
+              Jrpm.Pipeline.run ~tracer_config:(tracer_config banks) ~sync ~name
+                (w.Workloads.Workload.source n)
+            in
+            print_report verbose r)
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"run a bundled benchmark through the whole cycle")
+    Term.(const bench $ name_arg $ size_arg $ banks_arg $ verbose_arg $ sync_arg)
+
+let list_cmd =
+  let list () =
+    Util.Text_table.print
+      ~header:[ "Name"; "Category"; "Description"; "Default size" ]
+      (List.map
+         (fun (w : Workloads.Workload.t) ->
+           [
+             w.Workloads.Workload.name;
+             Workloads.Workload.string_of_category w.Workloads.Workload.category;
+             w.Workloads.Workload.description;
+             string_of_int w.Workloads.Workload.default_size;
+           ])
+         Workloads.Registry.all)
+  in
+  Cmd.v (Cmd.info "list" ~doc:"list bundled benchmarks") Term.(const list $ const ())
+
+let main =
+  let doc = "Java Runtime Parallelizing Machine (TEST tracer reproduction)" in
+  Cmd.group (Cmd.info "jrpm" ~version:"1.0.0" ~doc)
+    [ run_cmd; profile_cmd; deps_cmd; dump_cmd; auto_cmd; bench_cmd; list_cmd ]
+
+let () = exit (Cmd.eval main)

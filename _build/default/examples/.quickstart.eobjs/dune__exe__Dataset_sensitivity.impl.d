@@ -1,0 +1,1 @@
+examples/dataset_sensitivity.ml: Compiler Float Hydra Jrpm List Printf Test_core

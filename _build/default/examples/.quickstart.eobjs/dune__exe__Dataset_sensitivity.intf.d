@@ -1,0 +1,1 @@
+examples/dataset_sensitivity.mli:

@@ -1,0 +1,1 @@
+examples/dependency_tuning.ml: Format Hydra Ir Jrpm List Printf Test_core

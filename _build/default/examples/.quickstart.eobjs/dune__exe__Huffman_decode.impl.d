@@ -1,0 +1,1 @@
+examples/huffman_decode.ml: Array Compiler Format Hydra Jrpm List Printf Test_core Workloads

@@ -1,0 +1,1 @@
+examples/huffman_decode.mli:

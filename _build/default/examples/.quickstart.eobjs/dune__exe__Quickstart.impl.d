@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ir Jrpm List Printf String Test_core

@@ -1,0 +1,1 @@
+lib/cfg/loops.ml: Array Cfgraph Dominators Hashtbl Int Ir List Option Set

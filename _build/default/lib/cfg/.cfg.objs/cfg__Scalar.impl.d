@@ -1,0 +1,1 @@
+lib/cfg/scalar.ml: Array Cfgraph Dominators Fun Hashtbl Int Ir List Loops Printf Set Tac Value

@@ -1,0 +1,1 @@
+lib/cfg/scalar.mli: Ir Loops

@@ -1,0 +1,43 @@
+type t = {
+  entry : Ir.Tac.label;
+  succs : Ir.Tac.label list array;
+  preds : Ir.Tac.label list array;
+  reach : bool array;
+  rpo : Ir.Tac.label array;
+  rpo_idx : int array; (* -1 for unreachable *)
+}
+
+let of_func (f : Ir.Tac.func) =
+  let n = Array.length f.blocks in
+  let succs = Array.init n (fun i -> Ir.Tac.successors f.blocks.(i).term) in
+  let reach = Array.make n false in
+  let postorder = ref [] in
+  let rec dfs l =
+    if not reach.(l) then begin
+      reach.(l) <- true;
+      List.iter dfs succs.(l);
+      postorder := l :: !postorder
+    end
+  in
+  dfs f.entry;
+  let rpo = Array.of_list !postorder in
+  let rpo_idx = Array.make n (-1) in
+  Array.iteri (fun i l -> rpo_idx.(l) <- i) rpo;
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun l ss ->
+      if reach.(l) then
+        List.iter (fun s -> preds.(s) <- l :: preds.(s)) ss)
+    succs;
+  { entry = f.entry; succs; preds; reach; rpo; rpo_idx }
+
+let nblocks t = Array.length t.succs
+let entry t = t.entry
+let succs t l = t.succs.(l)
+let preds t l = t.preds.(l)
+let reachable t l = t.reach.(l)
+let rpo t = t.rpo
+
+let rpo_index t l =
+  if t.rpo_idx.(l) < 0 then invalid_arg "Cfgraph.rpo_index: unreachable block"
+  else t.rpo_idx.(l)

@@ -1,0 +1,20 @@
+(** Control-flow-graph views over a {!Ir.Tac.func}.
+
+    Labels are dense block indices. Unreachable blocks (produced by
+    lowering dead code) are excluded from [rpo] and have no preds. *)
+
+type t
+
+val of_func : Ir.Tac.func -> t
+val nblocks : t -> int
+val entry : t -> Ir.Tac.label
+val succs : t -> Ir.Tac.label -> Ir.Tac.label list
+val preds : t -> Ir.Tac.label -> Ir.Tac.label list
+val reachable : t -> Ir.Tac.label -> bool
+
+val rpo : t -> Ir.Tac.label array
+(** Reverse postorder over reachable blocks; [rpo.(0)] is the entry. *)
+
+val rpo_index : t -> Ir.Tac.label -> int
+(** Position of a reachable block in [rpo].
+    @raise Invalid_argument for unreachable blocks. *)

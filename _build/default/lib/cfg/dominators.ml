@@ -1,0 +1,55 @@
+type t = {
+  g : Cfgraph.t;
+  idom : int array; (* by label; -1 = none/unreachable; entry maps to itself *)
+}
+
+let compute (g : Cfgraph.t) =
+  let n = Cfgraph.nblocks g in
+  let rpo = Cfgraph.rpo g in
+  let idom = Array.make n (-1) in
+  let entry = Cfgraph.entry g in
+  idom.(entry) <- entry;
+  let intersect a b =
+    (* walk up by rpo index *)
+    let a = ref a and b = ref b in
+    while !a <> !b do
+      while Cfgraph.rpo_index g !a > Cfgraph.rpo_index g !b do
+        a := idom.(!a)
+      done;
+      while Cfgraph.rpo_index g !b > Cfgraph.rpo_index g !a do
+        b := idom.(!b)
+      done
+    done;
+    !a
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+        if b <> entry then begin
+          let preds =
+            List.filter (fun p -> idom.(p) >= 0) (Cfgraph.preds g b)
+          in
+          match preds with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idom.(b) <> new_idom then begin
+                idom.(b) <- new_idom;
+                changed := true
+              end
+        end)
+      rpo
+  done;
+  { g; idom }
+
+let idom t l =
+  if t.idom.(l) < 0 || t.idom.(l) = l then None else Some t.idom.(l)
+
+let dominates t a b =
+  if t.idom.(a) < 0 || t.idom.(b) < 0 then false
+  else begin
+    let rec walk x = if x = a then true else if t.idom.(x) = x then false else walk t.idom.(x) in
+    walk b
+  end

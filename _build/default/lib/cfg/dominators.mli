@@ -1,0 +1,13 @@
+(** Immediate-dominator computation (Cooper–Harvey–Kennedy iterative
+    algorithm over reverse postorder). *)
+
+type t
+
+val compute : Cfgraph.t -> t
+
+val idom : t -> Ir.Tac.label -> Ir.Tac.label option
+(** [idom t l] is [None] for the entry block and for unreachable blocks. *)
+
+val dominates : t -> Ir.Tac.label -> Ir.Tac.label -> bool
+(** [dominates t a b] — does [a] dominate [b]? Reflexive. [false] when
+    either block is unreachable. *)

@@ -1,0 +1,252 @@
+open Ir
+
+type reduction_op = RAdd | RFAdd | RMin | RMax | RFMin | RFMax
+
+type slot_class =
+  | Unused
+  | Invariant
+  | Private
+  | Inductor of int
+  | Reduction of reduction_op
+  | Carried
+
+let string_of_class = function
+  | Unused -> "unused"
+  | Invariant -> "invariant"
+  | Private -> "private"
+  | Inductor s -> Printf.sprintf "inductor(%+d)" s
+  | Reduction RAdd -> "reduction(+)"
+  | Reduction RFAdd -> "reduction(+.)"
+  | Reduction RMin -> "reduction(min)"
+  | Reduction RMax -> "reduction(max)"
+  | Reduction RFMin -> "reduction(fmin)"
+  | Reduction RFMax -> "reduction(fmax)"
+  | Carried -> "carried"
+
+module IntSet = Set.Make (Int)
+
+(* Accesses of a slot inside one block, in order. *)
+let block_accesses (b : Tac.block) =
+  List.filter_map
+    (function
+      | Tac.Ld_local (r, s) -> Some (`Read (s, r))
+      | Tac.St_local (s, r) -> Some (`Write (s, r))
+      | _ -> None)
+    b.instrs
+
+(* For each block: slots written, and slots with an upward-exposed read
+   (read before any write within the block). *)
+let block_summary (b : Tac.block) =
+  let written = ref IntSet.empty and exposed = ref IntSet.empty in
+  List.iter
+    (function
+      | `Read (s, _) -> if not (IntSet.mem s !written) then exposed := IntSet.add s !exposed
+      | `Write (s, _) -> written := IntSet.add s !written)
+    (block_accesses b);
+  (!written, !exposed)
+
+(* Slots that may be read before being written on some path from the loop
+   header within a single iteration. *)
+let upward_exposed_in_loop (f : Tac.func) (lp : Loops.loop) =
+  let body = lp.Loops.body in
+  let summaries =
+    List.map (fun l -> (l, block_summary f.blocks.(l))) body
+  in
+  let written_in = Hashtbl.create 16 in
+  (* IN[written] per block: intersection over in-loop, non-back-edge preds *)
+  let all_slots =
+    List.fold_left
+      (fun acc (_, (w, e)) -> IntSet.union acc (IntSet.union w e))
+      IntSet.empty summaries
+  in
+  List.iter (fun l -> Hashtbl.replace written_in l all_slots) body;
+  Hashtbl.replace written_in lp.Loops.header IntSet.empty;
+  let g = Cfgraph.of_func f in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun l ->
+        if l <> lp.Loops.header then begin
+          let preds =
+            List.filter (fun p -> List.mem p body) (Cfgraph.preds g l)
+          in
+          let in_set =
+            match preds with
+            | [] -> IntSet.empty
+            | p :: rest ->
+                let get x =
+                  let w, _ = List.assoc x summaries in
+                  IntSet.union (Hashtbl.find written_in x) w
+                in
+                List.fold_left (fun acc x -> IntSet.inter acc (get x)) (get p) rest
+          in
+          if not (IntSet.equal in_set (Hashtbl.find written_in l)) then begin
+            Hashtbl.replace written_in l in_set;
+            changed := true
+          end
+        end)
+      body
+  done;
+  (* a slot is upward-exposed if some block exposes it and it is not
+     guaranteed written on entry to that block *)
+  List.fold_left
+    (fun acc (l, (_, exposed)) ->
+      IntSet.union acc (IntSet.diff exposed (Hashtbl.find written_in l)))
+    IntSet.empty summaries
+
+(* All writes of [slot] in the loop, as (block, defining rvalue if
+   recoverable). We track intra-block register definitions to recognise
+   inductor / reduction shapes. *)
+type write_shape =
+  | WInductor of int
+  | WReduction of reduction_op * Tac.reg (* the Ld_local reg feeding it *)
+  | WOther
+
+let write_shapes (f : Tac.func) (lp : Loops.loop) (slot : int) =
+  List.concat_map
+    (fun l ->
+      let defs : (Tac.reg, Tac.instr) Hashtbl.t = Hashtbl.create 16 in
+      let shapes = ref [] in
+      List.iter
+        (fun (i : Tac.instr) ->
+          (match i with
+          | Tac.St_local (s, r) when s = slot ->
+              let shape =
+                match Hashtbl.find_opt defs r with
+                | Some (Tac.Binop (_, op, a, b)) -> (
+                    let is_self x =
+                      match Hashtbl.find_opt defs x with
+                      | Some (Tac.Ld_local (_, s')) -> s' = slot
+                      | _ -> false
+                    in
+                    let const_of x =
+                      match Hashtbl.find_opt defs x with
+                      | Some (Tac.Const (_, Value.Int c)) -> Some c
+                      | _ -> None
+                    in
+                    match op with
+                    | Tac.Add when is_self a -> (
+                        match const_of b with
+                        | Some c -> WInductor c
+                        | None -> WReduction (RAdd, a))
+                    | Tac.Add when is_self b -> (
+                        match const_of a with
+                        | Some c -> WInductor c
+                        | None -> WReduction (RAdd, b))
+                    | Tac.Sub when is_self a -> (
+                        match const_of b with
+                        | Some c -> WInductor (-c)
+                        | None -> WOther)
+                    | Tac.FAdd when is_self a -> WReduction (RFAdd, a)
+                    | Tac.FAdd when is_self b -> WReduction (RFAdd, b)
+                    | _ -> WOther)
+                | Some (Tac.Builtin (_, bi, [ a; b ])) -> (
+                    let is_self x =
+                      match Hashtbl.find_opt defs x with
+                      | Some (Tac.Ld_local (_, s')) -> s' = slot
+                      | _ -> false
+                    in
+                    let self_reg = if is_self a then Some a else if is_self b then Some b else None in
+                    match (bi, self_reg) with
+                    | Tac.IMin, Some r -> WReduction (RMin, r)
+                    | Tac.IMax, Some r -> WReduction (RMax, r)
+                    | Tac.FMin, Some r -> WReduction (RFMin, r)
+                    | Tac.FMax, Some r -> WReduction (RFMax, r)
+                    | _ -> WOther)
+                | _ -> WOther
+              in
+              shapes := (l, shape) :: !shapes
+          | _ -> ());
+          (* record register definition *)
+          match i with
+          | Tac.Const (r, _) | Tac.Mov (r, _) | Tac.Unop (r, _, _)
+          | Tac.Binop (r, _, _, _) | Tac.Ld_local (r, _) | Tac.Ld_heap (r, _)
+          | Tac.Alloc (r, _, _) | Tac.Builtin (r, _, _) ->
+              Hashtbl.replace defs r i
+          | Tac.Call (Some r, _, _) -> Hashtbl.remove defs r
+          | _ -> ())
+        f.blocks.(l).instrs;
+      List.rev !shapes)
+    lp.Loops.body
+
+let reads_of_slot (f : Tac.func) (lp : Loops.loop) (slot : int) =
+  List.concat_map
+    (fun l ->
+      List.filter_map
+        (function
+          | Tac.Ld_local (r, s) when s = slot -> Some (l, r)
+          | _ -> None)
+        f.blocks.(l).instrs)
+    lp.Loops.body
+
+(* Slots read in blocks outside the loop body: a loop-written local that
+   is also read outside the loop is live across the loop boundary and
+   must be globalized (the paper's "forced communication of inter-thread
+   dependent local variables") — it cannot stay thread-private. *)
+let read_outside_loop (f : Tac.func) (lp : Loops.loop) =
+  let out = ref IntSet.empty in
+  Array.iteri
+    (fun l (b : Tac.block) ->
+      if not (List.mem l lp.Loops.body) then
+        List.iter
+          (function
+            | Tac.Ld_local (_, s) -> out := IntSet.add s !out
+            | _ -> ())
+          b.instrs)
+    f.blocks;
+  !out
+
+let classify (f : Tac.func) (loops : Loops.t) (i : int) : slot_class array =
+  let lp = loops.Loops.loops.(i) in
+  let exposed = upward_exposed_in_loop f lp in
+  let live_out = read_outside_loop f lp in
+  Array.init f.nslots (fun slot ->
+      let writes = write_shapes f lp slot in
+      let reads = reads_of_slot f lp slot in
+      match (writes, reads) with
+      | [], [] -> Unused
+      | [], _ -> Invariant
+      | _ ->
+          if not (IntSet.mem slot exposed) then
+            (if IntSet.mem slot live_out then Carried else Private)
+          else begin
+            (* one write per iteration, inductor-shaped, executed every
+               iteration (its block dominates all latches)? *)
+            match writes with
+            | [ (wb, WInductor step) ]
+              when List.for_all
+                     (fun latch -> Dominators.dominates loops.Loops.doms wb latch)
+                     lp.Loops.latches ->
+                Inductor step
+            | [ (_, WReduction (op, feed_reg)) ]
+              when List.for_all (fun (_, r) -> r = feed_reg) reads ->
+                Reduction op
+            | _ -> Carried
+          end)
+
+let obviously_serial (f : Tac.func) (loops : Loops.t) (i : int) : bool =
+  let lp = loops.Loops.loops.(i) in
+  let classes = classify f loops i in
+  let carried_slots =
+    List.filter
+      (fun s -> classes.(s) = Carried)
+      (List.init f.nslots Fun.id)
+  in
+  List.exists
+    (fun slot ->
+      let read_in_header =
+        List.exists
+          (function Tac.Ld_local (_, s) -> s = slot | _ -> false)
+          f.blocks.(lp.Loops.header).instrs
+      in
+      let written_in_latch =
+        List.exists
+          (fun latch ->
+            List.exists
+              (function Tac.St_local (s, _) -> s = slot | _ -> false)
+              f.blocks.(latch).instrs)
+          lp.Loops.latches
+      in
+      read_in_header && written_in_latch)
+    carried_slots

@@ -1,0 +1,31 @@
+(** Scalar analysis of named locals with respect to one loop.
+
+    The Jrpm compiler (paper Sec. 4.1) uses only simple scalar analysis:
+    loop {e inductors} ([i = i + c] once per iteration) are ignored when
+    filtering candidate STLs because the compiler can eliminate them;
+    {e reductions} ([sum = sum + e], [m = imin(m, e)], …) are transformed;
+    other loop-carried locals are {e globalized} (moved to the heap) by the
+    TLS code generator; loop-{e invariant} locals are register-allocated. *)
+
+type reduction_op = RAdd | RFAdd | RMin | RMax | RFMin | RFMax
+
+type slot_class =
+  | Unused                 (** no access inside the loop *)
+  | Invariant              (** read-only inside the loop *)
+  | Private                (** written and read, but always written first in
+                               every iteration — safe to privatize *)
+  | Inductor of int        (** [x = x + step] exactly once per iteration *)
+  | Reduction of reduction_op
+  | Carried                (** genuine read-before-write across iterations *)
+
+val classify : Ir.Tac.func -> Loops.t -> int -> slot_class array
+(** [classify f loops i] classifies every named-local slot of [f] with
+    respect to loop [i]. *)
+
+val obviously_serial : Ir.Tac.func -> Loops.t -> int -> bool
+(** The paper's candidate filter: [true] when a carried (non-inductor,
+    non-reduction) local is read in the loop header and written in a latch
+    block — an end-of-iteration store feeding a start-of-iteration load
+    that would completely eliminate speedup. *)
+
+val string_of_class : slot_class -> string

@@ -1,0 +1,1 @@
+lib/compiler/codegen.ml: Array Cfg Hashtbl Hydra Ir List Lower Option Stl_table Tac Value

@@ -1,0 +1,1 @@
+lib/compiler/opt.ml: Array Hashtbl Hydra Ir List Option Tac Value

@@ -1,0 +1,1 @@
+lib/compiler/stl_table.ml: Array Cfg Ir List

@@ -1,0 +1,1 @@
+lib/compiler/stl_table.mli: Cfg Ir

@@ -1,0 +1,186 @@
+open Ir
+
+(* ------------------------------------------------------------------ *)
+(* Block-local constant folding + copy propagation *)
+
+let fold_block (b : Tac.block) : Tac.block =
+  let consts : (Tac.reg, Value.t) Hashtbl.t = Hashtbl.create 16 in
+  let copies : (Tac.reg, Tac.reg) Hashtbl.t = Hashtbl.create 16 in
+  let invalidate d =
+    Hashtbl.remove consts d;
+    Hashtbl.remove copies d;
+    (* drop copies whose source is d *)
+    let stale =
+      Hashtbl.fold (fun k src acc -> if src = d then k :: acc else acc) copies []
+    in
+    List.iter (Hashtbl.remove copies) stale
+  in
+  let resolve r =
+    match Hashtbl.find_opt copies r with Some s -> s | None -> r
+  in
+  let const_of r = Hashtbl.find_opt consts (resolve r) in
+  let out = ref [] in
+  let emit i = out := i :: !out in
+  List.iter
+    (fun (i : Tac.instr) ->
+      match i with
+      | Tac.Const (d, v) ->
+          invalidate d;
+          Hashtbl.replace consts d v;
+          emit (Tac.Const (d, v))
+      | Tac.Mov (d, s) ->
+          let s = resolve s in
+          invalidate d;
+          (match Hashtbl.find_opt consts s with
+          | Some v ->
+              Hashtbl.replace consts d v;
+              emit (Tac.Const (d, v))
+          | None ->
+              Hashtbl.replace copies d s;
+              emit (Tac.Mov (d, s)))
+      | Tac.Unop (d, op, s) -> (
+          let s = resolve s in
+          invalidate d;
+          match const_of s with
+          | Some v -> (
+              match Hydra.Machine.eval_unop op v with
+              | v' ->
+                  Hashtbl.replace consts d v';
+                  emit (Tac.Const (d, v'))
+              | exception _ -> emit (Tac.Unop (d, op, s)))
+          | None -> emit (Tac.Unop (d, op, s)))
+      | Tac.Binop (d, op, a, b) -> (
+          let a = resolve a and b = resolve b in
+          invalidate d;
+          match (const_of a, const_of b) with
+          | Some va, Some vb -> (
+              match Hydra.Machine.eval_binop op va vb with
+              | v ->
+                  Hashtbl.replace consts d v;
+                  emit (Tac.Const (d, v))
+              | exception Hydra.Machine.Trap _ -> emit (Tac.Binop (d, op, a, b)))
+          | ca, cb -> (
+              (* integer algebraic identities *)
+              let zero = Value.Int 0 and one = Value.Int 1 in
+              match (op, ca, cb) with
+              | Tac.Add, Some z, _ when z = zero -> emit (Tac.Mov (d, b))
+              | Tac.Add, _, Some z when z = zero -> emit (Tac.Mov (d, a))
+              | Tac.Sub, _, Some z when z = zero -> emit (Tac.Mov (d, a))
+              | Tac.Mul, Some o, _ when o = one -> emit (Tac.Mov (d, b))
+              | Tac.Mul, _, Some o when o = one -> emit (Tac.Mov (d, a))
+              | Tac.Mul, Some z, _ when z = zero ->
+                  Hashtbl.replace consts d zero;
+                  emit (Tac.Const (d, zero))
+              | Tac.Mul, _, Some z when z = zero ->
+                  Hashtbl.replace consts d zero;
+                  emit (Tac.Const (d, zero))
+              | _ -> emit (Tac.Binop (d, op, a, b))))
+      | Tac.Ld_local (d, s) ->
+          invalidate d;
+          emit (Tac.Ld_local (d, s))
+      | Tac.St_local (s, r) -> emit (Tac.St_local (s, resolve r))
+      | Tac.Ld_heap (d, a) ->
+          let a = resolve a in
+          invalidate d;
+          emit (Tac.Ld_heap (d, a))
+      | Tac.St_heap (a, s) -> emit (Tac.St_heap (resolve a, resolve s))
+      | Tac.Alloc (d, n, k) ->
+          let n = resolve n in
+          invalidate d;
+          emit (Tac.Alloc (d, n, k))
+      | Tac.Call (d, f, args) ->
+          let args = List.map resolve args in
+          Option.iter invalidate d;
+          emit (Tac.Call (d, f, args))
+      | Tac.Builtin (d, bi, args) ->
+          let args = List.map resolve args in
+          invalidate d;
+          emit (Tac.Builtin (d, bi, args))
+      | Tac.Print (k, r) -> emit (Tac.Print (k, resolve r)))
+    b.instrs;
+  let term =
+    match b.term with
+    | Tac.Branch (r, a, bb) -> (
+        let r = resolve r in
+        match const_of r with
+        | Some v -> Tac.Jump (if Value.truthy v then a else bb)
+        | None -> Tac.Branch (r, a, bb))
+    | Tac.Return (Some r) -> Tac.Return (Some (resolve r))
+    | t -> t
+  in
+  { Tac.instrs = List.rev !out; term }
+
+(* ------------------------------------------------------------------ *)
+(* Dead pure code elimination *)
+
+let operand_uses (i : Tac.instr) : Tac.reg list =
+  match i with
+  | Tac.Const _ -> []
+  | Tac.Mov (_, s) | Tac.Unop (_, _, s) -> [ s ]
+  | Tac.Binop (_, _, a, b) -> [ a; b ]
+  | Tac.Ld_local _ -> []
+  | Tac.St_local (_, r) -> [ r ]
+  | Tac.Ld_heap (_, a) -> [ a ]
+  | Tac.St_heap (a, s) -> [ a; s ]
+  | Tac.Alloc (_, n, _) -> [ n ]
+  | Tac.Call (_, _, args) | Tac.Builtin (_, _, args) -> args
+  | Tac.Print (_, r) -> [ r ]
+
+let def_of (i : Tac.instr) : Tac.reg option =
+  match i with
+  | Tac.Const (d, _) | Tac.Mov (d, _) | Tac.Unop (d, _, _)
+  | Tac.Binop (d, _, _, _) | Tac.Ld_local (d, _) | Tac.Ld_heap (d, _)
+  | Tac.Alloc (d, _, _) | Tac.Builtin (d, _, _) ->
+      Some d
+  | Tac.Call (d, _, _) -> d
+  | _ -> None
+
+(* pure and removable when the result is unused *)
+let removable (i : Tac.instr) : bool =
+  match i with
+  | Tac.Const _ | Tac.Mov _ | Tac.Unop _ | Tac.Ld_local _ -> true
+  | Tac.Binop (_, (Tac.Div | Tac.Rem), _, _) -> false (* may trap *)
+  | Tac.Binop _ -> true
+  | _ -> false
+
+let dce (f : Tac.func) : Tac.func =
+  let blocks = Array.map (fun b -> b) f.blocks in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* collect all used registers *)
+    let used = Hashtbl.create 64 in
+    Array.iter
+      (fun (b : Tac.block) ->
+        List.iter
+          (fun i -> List.iter (fun r -> Hashtbl.replace used r ()) (operand_uses i))
+          b.instrs;
+        match b.term with
+        | Tac.Branch (r, _, _) -> Hashtbl.replace used r ()
+        | Tac.Return (Some r) -> Hashtbl.replace used r ()
+        | _ -> ())
+      blocks;
+    Array.iteri
+      (fun bi (b : Tac.block) ->
+        let kept =
+          List.filter
+            (fun i ->
+              match def_of i with
+              | Some d when removable i && not (Hashtbl.mem used d) ->
+                  changed := true;
+                  false
+              | _ -> true)
+            b.instrs
+        in
+        if List.length kept <> List.length b.instrs then
+          blocks.(bi) <- { b with Tac.instrs = kept })
+      blocks
+  done;
+  { f with Tac.blocks = blocks }
+
+let func (f : Tac.func) : Tac.func =
+  let blocks = Array.map fold_block f.blocks in
+  dce { f with Tac.blocks = blocks }
+
+let program (p : Tac.program) : Tac.program =
+  { p with Tac.funcs = List.map (fun (n, f) -> (n, func f)) p.funcs }

@@ -1,0 +1,17 @@
+(** Scalar optimizations on the {!Ir.Tac} CFG — the microJIT's cheap
+    cleanup passes, run before STL analysis and code generation:
+
+    - block-local constant folding and copy propagation (register
+      operands only; named-local slots are never touched, so the
+      lwl/swl annotation points and the scalar classification of
+      Sec. 4.1 are preserved);
+    - algebraic identities on integers ([x+0], [x*1], [x*0]);
+    - branch-to-jump simplification when the condition folds;
+    - dead pure code elimination (unused [Const]/[Mov]/[Unop]/[Ld_local]
+      and non-trapping [Binop] results). Heap accesses, calls, stores,
+      allocation, division, and prints are never removed.
+
+    All passes preserve program semantics exactly, including traps. *)
+
+val func : Ir.Tac.func -> Ir.Tac.func
+val program : Ir.Tac.program -> Ir.Tac.program

@@ -1,0 +1,77 @@
+type stl = {
+  id : int;
+  func_name : string;
+  loop_idx : int;
+  classes : Cfg.Scalar.slot_class array;
+  traced : bool;
+  annotated_slots : int list;
+  static_depth : int;
+  height : int;
+  header : Ir.Tac.label;
+}
+
+type t = {
+  stls : stl array;
+  by_func : (string * Cfg.Loops.t) list;
+}
+
+(* Only locals the compiler cannot eliminate are annotated (paper
+   Sec. 4.1/5.1): inductors and reductions are transformed away by the
+   TLS code generator, invariants are register-allocated, and private
+   (written-before-read) locals never carry a dependence — so only
+   [Carried] slots get lwl/swl annotations and timestamp reservations. *)
+let carried_slots (classes : Cfg.Scalar.slot_class array) =
+  let out = ref [] in
+  Array.iteri (fun s c -> if c = Cfg.Scalar.Carried then out := s :: !out) classes;
+  List.rev !out
+
+let build (p : Ir.Tac.program) : t =
+  let by_func =
+    List.map (fun (name, f) -> (name, Cfg.Loops.analyze f)) p.funcs
+  in
+  let stls = ref [] in
+  let next_id = ref 0 in
+  List.iter
+    (fun (name, loops) ->
+      let f = Ir.Tac.find_func p name in
+      Array.iteri
+        (fun i (lp : Cfg.Loops.loop) ->
+          let classes = Cfg.Scalar.classify f loops i in
+          let serial = Cfg.Scalar.obviously_serial f loops i in
+          let id = !next_id in
+          incr next_id;
+          stls :=
+            {
+              id;
+              func_name = name;
+              loop_idx = i;
+              classes;
+              traced = not serial;
+              annotated_slots = carried_slots classes;
+              static_depth = lp.Cfg.Loops.depth;
+              height = Cfg.Loops.height loops i + 1;
+              header = lp.Cfg.Loops.header;
+            }
+            :: !stls)
+        loops.Cfg.Loops.loops)
+    by_func;
+  { stls = Array.of_list (List.rev !stls); by_func }
+
+let loops_of t name =
+  match List.assoc_opt name t.by_func with
+  | Some l -> l
+  | None -> invalid_arg ("Stl_table.loops_of: " ^ name)
+
+let stl_of t id = t.stls.(id)
+
+let stl_id_of_loop t name loop_idx =
+  let found = ref None in
+  Array.iter
+    (fun s -> if s.func_name = name && s.loop_idx = loop_idx then found := Some s.id)
+    t.stls;
+  !found
+
+let loop_count t = Array.length t.stls
+
+let max_static_depth t =
+  Array.fold_left (fun acc s -> max acc s.static_depth) 0 t.stls

@@ -1,0 +1,37 @@
+(** Enumeration of potential speculative thread loops (STLs).
+
+    Mirrors paper Sec. 4.1: every natural loop is a potential STL except
+    those with an {e obvious} fully-serializing scalar dependence
+    (end-of-iteration store feeding start-of-iteration load of a
+    non-inductor local); loop inductors are ignored when filtering so
+    potentially parallel loops are not overlooked. *)
+
+type stl = {
+  id : int;                               (** dense program-wide id *)
+  func_name : string;
+  loop_idx : int;                         (** index into that function's {!Cfg.Loops.t} *)
+  classes : Cfg.Scalar.slot_class array;  (** per named-local slot *)
+  traced : bool;                          (** false = filtered out (obviously serial) *)
+  annotated_slots : int list;             (** named slots accessed in the loop body *)
+  static_depth : int;                     (** 1 = outermost in its function *)
+  height : int;                           (** 1 = innermost (paper Table 6 convention) *)
+  header : Ir.Tac.label;
+}
+
+type t = {
+  stls : stl array;
+  by_func : (string * Cfg.Loops.t) list;  (** loop analysis per function *)
+}
+
+val build : Ir.Tac.program -> t
+
+val loops_of : t -> string -> Cfg.Loops.t
+val stl_of : t -> int -> stl
+
+val stl_id_of_loop : t -> string -> int -> int option
+(** STL id for (function, loop index), if the loop is a candidate. *)
+
+val loop_count : t -> int
+(** Total number of natural loops in the program (paper Table 6 col. c). *)
+
+val max_static_depth : t -> int

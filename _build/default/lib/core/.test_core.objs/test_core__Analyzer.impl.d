@@ -1,0 +1,1 @@
+lib/core/analyzer.ml: Float Hashtbl Hydra List Option Stats

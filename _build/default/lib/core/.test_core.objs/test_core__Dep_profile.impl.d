@@ -1,0 +1,1 @@
+lib/core/dep_profile.ml: Array Float Format Hashtbl Hydra List Printf Stats

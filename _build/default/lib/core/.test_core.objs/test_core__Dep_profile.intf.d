@@ -1,0 +1,1 @@
+lib/core/dep_profile.mli: Format Hydra Stats

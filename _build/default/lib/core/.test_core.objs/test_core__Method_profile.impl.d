@@ -1,0 +1,1 @@
+lib/core/method_profile.ml: Array Float Hashtbl Hydra List

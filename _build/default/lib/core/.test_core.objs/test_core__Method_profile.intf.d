@@ -1,0 +1,1 @@
+lib/core/method_profile.mli: Hydra

@@ -1,0 +1,1 @@
+lib/core/tracer.ml: Array Bank Hashtbl Hydra List Option Stats Util

@@ -1,0 +1,1 @@
+lib/core/tracer.mli: Hydra Stats

@@ -1,0 +1,128 @@
+(** One TEST comparator bank (paper Fig. 7).
+
+    A bank tracks the progress of one active STL: the loop-entry
+    timestamp, the current and previous thread-start timestamps, the
+    per-thread shortest ("critical") dependency arc in each of the two
+    bins (to thread t-1, to threads < t-1), and the per-thread counts of
+    newly-touched speculative load / store lines for the overflow
+    analysis. At each end-of-iteration the per-thread values are
+    accumulated into counters; at loop exit the counters are merged into
+    the per-STL {!Stats.t}. *)
+
+type t = {
+  stl : int;
+  entry_time : int;
+  mutable start_t : int;       (** current thread start timestamp *)
+  mutable start_tm1 : int;     (** previous thread start timestamp *)
+  (* per-current-thread state *)
+  mutable cur_min_prev : int;      (** [max_int] = no arc this thread *)
+  mutable cur_min_earlier : int;
+  mutable ld_lines : int;
+  mutable st_lines : int;
+  mutable overflowed : bool;
+  (* accumulators since loop entry *)
+  mutable threads : int;
+  mutable acc_prev_count : int;
+  mutable acc_prev_len : int;
+  mutable acc_earlier_count : int;
+  mutable acc_earlier_len : int;
+  mutable acc_overflow : int;
+  mutable max_ld : int;
+  mutable max_st : int;
+}
+
+let create ~stl ~now =
+  {
+    stl;
+    entry_time = now;
+    start_t = now;
+    start_tm1 = now;
+    cur_min_prev = max_int;
+    cur_min_earlier = max_int;
+    ld_lines = 0;
+    st_lines = 0;
+    overflowed = false;
+    threads = 0;
+    acc_prev_count = 0;
+    acc_prev_len = 0;
+    acc_earlier_count = 0;
+    acc_earlier_len = 0;
+    acc_overflow = 0;
+    max_ld = 0;
+    max_st = 0;
+  }
+
+type arc = To_prev of int | To_earlier of int | No_arc
+
+(** Dependency-arc identification (paper Sec. 4.2.1): compare a retrieved
+    store timestamp against the thread-start timestamps. Stores from
+    before the loop entry are inputs, not inter-thread dependencies. *)
+let classify_arc t ~store_ts ~now : arc =
+  if store_ts >= t.start_t then No_arc (* same thread *)
+  else if store_ts >= t.start_tm1 && t.start_tm1 < t.start_t then
+    To_prev (now - store_ts)
+  else if store_ts >= t.entry_time && t.start_t > t.entry_time then
+    To_earlier (now - store_ts)
+  else No_arc
+
+let note_load_dep t ~store_ts ~now : arc =
+  let arc = classify_arc t ~store_ts ~now in
+  (match arc with
+  | To_prev len -> if len < t.cur_min_prev then t.cur_min_prev <- len
+  | To_earlier len ->
+      if len < t.cur_min_earlier then t.cur_min_earlier <- len
+  | No_arc -> ());
+  arc
+
+(** Overflow analysis (paper Sec. 4.2.2): [in_current_thread] is column
+    (e) of Fig. 4 — the line was last touched by the current thread. *)
+let note_load_line t ~in_current_thread ~ld_limit ~st_limit =
+  if not in_current_thread then begin
+    t.ld_lines <- t.ld_lines + 1;
+    if t.ld_lines > ld_limit || t.st_lines > st_limit then t.overflowed <- true
+  end
+
+let note_store_line t ~in_current_thread ~ld_limit ~st_limit =
+  if not in_current_thread then begin
+    t.st_lines <- t.st_lines + 1;
+    if t.ld_lines > ld_limit || t.st_lines > st_limit then t.overflowed <- true
+  end
+
+(** Finalize the current thread: accumulate its critical arcs and
+    overflow flag, then shift thread-start timestamps (the [eoi]
+    operation of Table 4). *)
+let end_thread t ~now =
+  t.threads <- t.threads + 1;
+  if t.cur_min_prev < max_int then begin
+    t.acc_prev_count <- t.acc_prev_count + 1;
+    t.acc_prev_len <- t.acc_prev_len + t.cur_min_prev
+  end;
+  if t.cur_min_earlier < max_int then begin
+    t.acc_earlier_count <- t.acc_earlier_count + 1;
+    t.acc_earlier_len <- t.acc_earlier_len + t.cur_min_earlier
+  end;
+  if t.overflowed then t.acc_overflow <- t.acc_overflow + 1;
+  if t.ld_lines > t.max_ld then t.max_ld <- t.ld_lines;
+  if t.st_lines > t.max_st then t.max_st <- t.st_lines;
+  t.cur_min_prev <- max_int;
+  t.cur_min_earlier <- max_int;
+  t.ld_lines <- 0;
+  t.st_lines <- 0;
+  t.overflowed <- false;
+  t.start_tm1 <- t.start_t;
+  t.start_t <- now
+
+(** Merge the bank's accumulators into the per-STL statistics at loop
+    exit ([eloop]). The final (partial) thread is finalized first. *)
+let merge_into t (s : Stats.t) ~now =
+  end_thread t ~now;
+  s.Stats.threads <- s.Stats.threads + t.threads;
+  s.Stats.traced_threads <- s.Stats.traced_threads + t.threads;
+  s.Stats.traced_entries <- s.Stats.traced_entries + 1;
+  s.Stats.crit_prev_count <- s.Stats.crit_prev_count + t.acc_prev_count;
+  s.Stats.crit_prev_len <- s.Stats.crit_prev_len + t.acc_prev_len;
+  s.Stats.crit_earlier_count <- s.Stats.crit_earlier_count + t.acc_earlier_count;
+  s.Stats.crit_earlier_len <- s.Stats.crit_earlier_len + t.acc_earlier_len;
+  s.Stats.overflow_threads <- s.Stats.overflow_threads + t.acc_overflow;
+  if t.max_ld > s.Stats.max_load_lines then s.Stats.max_load_lines <- t.max_ld;
+  if t.max_st > s.Stats.max_store_lines then s.Stats.max_store_lines <- t.max_st

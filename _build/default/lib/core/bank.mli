@@ -1,0 +1,58 @@
+(** One TEST comparator bank (paper Fig. 7).
+
+    A bank tracks one active STL activation: the loop-entry timestamp,
+    current / previous thread-start timestamps, the per-thread shortest
+    ("critical") dependency arc in each bin, and per-thread speculative
+    line counts for the overflow analysis. [end_thread] is the [eoi]
+    operation of Table 4; [merge_into] folds the bank's accumulators
+    into the per-STL {!Stats.t} at [eloop]. *)
+
+type t = {
+  stl : int;
+  entry_time : int;
+  mutable start_t : int;
+  mutable start_tm1 : int;
+  mutable cur_min_prev : int;
+  mutable cur_min_earlier : int;
+  mutable ld_lines : int;
+  mutable st_lines : int;
+  mutable overflowed : bool;
+  mutable threads : int;
+  mutable acc_prev_count : int;
+  mutable acc_prev_len : int;
+  mutable acc_earlier_count : int;
+  mutable acc_earlier_len : int;
+  mutable acc_overflow : int;
+  mutable max_ld : int;
+  mutable max_st : int;
+}
+
+val create : stl:int -> now:int -> t
+
+type arc = To_prev of int | To_earlier of int | No_arc
+
+val classify_arc : t -> store_ts:int -> now:int -> arc
+(** Dependency-arc identification (paper Sec. 4.2.1): a store timestamp
+    within the current thread is not an arc; within the previous thread
+    it is a [To_prev] arc; after loop entry but before the previous
+    thread a [To_earlier] arc; before loop entry it is an input, not a
+    dependency. Arc length is [now - store_ts]. *)
+
+val note_load_dep : t -> store_ts:int -> now:int -> arc
+(** [classify_arc] plus per-thread critical (shortest) arc tracking. *)
+
+val note_load_line :
+  t -> in_current_thread:bool -> ld_limit:int -> st_limit:int -> unit
+(** Overflow analysis, load side (Fig. 4 column f): count a newly
+    touched speculative line unless the line was already accessed by the
+    current thread; set the overflow flag past the Table 1 limits. *)
+
+val note_store_line :
+  t -> in_current_thread:bool -> ld_limit:int -> st_limit:int -> unit
+
+val end_thread : t -> now:int -> unit
+(** Finalize the current thread and shift thread-start timestamps. *)
+
+val merge_into : t -> Stats.t -> now:int -> unit
+(** Finalize the final (partial) thread and accumulate everything into
+    the per-STL statistics. *)

@@ -1,0 +1,21 @@
+(** Dependency profiles from the extended TEST implementation
+    (paper Sec. 6.3): critical-arc statistics binned by load PC, resolved
+    back to function names so a compiler or programmer can find the one
+    or two dependencies worth restructuring. *)
+
+type entry = {
+  pc : int;
+  func_name : string;
+  func_offset : int;            (** instruction index within the function *)
+  hits : int;                   (** dependency arcs observed at this load *)
+  avg_len : float;
+  min_len : int;
+  avg_thread_size : float;      (** thread size when the arcs were seen *)
+  limiting : bool;              (** arc much shorter than the thread —
+                                    worth extending or synchronizing *)
+}
+
+val of_stats : Hydra.Native.program -> Stats.t -> entry list
+(** Sorted by [hits] descending. *)
+
+val pp : Format.formatter -> entry list -> unit

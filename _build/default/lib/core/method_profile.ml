@@ -1,0 +1,123 @@
+type fn_stats = {
+  callee : int;
+  mutable calls : int;
+  mutable inclusive_cycles : int;
+  mutable uncovered_cycles : int;
+  mutable max_call_cycles : int;
+}
+
+type t = {
+  tbl : (int, fn_stats) Hashtbl.t;
+  mutable call_stack : (int * int) list; (* (callee, entry time) *)
+  mutable stl_depth : int;
+  mutable last_time : int;
+}
+
+let create () =
+  { tbl = Hashtbl.create 16; call_stack = []; stl_depth = 0; last_time = 0 }
+
+let get t callee =
+  match Hashtbl.find_opt t.tbl callee with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          callee;
+          calls = 0;
+          inclusive_cycles = 0;
+          uncovered_cycles = 0;
+          max_call_cycles = 0;
+        }
+      in
+      Hashtbl.replace t.tbl callee s;
+      s
+
+(* Attribute the time since the last event: if no STL was active during
+   the segment, it is "uncovered" — a method-return decomposition is the
+   only thread shape that could parallelize it — and counts (inclusively)
+   for every function on the call stack. *)
+let account t ~now =
+  let delta = now - t.last_time in
+  if delta > 0 && t.stl_depth = 0 then
+    List.iter
+      (fun (callee, _) ->
+        let s = get t callee in
+        s.uncovered_cycles <- s.uncovered_cycles + delta)
+      t.call_stack;
+  t.last_time <- now
+
+let on_call t ~callee ~now =
+  account t ~now;
+  let s = get t callee in
+  s.calls <- s.calls + 1;
+  t.call_stack <- (callee, now) :: t.call_stack
+
+let on_return t ~now =
+  account t ~now;
+  match t.call_stack with
+  | [] -> () (* return from main or unbalanced; ignore *)
+  | (callee, entry) :: rest ->
+      t.call_stack <- rest;
+      let s = get t callee in
+      let dur = now - entry in
+      s.inclusive_cycles <- s.inclusive_cycles + dur;
+      if dur > s.max_call_cycles then s.max_call_cycles <- dur
+
+let on_sloop t ~now =
+  account t ~now;
+  t.stl_depth <- t.stl_depth + 1
+
+let on_eloop t ~now =
+  account t ~now;
+  t.stl_depth <- max 0 (t.stl_depth - 1)
+
+let wrap t (inner : Hydra.Trace.sink) : Hydra.Trace.sink =
+  {
+    inner with
+    Hydra.Trace.on_sloop =
+      (fun ~stl ~nlocals ~frame ~now ->
+        on_sloop t ~now;
+        inner.Hydra.Trace.on_sloop ~stl ~nlocals ~frame ~now);
+    on_eloop =
+      (fun ~stl ~now ->
+        on_eloop t ~now;
+        inner.Hydra.Trace.on_eloop ~stl ~now);
+    on_call =
+      (fun ~callee ~now ->
+        on_call t ~callee ~now;
+        inner.Hydra.Trace.on_call ~callee ~now);
+    on_return =
+      (fun ~now ->
+        on_return t ~now;
+        inner.Hydra.Trace.on_return ~now);
+  }
+
+let stats t =
+  Hashtbl.fold (fun _ s acc -> s :: acc) t.tbl []
+  |> List.sort (fun a b -> compare b.uncovered_cycles a.uncovered_cycles)
+
+type candidate = {
+  cand_name : string;
+  cand_calls : int;
+  avg_cycles : float;
+  uncovered_coverage : float;
+}
+
+let candidates t ~(program : Hydra.Native.program) ~program_cycles
+    ?(min_coverage = 0.02) () =
+  List.filter_map
+    (fun s ->
+      let cov =
+        Float.of_int s.uncovered_cycles /. Float.of_int (max 1 program_cycles)
+      in
+      if cov >= min_coverage then
+        Some
+          {
+            cand_name = program.Hydra.Native.funcs.(s.callee).Hydra.Native.name;
+            cand_calls = s.calls;
+            avg_cycles =
+              Float.of_int s.inclusive_cycles /. Float.of_int (max 1 s.calls);
+            uncovered_coverage = cov;
+          }
+      else None)
+    (stats t)

@@ -1,0 +1,56 @@
+(** Method-call-return decomposition profiling (paper Sec. 4.1).
+
+    Speculative threads can also be forked at method calls, running the
+    caller's continuation speculatively. The paper focuses on loops
+    because "our experiments so far have not found many method call
+    return ... decompositions that are either not covered by similar
+    loop decompositions or have significant coverage". This profiler
+    reproduces that measurement: for each function it accumulates call
+    counts, inclusive cycles, and — crucially — the cycles spent in
+    calls made {e outside} any candidate STL activation, which is
+    exactly the execution a method-return decomposition could cover
+    that loop decompositions cannot.
+
+    Wrap the profiler around the TEST sink and run the annotated
+    program; then [candidates] lists functions whose uncovered coverage
+    exceeds a threshold. For the bundled benchmarks this list is
+    (nearly) empty — the paper's observation. *)
+
+type fn_stats = {
+  callee : int;                 (** function index in the native program *)
+  mutable calls : int;
+  mutable inclusive_cycles : int;
+  mutable uncovered_cycles : int;
+      (** inclusive cycles spent inside this function while NO candidate
+          STL was active anywhere on the stack — the execution only a
+          method-return decomposition could parallelize *)
+  mutable max_call_cycles : int;
+}
+
+type t
+
+val create : unit -> t
+
+val wrap : t -> Hydra.Trace.sink -> Hydra.Trace.sink
+(** Observe call/return and sloop/eloop events, passing everything
+    through to the inner sink. *)
+
+val stats : t -> fn_stats list
+(** Sorted by [uncovered_cycles] descending. *)
+
+type candidate = {
+  cand_name : string;
+  cand_calls : int;
+  avg_cycles : float;
+  uncovered_coverage : float;   (** uncovered cycles / program cycles *)
+}
+
+val candidates :
+  t ->
+  program:Hydra.Native.program ->
+  program_cycles:int ->
+  ?min_coverage:float ->
+  unit ->
+  candidate list
+(** Method-return decompositions not subsumed by loop STLs, with at
+    least [min_coverage] (default 0.02) of program time. *)

@@ -1,0 +1,113 @@
+(** Per-STL statistics accumulated by TEST (paper Figs. 3 & 4) and the
+    derived values fed to the speedup estimate.
+
+    Counter semantics follow Figure 3's table exactly:
+    - [threads], [entries], [cycles] — raw activity counters;
+    - critical arcs are binned {e to the previous thread} (t-1) and
+      {e to earlier threads} (<t-1); per thread only the shortest arc in
+      each bin is accumulated;
+    - [overflow_threads] counts threads whose speculative read or write
+      state would exceed the Table 1 buffer limits;
+    - [pc_bins] is the extended implementation's per-load-PC dependency
+      profile (paper Sec. 6.3). *)
+
+type pc_bin = {
+  mutable hits : int;
+  mutable total_len : int;
+  mutable min_len : int;
+  mutable thread_size_sum : int;
+      (** thread size at each hit, to compare arc length vs. thread size *)
+}
+
+type t = {
+  stl : int;
+  mutable cycles : int;
+  mutable threads : int;           (** all observed iterations *)
+  mutable entries : int;           (** all observed loop entries *)
+  mutable traced_threads : int;    (** iterations observed with a bank *)
+  mutable traced_entries : int;    (** entries that got a comparator bank *)
+  mutable crit_prev_count : int;
+  mutable crit_prev_len : int;
+  mutable crit_earlier_count : int;
+  mutable crit_earlier_len : int;
+  mutable overflow_threads : int;
+  mutable max_load_lines : int;
+  mutable max_store_lines : int;
+  pc_bins : (int, pc_bin) Hashtbl.t;
+}
+
+let create stl =
+  {
+    stl;
+    cycles = 0;
+    threads = 0;
+    entries = 0;
+    traced_threads = 0;
+    traced_entries = 0;
+    crit_prev_count = 0;
+    crit_prev_len = 0;
+    crit_earlier_count = 0;
+    crit_earlier_len = 0;
+    overflow_threads = 0;
+    max_load_lines = 0;
+    max_store_lines = 0;
+    pc_bins = Hashtbl.create 16;
+  }
+
+let record_pc_hit t ~pc ~len ~thread_size =
+  let bin =
+    match Hashtbl.find_opt t.pc_bins pc with
+    | Some b -> b
+    | None ->
+        let b = { hits = 0; total_len = 0; min_len = max_int; thread_size_sum = 0 } in
+        Hashtbl.replace t.pc_bins pc b;
+        b
+  in
+  bin.hits <- bin.hits + 1;
+  bin.total_len <- bin.total_len + len;
+  if len < bin.min_len then bin.min_len <- len;
+  bin.thread_size_sum <- bin.thread_size_sum + thread_size
+
+(* ---------------- Derived values (Figure 3, bottom table) ------------- *)
+
+let avg_thread_size t =
+  if t.threads = 0 then 0. else Float.of_int t.cycles /. Float.of_int t.threads
+
+let avg_iters_per_entry t =
+  if t.entries = 0 then 0. else Float.of_int t.threads /. Float.of_int t.entries
+
+(* Critical-arc and overflow frequencies are measured only over the
+   iterations a comparator bank actually observed; the (- entries) term
+   is the paper's (threads - 1): the first thread of an activation has
+   no previous thread. *)
+let denom_threads t =
+  if t.traced_threads > 0 then max 1 (t.traced_threads - t.traced_entries)
+  else max 1 (t.threads - t.entries)
+
+let crit_prev_freq t =
+  Float.of_int t.crit_prev_count /. Float.of_int (denom_threads t)
+
+let crit_earlier_freq t =
+  Float.of_int t.crit_earlier_count /. Float.of_int (denom_threads t)
+
+let avg_crit_prev_len t =
+  if t.crit_prev_count = 0 then 0.
+  else Float.of_int t.crit_prev_len /. Float.of_int t.crit_prev_count
+
+let avg_crit_earlier_len t =
+  if t.crit_earlier_count = 0 then 0.
+  else Float.of_int t.crit_earlier_len /. Float.of_int t.crit_earlier_count
+
+let overflow_freq t =
+  let denom = if t.traced_threads > 0 then t.traced_threads else t.threads in
+  if denom = 0 then 0. else Float.of_int t.overflow_threads /. Float.of_int denom
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>STL %d: cycles=%d threads=%d entries=%d@,\
+     crit(t-1): n=%d Σlen=%d  crit(<t-1): n=%d Σlen=%d@,\
+     overflow threads=%d  max lines: ld=%d st=%d@,\
+     avg thread size=%.1f  iters/entry=%.1f@]"
+    t.stl t.cycles t.threads t.entries t.crit_prev_count t.crit_prev_len
+    t.crit_earlier_count t.crit_earlier_len t.overflow_threads t.max_load_lines
+    t.max_store_lines (avg_thread_size t) (avg_iters_per_entry t)

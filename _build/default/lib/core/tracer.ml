@@ -1,0 +1,270 @@
+type config = {
+  banks : int;
+  heap_fifo_lines : int;
+  ld_dedup_entries : int;
+  st_dedup_entries : int;
+  local_slots : int;
+  ld_limit : int;
+  st_limit : int;
+  line_words : int;
+  max_entries_per_stl : int option;
+  release_overflowing : (int * float) option;
+}
+
+let default_config =
+  {
+    banks = Hydra.Cost.comparator_banks;
+    heap_fifo_lines = Hydra.Cost.heap_ts_fifo_lines;
+    ld_dedup_entries = 512;
+    st_dedup_entries = Hydra.Cost.cacheline_ts_lines;
+    local_slots = Hydra.Cost.local_ts_slots;
+    ld_limit = Hydra.Cost.load_buffer_lines;
+    st_limit = Hydra.Cost.store_buffer_lines;
+    line_words = Hydra.Cost.line_words;
+    max_entries_per_stl = None;
+    release_overflowing = Some (4, 0.9);
+  }
+
+type activation = {
+  act_stl : int;
+  bank : Bank.t option;
+  entry_now : int;
+  parent_stl : int; (* -1 = top level *)
+  nlocals : int;
+}
+
+type t = {
+  config : config;
+  mutable banks_in_use : int;
+  mutable local_reserved : int;
+  mutable act_stack : activation list;
+  heap_ts : int array Util.Bounded_assoc_fifo.t;
+  ld_dedup : (int * int) array; (* (tag, ts); tag = -1 empty *)
+  st_dedup : (int * int) array;
+  local_ts : int Util.Bounded_assoc_fifo.t;
+  stats_tbl : (int, Stats.t) Hashtbl.t;
+  child_tbl : (int * int, int) Hashtbl.t;
+  mutable max_depth : int;
+  mutable untraced : int;
+}
+
+let create ?(config = default_config) () =
+  {
+    config;
+    banks_in_use = 0;
+    local_reserved = 0;
+    act_stack = [];
+    heap_ts = Util.Bounded_assoc_fifo.create ~capacity:config.heap_fifo_lines;
+    ld_dedup = Array.make config.ld_dedup_entries (-1, 0);
+    st_dedup = Array.make config.st_dedup_entries (-1, 0);
+    local_ts = Util.Bounded_assoc_fifo.create ~capacity:config.local_slots;
+    stats_tbl = Hashtbl.create 32;
+    child_tbl = Hashtbl.create 32;
+    max_depth = 0;
+    untraced = 0;
+  }
+
+let get_stats t stl =
+  match Hashtbl.find_opt t.stats_tbl stl with
+  | Some s -> s
+  | None ->
+      let s = Stats.create stl in
+      Hashtbl.replace t.stats_tbl stl s;
+      s
+
+let active_banks t =
+  List.filter_map (fun a -> a.bank) t.act_stack
+
+(* ------------------------------------------------------------------ *)
+(* Event handlers *)
+
+let on_sloop t ~stl ~nlocals ~frame:_ ~now =
+  let s = get_stats t stl in
+  s.Stats.entries <- s.Stats.entries + 1;
+  let capped =
+    match t.config.max_entries_per_stl with
+    | Some cap -> s.Stats.entries > cap
+    | None -> false
+  in
+  (* Paper Sec. 5.2: "when a comparator bank consistently predicts
+     speculative buffer overflows for an outer STL, it can be freed to be
+     used deeper in a loop nest" — once enough entries show a high
+     overflow frequency, stop spending a bank on this STL. *)
+  let released =
+    match t.config.release_overflowing with
+    | Some (min_entries, freq) ->
+        s.Stats.entries > min_entries
+        && s.Stats.threads > 0
+        && Stats.overflow_freq s >= freq
+    | None -> false
+  in
+  let capped = capped || released in
+  let bank =
+    if
+      (not capped)
+      && t.banks_in_use < t.config.banks
+      && t.local_reserved + nlocals <= t.config.local_slots
+    then begin
+      t.banks_in_use <- t.banks_in_use + 1;
+      t.local_reserved <- t.local_reserved + nlocals;
+      Some (Bank.create ~stl ~now)
+    end
+    else begin
+      t.untraced <- t.untraced + 1;
+      None
+    end
+  in
+  let parent_stl =
+    match t.act_stack with [] -> -1 | a :: _ -> a.act_stl
+  in
+  t.act_stack <-
+    { act_stl = stl; bank; entry_now = now; parent_stl; nlocals } :: t.act_stack;
+  let depth = List.length t.act_stack in
+  if depth > t.max_depth then t.max_depth <- depth
+
+let on_eoi t ~stl ~now =
+  match
+    List.find_opt (fun a -> a.act_stl = stl && a.bank <> None) t.act_stack
+  with
+  | Some { bank = Some b; _ } -> Bank.end_thread b ~now
+  | _ -> (
+      (* no bank: still count the thread for the cycle accounting *)
+      match List.find_opt (fun a -> a.act_stl = stl) t.act_stack with
+      | Some _ -> (get_stats t stl).Stats.threads <- (get_stats t stl).Stats.threads + 1
+      | None -> ())
+
+let rec on_eloop t ~stl ~now =
+  match t.act_stack with
+  | [] -> () (* unbalanced; ignore defensively *)
+  | a :: rest ->
+      t.act_stack <- rest;
+      let s = get_stats t a.act_stl in
+      let dur = now - a.entry_now in
+      s.Stats.cycles <- s.Stats.cycles + dur;
+      let key = (a.parent_stl, a.act_stl) in
+      Hashtbl.replace t.child_tbl key
+        (dur + Option.value ~default:0 (Hashtbl.find_opt t.child_tbl key));
+      (match a.bank with
+      | Some b ->
+          Bank.merge_into b s ~now;
+          t.banks_in_use <- t.banks_in_use - 1;
+          t.local_reserved <- t.local_reserved - a.nlocals
+      | None -> ());
+      (* if the annotations were unbalanced (returns out of loops are
+         compiled with explicit eloops, so this should not happen), keep
+         popping until we close the right STL *)
+      if a.act_stl <> stl then on_eloop t ~stl ~now
+
+let on_read_stats _t ~stl:_ ~now:_ = ()
+
+(* -- heap events -- *)
+
+let line_of t addr = addr / t.config.line_words
+let word_of t addr = addr mod t.config.line_words
+
+let thread_elapsed (b : Bank.t) ~now = now - b.Bank.start_t
+
+let on_heap_load t ~addr ~pc ~now =
+  let line = line_of t addr and word = word_of t addr in
+  let store_ts =
+    match Util.Bounded_assoc_fifo.find t.heap_ts line with
+    | Some arr when arr.(word) >= 0 -> Some arr.(word)
+    | _ -> None
+  in
+  (* dependency analysis *)
+  (match store_ts with
+  | Some sts ->
+      List.iter
+        (fun (b : Bank.t) ->
+          match Bank.note_load_dep b ~store_ts:sts ~now with
+          | Bank.To_prev len | Bank.To_earlier len ->
+              Stats.record_pc_hit (get_stats t b.Bank.stl) ~pc ~len
+                ~thread_size:(thread_elapsed b ~now)
+          | Bank.No_arc -> ())
+        (active_banks t)
+  | None -> ());
+  (* overflow analysis: load-line dedup *)
+  let idx = line mod t.config.ld_dedup_entries in
+  let tag = line / t.config.ld_dedup_entries in
+  let old_tag, old_ts = t.ld_dedup.(idx) in
+  List.iter
+    (fun (b : Bank.t) ->
+      let in_current = old_tag = tag && old_ts >= b.Bank.start_t in
+      Bank.note_load_line b ~in_current_thread:in_current
+        ~ld_limit:t.config.ld_limit ~st_limit:t.config.st_limit)
+    (active_banks t);
+  t.ld_dedup.(idx) <- (tag, now)
+
+let on_heap_store t ~addr ~now =
+  let line = line_of t addr and word = word_of t addr in
+  (* record the word store timestamp in the FIFO history *)
+  (match Util.Bounded_assoc_fifo.find t.heap_ts line with
+  | Some arr ->
+      arr.(word) <- now;
+      (* refresh FIFO position *)
+      Util.Bounded_assoc_fifo.set t.heap_ts line arr
+  | None ->
+      let arr = Array.make t.config.line_words (-1) in
+      arr.(word) <- now;
+      Util.Bounded_assoc_fifo.set t.heap_ts line arr);
+  (* overflow analysis: store-line dedup *)
+  let idx = line mod t.config.st_dedup_entries in
+  let tag = line / t.config.st_dedup_entries in
+  let old_tag, old_ts = t.st_dedup.(idx) in
+  List.iter
+    (fun (b : Bank.t) ->
+      let in_current = old_tag = tag && old_ts >= b.Bank.start_t in
+      Bank.note_store_line b ~in_current_thread:in_current
+        ~ld_limit:t.config.ld_limit ~st_limit:t.config.st_limit)
+    (active_banks t);
+  t.st_dedup.(idx) <- (tag, now)
+
+(* -- local variable events -- *)
+
+let local_key ~frame ~slot = (frame * 1024) + slot
+
+let on_local_load t ~frame ~slot ~pc ~now =
+  match Util.Bounded_assoc_fifo.find t.local_ts (local_key ~frame ~slot) with
+  | Some sts ->
+      List.iter
+        (fun (b : Bank.t) ->
+          match Bank.note_load_dep b ~store_ts:sts ~now with
+          | Bank.To_prev len | Bank.To_earlier len ->
+              Stats.record_pc_hit (get_stats t b.Bank.stl) ~pc ~len
+                ~thread_size:(thread_elapsed b ~now)
+          | Bank.No_arc -> ())
+        (active_banks t)
+  | None -> ()
+
+let on_local_store t ~frame ~slot ~now =
+  Util.Bounded_assoc_fifo.set t.local_ts (local_key ~frame ~slot) now
+
+(* ------------------------------------------------------------------ *)
+
+let sink t : Hydra.Trace.sink =
+  {
+    Hydra.Trace.on_sloop = (fun ~stl ~nlocals ~frame ~now -> on_sloop t ~stl ~nlocals ~frame ~now);
+    on_eoi = (fun ~stl ~now -> on_eoi t ~stl ~now);
+    on_eloop = (fun ~stl ~now -> on_eloop t ~stl ~now);
+    on_read_stats = (fun ~stl ~now -> on_read_stats t ~stl ~now);
+    on_heap_load = (fun ~addr ~pc ~now -> on_heap_load t ~addr ~pc ~now);
+    on_heap_store = (fun ~addr ~now -> on_heap_store t ~addr ~now);
+    on_local_load =
+      (fun ~frame ~slot ~pc ~now -> on_local_load t ~frame ~slot ~pc ~now);
+    on_local_store = (fun ~frame ~slot ~now -> on_local_store t ~frame ~slot ~now);
+    on_call = (fun ~callee:_ ~now:_ -> ());
+    on_return = (fun ~now:_ -> ());
+  }
+
+let stats t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.stats_tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let find_stats t stl = Hashtbl.find_opt t.stats_tbl stl
+
+let child_cycles t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.child_tbl []
+  |> List.sort compare
+
+let max_dynamic_depth t = t.max_depth
+let untraced_activations t = t.untraced

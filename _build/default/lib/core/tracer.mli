@@ -1,0 +1,68 @@
+(** The TEST trace hardware model.
+
+    Connect {!sink} to {!Hydra.Seq_interp.run}'s trace interface and run
+    the annotated program sequentially; the tracer performs the load
+    dependency analysis and the speculative state overflow analysis of
+    paper Sec. 4.2 for every traced STL, using the finite-capacity
+    timestamp buffers of Sec. 5.3:
+
+    - heap store timestamps: a FIFO of cache-line-sized entries with
+      per-word timestamps (192 lines — 6 kB of write history; older
+      stores are forgotten, losing distant dependencies);
+    - a direct-mapped cache-line timestamp table used to deduplicate
+      per-thread load-line counting (512 entries) and store-line counting
+      (64 entries) — aliasing introduces the imprecision the paper
+      acknowledges;
+    - local-variable store timestamps (64 slots, reserved per [sloop]).
+
+    Comparator banks are allocated at [sloop] (precedence naturally goes
+    to outer loops, which start first) and freed at [eloop]; when no bank
+    or no local-timestamp space is available, the activation goes
+    untraced — only its cycle/entry accounting is kept. *)
+
+type config = {
+  banks : int;
+  heap_fifo_lines : int;
+  ld_dedup_entries : int;
+  st_dedup_entries : int;
+  local_slots : int;
+  ld_limit : int;              (** load-buffer lines per thread (Table 1) *)
+  st_limit : int;              (** store-buffer lines per thread (Table 1) *)
+  line_words : int;
+  max_entries_per_stl : int option;
+      (** dynamic disabling: stop tracing an STL after this many entries *)
+  release_overflowing : (int * float) option;
+      (** [(min_entries, freq)] — stop allocating banks to an STL whose
+          measured overflow frequency is at least [freq] after
+          [min_entries] entries, freeing banks for deeper loops
+          (paper Sec. 5.2) *)
+}
+
+val default_config : config
+(** The paper's hardware: 8 banks, 192-line FIFO, 512/64 dedup entries,
+    64 local slots, 512/64 line limits, 8 words per line, no entry cap,
+    and bank release for STLs that overflow on ≥90% of threads after 4
+    entries. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val sink : t -> Hydra.Trace.sink
+(** The event interface to plug into the sequential interpreter. *)
+
+val stats : t -> (int * Stats.t) list
+(** Per-STL accumulated statistics, sorted by STL id. *)
+
+val find_stats : t -> int -> Stats.t option
+
+val child_cycles : t -> ((int * int) * int) list
+(** Dynamic nesting: [((parent, child), cycles)] — cycles spent in
+    activations of [child] whose innermost enclosing active STL was
+    [parent]; parent [-1] means top level. *)
+
+val max_dynamic_depth : t -> int
+(** Deepest observed STL activation nesting (paper Table 6 col. d). *)
+
+val untraced_activations : t -> int
+(** Activations that could not get a comparator bank (or local slots). *)

@@ -1,0 +1,1 @@
+lib/hydra/hardware_cost.mli: Format

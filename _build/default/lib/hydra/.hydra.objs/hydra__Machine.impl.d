@@ -1,0 +1,1 @@
+lib/hydra/machine.ml: Array Cfg Float Ir Native Stdlib Tac Value

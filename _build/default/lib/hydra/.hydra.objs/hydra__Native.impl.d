@@ -1,0 +1,1 @@
+lib/hydra/native.ml: Array Cfg Cost Format Ir List Printf String

@@ -1,0 +1,1 @@
+lib/hydra/seq_interp.ml: Array Ir List Machine Native Option Printf Trace Value

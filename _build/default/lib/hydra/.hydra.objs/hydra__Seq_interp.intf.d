@@ -1,0 +1,1 @@
+lib/hydra/seq_interp.mli: Ir Machine Native Trace

@@ -1,0 +1,1 @@
+lib/hydra/tls_sim.mli: Ir Machine Native

@@ -1,0 +1,63 @@
+(** Cycle-cost and capacity model of the Hydra CMP (paper Tables 1 and 2).
+
+    The absolute instruction latencies below are a plain single-issue MIPS
+    model; the paper's results depend on the ratios (thread sizes vs. TLS
+    overheads vs. buffer limits), which these constants reproduce. *)
+
+(* ------------------------------------------------------------------ *)
+(* Table 1 — thread-level speculation buffer limits (per thread).      *)
+
+let line_words = 8
+(** One 32-byte cache line holds 8 four-byte words; TEST and the TLS
+    hardware count speculative state in lines. *)
+
+let load_buffer_lines = 512
+(** Speculatively-read L1 lines a thread may hold (16 kB, 4-way). *)
+
+let store_buffer_lines = 64
+(** Speculative store-buffer entries per thread (2 kB, fully assoc.). *)
+
+(* ------------------------------------------------------------------ *)
+(* Table 2 — thread-level speculation overheads (cycles).              *)
+
+let loop_startup = 25
+let loop_shutdown = 25
+let loop_eoi = 5
+let violation_restart = 5
+let store_load_communication = 10
+
+(* ------------------------------------------------------------------ *)
+(* TEST hardware capacities (paper Sec. 5.3).                          *)
+
+let comparator_banks = 8
+let heap_ts_fifo_lines = 192   (* 6 kB of write history, line-sized entries *)
+let cacheline_ts_lines = 64    (* 2 kB direct-mapped *)
+let local_ts_slots = 64        (* 2 kB, one buffer *)
+
+(* ------------------------------------------------------------------ *)
+(* Hydra configuration.                                                *)
+
+let num_cpus = 4
+
+(* ------------------------------------------------------------------ *)
+(* Instruction latencies (cycles) for the single-issue pipeline.       *)
+
+let cost_simple = 1            (* const / mov / int alu / compare / branch *)
+let cost_mul = 3
+let cost_div = 12
+let cost_fsimple = 3           (* fadd / fsub / fmul / fneg / conversions *)
+let cost_fdiv = 12
+let cost_local = 1             (* register-file / stack-slot access *)
+let cost_heap = 2              (* L1 hit *)
+let cost_alloc = 20
+let cost_call = 4
+let cost_return = 2
+let cost_builtin_math = 24     (* sqrt/sin/cos/exp/log *)
+let cost_builtin_cheap = 2     (* abs/min/max/floor *)
+let cost_print = 10
+
+(* Annotation instruction overheads during TEST profiling (Sec. 5.1). *)
+let cost_anno_local = 1        (* lwl / swl *)
+let cost_anno_loop = 4         (* sloop / eloop *)
+let cost_anno_eoi = 1
+let cost_read_stats = 40       (* routine that reads the collected counters *)

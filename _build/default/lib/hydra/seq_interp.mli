@@ -1,0 +1,28 @@
+(** Sequential execution of a native program on one Hydra CPU.
+
+    [run] interprets the program from [main], counting cycles with the
+    {!Cost} model. With [~tracing:true] the annotation instructions and
+    all heap accesses are reported to [sink] (and the annotations cost
+    their Table-4 overhead cycles); with [~tracing:false] annotations are
+    free no-ops, modelling plain compiled code. TLS markers are always
+    no-ops here. *)
+
+type result = {
+  cycles : int;
+  output : Ir.Value.t list;      (** print_int / print_float values, in order *)
+  memory : Machine.Memory.t;
+  instructions : int;            (** dynamic instruction count *)
+}
+
+exception Out_of_fuel of int
+
+val run :
+  ?sink:Trace.sink ->
+  ?tracing:bool ->
+  ?fuel:int ->
+  Native.program ->
+  result
+(** @param fuel maximum dynamic instructions (default 500 million);
+    @raise Out_of_fuel if exceeded;
+    @raise Machine.Trap on runtime errors (division by zero, negative
+    address). *)

@@ -1,0 +1,594 @@
+open Ir
+
+type spec_stats = {
+  threads_committed : int;
+  violations : int;
+  overflow_stalls : int;
+  forwarded_loads : int;
+  loops_entered : int;
+  spec_cycles : int;
+  sync_stalls : int;
+      (** loads delayed by learned synchronization (with [~sync:true]) *)
+}
+
+type result = {
+  cycles : int;
+  output : Value.t list;
+  memory : Machine.Memory.t;
+  stats : spec_stats;
+}
+
+exception Out_of_fuel of int
+
+type status =
+  | Running
+  | Stalled                     (* buffer overflow; resumes as head *)
+  | Waiting_addr of int         (* learned sync: wait for a producer store *)
+  | Iter_done                   (* reached Tls_iter_end; awaiting commit *)
+  | Exit_taken of int           (* reached Tls_exit; pc to resume after *)
+  | Trapped of string           (* speculative trap; fatal only as head *)
+
+type thread = {
+  rank : int;
+  mutable pc : int;
+  mutable frames : Machine.frame list; (* non-empty; head = current *)
+  mutable ready_at : int;
+  mutable status : status;
+  write_buf : (int, Value.t) Hashtbl.t;
+  read_set : (int, int) Hashtbl.t; (* word addr -> PC of the reading load *)
+  read_lines : (int, unit) Hashtbl.t;
+  write_lines : (int, unit) Hashtbl.t;
+  mutable pending_output : Value.t list; (* reversed *)
+  mutable nested : int; (* dynamic re-entries of the same STL (recursion) *)
+  mutable stalled_once : bool;
+}
+
+type mstats = {
+  mutable m_committed : int;
+  mutable m_violations : int;
+  mutable m_stalls : int;
+  mutable m_forwards : int;
+  mutable m_loops : int;
+  mutable m_spec_cycles : int;
+  mutable m_sync_stalls : int;
+}
+
+let run ?(fuel = 2_000_000_000) ?(sync = false) (p : Native.program) : result =
+  (* With [sync], the speculation hardware learns the PCs of loads whose
+     speculatively-read data was later overwritten (violations) and, on
+     subsequent executions, delays those loads until the producing store
+     is visible instead of restarting — the synchronization mechanism of
+     the paper's citations [10]/[30]. The learned set persists across
+     loop activations, like a violation-prediction table. *)
+  let mem = Machine.Memory.create ~heap_base:p.heap_base in
+  let output = ref [] in
+  let cycles = ref 0 in
+  let icount = ref 0 in
+  let frame_uid = ref 0 in
+  let ms =
+    {
+      m_committed = 0;
+      m_violations = 0;
+      m_stalls = 0;
+      m_forwards = 0;
+      m_loops = 0;
+      m_spec_cycles = 0;
+      m_sync_stalls = 0;
+    }
+  in
+  let sync_pcs : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let new_frame fidx ret_pc ret_reg args =
+    let f = p.funcs.(fidx) in
+    let slots = Array.make (max f.Native.nslots 1) Value.zero in
+    List.iteri (fun i v -> slots.(i) <- v) args;
+    incr frame_uid;
+    {
+      Machine.fidx;
+      slots;
+      regs = Array.make (max f.Native.nregs 1) Value.zero;
+      ret_pc;
+      ret_reg;
+      uid = !frame_uid;
+    }
+  in
+  let line_of addr = addr / Cost.line_words in
+
+  (* ---------------- speculative loop execution ---------------- *)
+  let run_speculative (plan : Native.stl_plan) (master : Machine.frame) :
+      Machine.frame * int (* resume pc *) =
+    ms.m_loops <- ms.m_loops + 1;
+    let spec_start = !cycles in
+    cycles := !cycles + Cost.loop_startup;
+    let snapshot = Array.copy master.Machine.slots in
+    (* master-side reduction accumulators start from the pre-loop values *)
+    let red_acc =
+      List.map (fun (slot, op) -> (slot, op, ref snapshot.(slot))) plan.Native.reductions
+    in
+    let seed_frame rank =
+      incr frame_uid;
+      let slots = Array.copy snapshot in
+      List.iter
+        (fun (slot, step) ->
+          slots.(slot) <- Value.Int (Value.to_int snapshot.(slot) + (rank * step)))
+        plan.Native.inductors;
+      List.iter
+        (fun (slot, op) -> slots.(slot) <- Machine.reduction_identity op)
+        plan.Native.reductions;
+      {
+        Machine.fidx = plan.Native.plan_func;
+        slots;
+        regs = Array.make (max p.funcs.(plan.Native.plan_func).Native.nregs 1) Value.zero;
+        ret_pc = -1;
+        ret_reg = None;
+        uid = !frame_uid;
+      }
+    in
+    let spawn rank now =
+      {
+        rank;
+        pc = plan.Native.body_start;
+        frames = [ seed_frame rank ];
+        ready_at = now;
+        status = Running;
+        write_buf = Hashtbl.create 64;
+        read_set = Hashtbl.create 64;
+        read_lines = Hashtbl.create 16;
+        write_lines = Hashtbl.create 16;
+        pending_output = [];
+        nested = 0;
+        stalled_once = false;
+      }
+    in
+    let cpus : thread option array = Array.make Cost.num_cpus None in
+    let next_iter = ref 0 in
+    let head_rank = ref 0 in
+    let exit_pending = ref None in
+    let now = ref !cycles in
+    let find_thread rank =
+      let found = ref None in
+      Array.iter
+        (fun t -> match t with Some t when t.rank = rank -> found := Some t | _ -> ())
+        cpus;
+      !found
+    in
+    let restart (t : thread) ~at =
+      ms.m_violations <- ms.m_violations + 1;
+      Hashtbl.reset t.write_buf;
+      Hashtbl.reset t.read_set;
+      Hashtbl.reset t.read_lines;
+      Hashtbl.reset t.write_lines;
+      t.pending_output <- [];
+      t.nested <- 0;
+      t.frames <- [ seed_frame t.rank ];
+      t.pc <- plan.Native.body_start;
+      t.status <- Running;
+      t.stalled_once <- false;
+      t.ready_at <-
+        at + Cost.violation_restart + List.length plan.Native.invariants
+    in
+    (* violate all threads with rank >= r *)
+    let violate_from r ~at =
+      (match !exit_pending with
+      | Some (er, _) when er >= r -> exit_pending := None
+      | _ -> ());
+      Array.iter
+        (fun t ->
+          match t with
+          | Some t when t.rank >= r -> restart t ~at
+          | _ -> ())
+        cpus
+    in
+    let squash_younger r =
+      Array.iteri
+        (fun i t ->
+          match t with
+          | Some t when t.rank > r -> cpus.(i) <- None
+          | _ -> ())
+        cpus;
+      next_iter := r + 1
+    in
+    (* speculative load for thread t *)
+    let spec_load (t : thread) addr ~pc ~now:n =
+      match Hashtbl.find_opt t.write_buf addr with
+      | Some v -> (v, 0)
+      | None ->
+          let rec search r =
+            if r < !head_rank then (Machine.Memory.load mem addr, 0)
+            else
+              match find_thread r with
+              | Some th -> (
+                  match Hashtbl.find_opt th.write_buf addr with
+                  | Some v ->
+                      ms.m_forwards <- ms.m_forwards + 1;
+                      (v, Cost.store_load_communication)
+                  | None -> search (r - 1))
+              | None -> search (r - 1)
+          in
+          let v, extra = search (t.rank - 1) in
+          Hashtbl.replace t.read_set addr pc;
+          Hashtbl.replace t.read_lines (line_of addr) ();
+          ignore n;
+          (v, extra)
+    in
+    (* learned synchronization: should this load wait for a producer? *)
+    let must_wait (t : thread) addr ~pc =
+      sync
+      && Hashtbl.mem sync_pcs pc
+      && t.rank <> !head_rank
+      && (not (Hashtbl.mem t.write_buf addr))
+      && not
+           (let rec buffered r =
+              r >= !head_rank
+              && ((match find_thread r with
+                  | Some th -> Hashtbl.mem th.write_buf addr
+                  | None -> false)
+                 || buffered (r - 1))
+            in
+            buffered (t.rank - 1))
+    in
+    (* can a Waiting_addr thread resume? *)
+    let wait_satisfied (t : thread) addr =
+      t.rank = !head_rank
+      || (let rec buffered r =
+            r >= !head_rank
+            && ((match find_thread r with
+                | Some th -> Hashtbl.mem th.write_buf addr
+                | None -> false)
+               || buffered (r - 1))
+          in
+          buffered (t.rank - 1))
+    in
+    let spec_store (t : thread) addr v ~at =
+      Hashtbl.replace t.write_buf addr v;
+      Hashtbl.replace t.write_lines (line_of addr) ();
+      (* violation detection against more-speculative threads *)
+      let victim = ref max_int in
+      Array.iter
+        (fun th ->
+          match th with
+          | Some th
+            when th.rank > t.rank
+                 && Hashtbl.mem th.read_set addr
+                 && th.rank < !victim ->
+              victim := th.rank
+          | _ -> ())
+        cpus;
+      if !victim < max_int then begin
+        (if sync then
+           (* learn the violating load so future executions synchronize *)
+           Array.iter
+             (fun th ->
+               match th with
+               | Some th when th.rank >= !victim -> (
+                   match Hashtbl.find_opt th.read_set addr with
+                   | Some load_pc -> Hashtbl.replace sync_pcs load_pc ()
+                   | None -> ())
+               | _ -> ())
+             cpus);
+        violate_from !victim ~at
+      end
+    in
+    let check_overflow (t : thread) =
+      if t.rank <> !head_rank then
+        if
+          Hashtbl.length t.read_lines > Cost.load_buffer_lines
+          || Hashtbl.length t.write_lines > Cost.store_buffer_lines
+        then begin
+          t.status <- Stalled;
+          if not t.stalled_once then begin
+            t.stalled_once <- true;
+            ms.m_stalls <- ms.m_stalls + 1
+          end
+        end
+    in
+    (* execute one instruction of thread t at time n; returns unit *)
+    let step (t : thread) ~n =
+      let frame = List.hd t.frames in
+      let f = p.funcs.(frame.Machine.fidx) in
+      let ins = f.Native.code.(t.pc) in
+      incr icount;
+      if !icount > fuel then raise (Out_of_fuel fuel);
+      let cost = ref (Native.instr_cost ins) in
+      let regs = frame.Machine.regs in
+      let slots = frame.Machine.slots in
+      let next = t.pc + 1 in
+      (try
+         match ins with
+         | Native.Const (r, v) ->
+             regs.(r) <- v;
+             t.pc <- next
+         | Native.Mov (d, s) ->
+             regs.(d) <- regs.(s);
+             t.pc <- next
+         | Native.Unop (d, op, s) ->
+             regs.(d) <- Machine.eval_unop op regs.(s);
+             t.pc <- next
+         | Native.Binop (d, op, a, b) ->
+             regs.(d) <- Machine.eval_binop op regs.(a) regs.(b);
+             t.pc <- next
+         | Native.Ld_local (d, s) ->
+             regs.(d) <- slots.(s);
+             t.pc <- next
+         | Native.St_local (s, r) ->
+             slots.(s) <- regs.(r);
+             t.pc <- next
+         | Native.Ld_heap (d, a) ->
+             let addr = Value.to_int regs.(a) in
+             let fpc = f.Native.pc_base + t.pc in
+             if must_wait t addr ~pc:fpc then begin
+               ms.m_sync_stalls <- ms.m_sync_stalls + 1;
+               t.status <- Waiting_addr addr
+               (* pc unchanged: the load re-issues when the wait ends *)
+             end
+             else begin
+               let v, extra = spec_load t addr ~pc:fpc ~now:n in
+               regs.(d) <- v;
+               cost := !cost + extra;
+               check_overflow t;
+               t.pc <- next
+             end
+         | Native.St_heap (a, s) ->
+             let addr = Value.to_int regs.(a) in
+             spec_store t addr regs.(s) ~at:n;
+             check_overflow t;
+             t.pc <- next
+         | Native.Alloc (d, nreg, kind) ->
+             regs.(d) <-
+               Value.Int
+                 (Machine.Memory.alloc ~kind mem (Value.to_int regs.(nreg)));
+             t.pc <- next
+         | Native.Call (ret_reg, callee, args) ->
+             let argv = List.map (fun r -> regs.(r)) args in
+             t.frames <- new_frame callee next ret_reg argv :: t.frames;
+             t.pc <- 0
+         | Native.Builtin (d, b, args) ->
+             regs.(d) <-
+               Machine.eval_builtin b (List.map (fun r -> regs.(r)) args);
+             t.pc <- next
+         | Native.Print (_, r) ->
+             t.pending_output <- regs.(r) :: t.pending_output;
+             t.pc <- next
+         | Native.Jump tgt -> t.pc <- tgt
+         | Native.Branch (r, a, b) ->
+             t.pc <- (if Value.truthy regs.(r) then a else b)
+         | Native.Return rv -> (
+             let v = Option.map (fun r -> regs.(r)) rv in
+             match t.frames with
+             | [ _ ] ->
+                 (* returning out of the base frame from inside a
+                    speculative thread: only reachable on a misspeculated
+                    path (real exits run Tls_exit first) — trap/squash *)
+                 t.status <- Trapped "speculative return past loop frame"
+             | _ :: (caller :: _ as rest) ->
+                 (match (frame.Machine.ret_reg, v) with
+                 | Some d, Some v -> caller.Machine.regs.(d) <- v
+                 | Some d, None -> caller.Machine.regs.(d) <- Value.zero
+                 | None, _ -> ());
+                 t.pc <- frame.Machine.ret_pc;
+                 t.frames <- rest
+             | [] -> assert false)
+         | Native.Sloop _ | Native.Eloop _ | Native.Eoi _ | Native.Read_stats _
+         | Native.Lwl _ | Native.Swl _ ->
+             t.pc <- next
+         | Native.Tls_enter stl ->
+             if stl = plan.Native.stl_id then t.nested <- t.nested + 1;
+             t.pc <- next
+         | Native.Tls_iter_end stl ->
+             if stl = plan.Native.stl_id && t.nested = 0 then
+               t.status <- Iter_done
+             else t.pc <- next
+         | Native.Tls_exit stl ->
+             if stl = plan.Native.stl_id then
+               if t.nested > 0 then begin
+                 t.nested <- t.nested - 1;
+                 t.pc <- next
+               end
+               else begin
+                 t.status <- Exit_taken next;
+                 squash_younger t.rank;
+                 exit_pending := Some (t.rank, next)
+               end
+             else t.pc <- next
+       with Machine.Trap msg -> t.status <- Trapped msg);
+      t.ready_at <- n + !cost
+    in
+    (* commit thread t (head): flush writes, merge reductions, output *)
+    let commit (t : thread) =
+      Hashtbl.iter (fun addr v -> Machine.Memory.store mem addr v) t.write_buf;
+      List.iter
+        (fun (slot, op, acc) ->
+          let base_frame = List.nth t.frames (List.length t.frames - 1) in
+          acc := Machine.reduction_merge op !acc base_frame.Machine.slots.(slot))
+        red_acc;
+      output := t.pending_output @ !output;
+      ms.m_committed <- ms.m_committed + 1
+    in
+    (* main speculation loop *)
+    let result = ref None in
+    while !result = None do
+      (* 0. refill free CPUs with the next iterations (optimistic spawn) *)
+      if !exit_pending = None then
+        Array.iteri
+          (fun i th ->
+            if th = None then begin
+              cpus.(i) <- Some (spawn !next_iter (!now + Cost.loop_eoi));
+              incr next_iter
+            end)
+          cpus;
+      (* 0b. wake synchronized threads whose producer store arrived *)
+      Array.iter
+        (fun th ->
+          match th with
+          | Some t -> (
+              match t.status with
+              | Waiting_addr addr when wait_satisfied t addr ->
+                  t.status <- Running;
+                  t.ready_at <- max t.ready_at !now
+              | _ -> ())
+          | None -> ())
+        cpus;
+      (* 1. head-thread state transitions *)
+      (match find_thread !head_rank with
+      | Some t -> (
+          (match t.status with
+          | Stalled | Waiting_addr _ ->
+              t.status <- Running (* head never stalls *)
+          | Trapped msg -> raise (Machine.Trap msg) (* non-speculative trap *)
+          | _ -> ());
+          match t.status with
+          | Iter_done when t.ready_at <= !now ->
+              commit t;
+              (* free the CPU; the refill step spawns the next iteration *)
+              Array.iteri
+                (fun i th ->
+                  match th with
+                  | Some th when th.rank = t.rank -> cpus.(i) <- None
+                  | _ -> ())
+                cpus;
+              incr head_rank
+          | Exit_taken resume when t.ready_at <= !now ->
+              commit t;
+              let base_frame = List.nth t.frames (List.length t.frames - 1) in
+              (* install merged reduction results *)
+              List.iter
+                (fun (slot, _, acc) -> base_frame.Machine.slots.(slot) <- !acc)
+                red_acc;
+              result := Some (base_frame, resume)
+          | _ -> ())
+      | None -> ());
+      if !result = None then begin
+        (* 2. execute ready threads *)
+        let progressed = ref false in
+        Array.iter
+          (fun th ->
+            match th with
+            | Some t when t.status = Running && t.ready_at <= !now ->
+                step t ~n:!now;
+                progressed := true
+            | _ -> ())
+          cpus;
+        (* 3. advance time *)
+        if not !progressed then begin
+          let next_time = ref max_int in
+          Array.iter
+            (fun th ->
+              match th with
+              | Some t when t.status = Running || t.status = Iter_done
+                            || (match t.status with Exit_taken _ -> true | _ -> false) ->
+                  if t.ready_at > !now && t.ready_at < !next_time then
+                    next_time := t.ready_at
+              | _ -> ())
+            cpus;
+          now := (if !next_time = max_int then !now + 1 else !next_time)
+        end
+      end
+    done;
+    let base_frame, resume = Option.get !result in
+    cycles := !now + Cost.loop_shutdown;
+    ms.m_spec_cycles <- ms.m_spec_cycles + (!cycles - spec_start);
+    (* rebuild a frame whose regs/slots master will keep using *)
+    let mf =
+      {
+        master with
+        Machine.slots = base_frame.Machine.slots;
+        regs = base_frame.Machine.regs;
+      }
+    in
+    (mf, resume)
+  in
+
+  (* ---------------- sequential (master) execution ---------------- *)
+  let stack = ref [] in
+  let frame = ref (new_frame p.main (-1) None []) in
+  let pc = ref 0 in
+  let running = ref true in
+  while !running do
+    let f = p.funcs.(!frame.Machine.fidx) in
+    let ins = f.Native.code.(!pc) in
+    incr icount;
+    if !icount > fuel then raise (Out_of_fuel fuel);
+    cycles := !cycles + Native.instr_cost ins;
+    let regs = !frame.Machine.regs in
+    let slots = !frame.Machine.slots in
+    let next = !pc + 1 in
+    match ins with
+    | Native.Const (r, v) ->
+        regs.(r) <- v;
+        pc := next
+    | Native.Mov (d, s) ->
+        regs.(d) <- regs.(s);
+        pc := next
+    | Native.Unop (d, op, s) ->
+        regs.(d) <- Machine.eval_unop op regs.(s);
+        pc := next
+    | Native.Binop (d, op, a, b) ->
+        regs.(d) <- Machine.eval_binop op regs.(a) regs.(b);
+        pc := next
+    | Native.Ld_local (d, s) ->
+        regs.(d) <- slots.(s);
+        pc := next
+    | Native.St_local (s, r) ->
+        slots.(s) <- regs.(r);
+        pc := next
+    | Native.Ld_heap (d, a) ->
+        regs.(d) <- Machine.Memory.load mem (Value.to_int regs.(a));
+        pc := next
+    | Native.St_heap (a, s) ->
+        Machine.Memory.store mem (Value.to_int regs.(a)) regs.(s);
+        pc := next
+    | Native.Alloc (d, n, kind) ->
+        regs.(d) <-
+          Value.Int (Machine.Memory.alloc ~kind mem (Value.to_int regs.(n)));
+        pc := next
+    | Native.Call (ret_reg, callee, args) ->
+        let argv = List.map (fun r -> regs.(r)) args in
+        stack := !frame :: !stack;
+        frame := new_frame callee next ret_reg argv;
+        pc := 0
+    | Native.Builtin (d, b, args) ->
+        regs.(d) <- Machine.eval_builtin b (List.map (fun r -> regs.(r)) args);
+        pc := next
+    | Native.Print (_, r) ->
+        output := regs.(r) :: !output;
+        pc := next
+    | Native.Jump t -> pc := t
+    | Native.Branch (r, a, b) -> pc := (if Value.truthy regs.(r) then a else b)
+    | Native.Return rv -> (
+        let v = Option.map (fun r -> regs.(r)) rv in
+        match !stack with
+        | [] -> running := false
+        | caller :: rest ->
+            (match (!frame.Machine.ret_reg, v) with
+            | Some d, Some v -> caller.Machine.regs.(d) <- v
+            | Some d, None -> caller.Machine.regs.(d) <- Value.zero
+            | None, _ -> ());
+            pc := !frame.Machine.ret_pc;
+            frame := caller;
+            stack := rest)
+    | Native.Sloop _ | Native.Eloop _ | Native.Eoi _ | Native.Read_stats _
+    | Native.Lwl _ | Native.Swl _ ->
+        pc := next
+    | Native.Tls_iter_end _ | Native.Tls_exit _ -> pc := next
+    | Native.Tls_enter stl -> (
+        match List.assoc_opt stl p.stl_plans with
+        | Some plan when plan.Native.plan_func = !frame.Machine.fidx ->
+            let mf, resume = run_speculative plan !frame in
+            frame := mf;
+            pc := resume
+        | _ -> pc := next)
+  done;
+  {
+    cycles = !cycles;
+    output = List.rev !output;
+    memory = mem;
+    stats =
+      {
+        threads_committed = ms.m_committed;
+        violations = ms.m_violations;
+        overflow_stalls = ms.m_stalls;
+        forwarded_loads = ms.m_forwards;
+        loops_entered = ms.m_loops;
+        spec_cycles = ms.m_spec_cycles;
+        sync_stalls = ms.m_sync_stalls;
+      };
+  }

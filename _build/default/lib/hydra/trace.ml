@@ -1,0 +1,37 @@
+(** The event interface between the sequentially-executing CPU and the
+    TEST trace hardware.
+
+    When tracing is enabled, every heap load/store is communicated to the
+    tracer automatically, and the annotation instructions ([sloop],
+    [eloop], [eoi], [lwl], [swl], read-statistics) report the remaining
+    events — exactly the interface of paper Table 4. [now] is the global
+    cycle counter; [pc] is the program-wide PC used by the extended
+    implementation to bin dependencies by load instruction. *)
+
+type sink = {
+  on_sloop : stl:int -> nlocals:int -> frame:int -> now:int -> unit;
+  on_eoi : stl:int -> now:int -> unit;
+  on_eloop : stl:int -> now:int -> unit;
+  on_read_stats : stl:int -> now:int -> unit;
+  on_heap_load : addr:int -> pc:int -> now:int -> unit;
+  on_heap_store : addr:int -> now:int -> unit;
+  on_local_load : frame:int -> slot:int -> pc:int -> now:int -> unit;
+  on_local_store : frame:int -> slot:int -> now:int -> unit;
+  on_call : callee:int -> now:int -> unit;
+      (** method entry (used by method-level decomposition profiling) *)
+  on_return : now:int -> unit;
+}
+
+let null_sink : sink =
+  {
+    on_sloop = (fun ~stl:_ ~nlocals:_ ~frame:_ ~now:_ -> ());
+    on_eoi = (fun ~stl:_ ~now:_ -> ());
+    on_eloop = (fun ~stl:_ ~now:_ -> ());
+    on_read_stats = (fun ~stl:_ ~now:_ -> ());
+    on_heap_load = (fun ~addr:_ ~pc:_ ~now:_ -> ());
+    on_heap_store = (fun ~addr:_ ~now:_ -> ());
+    on_local_load = (fun ~frame:_ ~slot:_ ~pc:_ ~now:_ -> ());
+    on_local_store = (fun ~frame:_ ~slot:_ ~now:_ -> ());
+    on_call = (fun ~callee:_ ~now:_ -> ());
+    on_return = (fun ~now:_ -> ());
+  }

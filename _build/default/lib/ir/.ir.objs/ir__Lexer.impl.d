@@ -1,0 +1,1 @@
+lib/ir/lexer.ml: Ast List Option Printf String

@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Array Ast List Parser Tac Typecheck Value

@@ -1,0 +1,1 @@
+lib/ir/tac.ml: Array Ast Format List Printf String Value

@@ -1,0 +1,1 @@
+lib/ir/typecheck.ml: Ast Format Hashtbl List

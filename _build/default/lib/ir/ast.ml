@@ -1,0 +1,98 @@
+(** Abstract syntax of Javelin, the small Java-flavoured source language
+    that stands in for Java bytecode in this reproduction (see DESIGN.md).
+
+    Javelin has two scalar types ([int], [float]) and two array types;
+    functions ([def]); global scalars and arrays; C-like statements
+    including [while] / [do-while] / [for] / [break] / [continue]. Local
+    variables are named and function-scoped — they become the
+    locally-annotated slots that TEST tracks with [lwl]/[swl]. *)
+
+type pos = { line : int; col : int }
+
+let dummy_pos = { line = 0; col = 0 }
+let pp_pos ppf p = Format.fprintf ppf "line %d, col %d" p.line p.col
+
+type ty = TInt | TFloat | TIntArr | TFloatArr | TVoid
+
+let string_of_ty = function
+  | TInt -> "int"
+  | TFloat -> "float"
+  | TIntArr -> "int[]"
+  | TFloatArr -> "float[]"
+  | TVoid -> "void"
+
+let elem_ty = function
+  | TIntArr -> TInt
+  | TFloatArr -> TFloat
+  | t -> invalid_arg ("Ast.elem_ty: " ^ string_of_ty t)
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | BAnd | BOr | BXor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | LAnd | LOr
+
+type unop = Neg | LNot
+
+type expr = { e : expr_kind; epos : pos }
+
+and expr_kind =
+  | EInt of int
+  | EFloat of float
+  | EVar of string
+  | EIdx of string * expr          (** [a\[i\]] *)
+  | EBin of binop * expr * expr
+  | EUn of unop * expr
+  | ECall of string * expr list    (** user function or builtin *)
+  | ENew of ty * expr              (** [new int\[n\]] / [new float\[n\]]; [ty] is the element type *)
+
+type stmt = { s : stmt_kind; spos : pos }
+
+and stmt_kind =
+  | SDecl of ty * string * expr option
+  | SAssign of string * expr
+  | SStore of string * expr * expr (** [a\[i\] = e] *)
+  | SIf of expr * stmt list * stmt list
+  | SWhile of expr * stmt list
+  | SDoWhile of stmt list * expr
+  | SFor of stmt option * expr option * stmt option * stmt list
+  | SReturn of expr option
+  | SExpr of expr
+  | SBreak
+  | SContinue
+
+type global = { gty : ty; gname : string; gpos : pos }
+
+type func = {
+  fname : string;
+  params : (ty * string) list;
+  ret : ty;
+  body : stmt list;
+  fpos : pos;
+}
+
+type program = { globals : global list; funcs : func list }
+
+(** Names of built-in functions, checked by the typechecker and lowered to
+    {!Tac.Builtin} (or intrinsic instructions). *)
+let builtins : (string * (ty list * ty)) list =
+  [
+    ("sqrt", ([ TFloat ], TFloat));
+    ("sin", ([ TFloat ], TFloat));
+    ("cos", ([ TFloat ], TFloat));
+    ("exp", ([ TFloat ], TFloat));
+    ("log", ([ TFloat ], TFloat));
+    ("fabs", ([ TFloat ], TFloat));
+    ("floor", ([ TFloat ], TFloat));
+    ("iabs", ([ TInt ], TInt));
+    ("imin", ([ TInt; TInt ], TInt));
+    ("imax", ([ TInt; TInt ], TInt));
+    ("fmin", ([ TFloat; TFloat ], TFloat));
+    ("fmax", ([ TFloat; TFloat ], TFloat));
+    ("i2f", ([ TInt ], TFloat));
+    ("f2i", ([ TFloat ], TInt));
+    ("print_int", ([ TInt ], TVoid));
+    ("print_float", ([ TFloat ], TVoid));
+  ]
+
+let is_builtin name = List.mem_assoc name builtins

@@ -1,0 +1,165 @@
+type token =
+  | INT_LIT of int
+  | FLOAT_LIT of float
+  | IDENT of string
+  | KW of string
+  | PUNCT of string
+  | OP of string
+  | EOF
+
+type located = { tok : token; pos : Ast.pos }
+
+exception Error of string * Ast.pos
+
+let keywords =
+  [ "int"; "float"; "def"; "if"; "else"; "while"; "do"; "for"; "return";
+    "new"; "break"; "continue"; "void"; "length" ]
+
+let string_of_token = function
+  | INT_LIT i -> string_of_int i
+  | FLOAT_LIT f -> string_of_float f
+  | IDENT s -> s
+  | KW s -> s
+  | PUNCT s -> s
+  | OP s -> s
+  | EOF -> "<eof>"
+
+type state = {
+  src : string;
+  mutable i : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek st = if st.i < String.length st.src then Some st.src.[st.i] else None
+
+let peek2 st =
+  if st.i + 1 < String.length st.src then Some st.src.[st.i + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.i <- st.i + 1
+
+let pos st : Ast.pos = { line = st.line; col = st.col }
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_ws st
+  | Some '/' when peek2 st = Some '/' ->
+      let rec to_eol () =
+        match peek st with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance st;
+            to_eol ()
+      in
+      to_eol ();
+      skip_ws st
+  | Some '/' when peek2 st = Some '*' ->
+      let start = pos st in
+      advance st;
+      advance st;
+      let rec to_close () =
+        match (peek st, peek2 st) with
+        | Some '*', Some '/' ->
+            advance st;
+            advance st
+        | Some _, _ ->
+            advance st;
+            to_close ()
+        | None, _ -> raise (Error ("unterminated block comment", start))
+      in
+      to_close ();
+      skip_ws st
+  | _ -> ()
+
+let lex_number st =
+  let start = st.i in
+  let p = pos st in
+  while (match peek st with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  let is_float =
+    match (peek st, peek2 st) with
+    | Some '.', Some c when is_digit c -> true
+    | Some '.', _ -> true
+    | _ -> false
+  in
+  if is_float then begin
+    advance st;
+    while (match peek st with Some c -> is_digit c | None -> false) do
+      advance st
+    done;
+    (match peek st with
+    | Some ('e' | 'E') ->
+        advance st;
+        (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+        while (match peek st with Some c -> is_digit c | None -> false) do
+          advance st
+        done
+    | _ -> ());
+    let s = String.sub st.src start (st.i - start) in
+    { tok = FLOAT_LIT (float_of_string s); pos = p }
+  end
+  else
+    let s = String.sub st.src start (st.i - start) in
+    { tok = INT_LIT (int_of_string s); pos = p }
+
+let lex_ident st =
+  let start = st.i in
+  let p = pos st in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  let s = String.sub st.src start (st.i - start) in
+  if List.mem s keywords then { tok = KW s; pos = p }
+  else { tok = IDENT s; pos = p }
+
+let two_char_ops = [ "<<"; ">>"; "<="; ">="; "=="; "!="; "&&"; "||" ]
+
+let lex_op_or_punct st =
+  let p = pos st in
+  let c = Option.get (peek st) in
+  let two =
+    match peek2 st with
+    | Some c2 ->
+        let s = Printf.sprintf "%c%c" c c2 in
+        if List.mem s two_char_ops then Some s else None
+    | None -> None
+  in
+  match two with
+  | Some s ->
+      advance st;
+      advance st;
+      { tok = OP s; pos = p }
+  | None -> (
+      advance st;
+      match c with
+      | '(' | ')' | '{' | '}' | '[' | ']' | ',' | ';' | ':' ->
+          { tok = PUNCT (String.make 1 c); pos = p }
+      | '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^' | '<' | '>' | '!' | '=' ->
+          { tok = OP (String.make 1 c); pos = p }
+      | _ -> raise (Error (Printf.sprintf "illegal character %C" c, p)))
+
+let tokenize src =
+  let st = { src; i = 0; line = 1; col = 1 } in
+  let rec loop acc =
+    skip_ws st;
+    match peek st with
+    | None -> List.rev ({ tok = EOF; pos = pos st } :: acc)
+    | Some c when is_digit c -> loop (lex_number st :: acc)
+    | Some c when is_ident_start c -> loop (lex_ident st :: acc)
+    | Some _ -> loop (lex_op_or_punct st :: acc)
+  in
+  loop []

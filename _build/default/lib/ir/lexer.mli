@@ -1,0 +1,21 @@
+(** Hand-written lexer for Javelin source text. *)
+
+type token =
+  | INT_LIT of int
+  | FLOAT_LIT of float
+  | IDENT of string
+  | KW of string        (** int float def if else while do for return new break continue void length *)
+  | PUNCT of string     (** ( ) { } [ ] , ; : *)
+  | OP of string        (** + - * / % & | ^ << >> < <= > >= == != && || ! = *)
+  | EOF
+
+type located = { tok : token; pos : Ast.pos }
+
+exception Error of string * Ast.pos
+
+val tokenize : string -> located list
+(** Tokenize a full source string. [//] line comments and [/* */] block
+    comments are skipped. @raise Error on an illegal character or an
+    unterminated comment. *)
+
+val string_of_token : token -> string

@@ -1,0 +1,469 @@
+open Ast
+
+type binding = BLocal of Tac.slot * ty | BGlobal of Tac.global_info
+
+type fstate = {
+  mutable blocks : Tac.block list; (* reversed; label = index from start *)
+  mutable nblocks : int;
+  mutable cur : Tac.label;         (* block under construction *)
+  mutable cur_instrs : Tac.instr list; (* reversed *)
+  mutable cur_done : bool;
+  mutable nregs : int;
+  mutable slots : (string * ty) list; (* reversed slot list *)
+  mutable nslots : int;
+  mutable env : (string * binding) list;
+  mutable loop_ctx : (Tac.label * Tac.label) list; (* (break, continue) *)
+}
+
+let fresh_reg st =
+  let r = st.nregs in
+  st.nregs <- r + 1;
+  r
+
+let emit st i =
+  if not st.cur_done then st.cur_instrs <- i :: st.cur_instrs
+
+(* Allocate a new (empty, unterminated) block and return its label. *)
+let new_block st =
+  let b : Tac.block = { instrs = []; term = Tac.Return None } in
+  st.blocks <- b :: st.blocks;
+  let l = st.nblocks in
+  st.nblocks <- l + 1;
+  l
+
+let get_block st l = List.nth st.blocks (st.nblocks - 1 - l)
+
+(* Seal the current block with [term] (no-op if already sealed). *)
+let terminate st term =
+  if not st.cur_done then begin
+    let b = get_block st st.cur in
+    b.instrs <- List.rev st.cur_instrs;
+    b.term <- term;
+    st.cur_done <- true
+  end
+
+(* Switch construction to block [l]. *)
+let start_block st l =
+  if not st.cur_done then
+    (* fallthrough: implicit jump *)
+    terminate st (Tac.Jump l);
+  st.cur <- l;
+  st.cur_instrs <- [];
+  st.cur_done <- false
+
+let fresh_slot st name ty =
+  let s = st.nslots in
+  st.nslots <- s + 1;
+  st.slots <- (name, ty) :: st.slots;
+  s
+
+let lookup st name =
+  match List.assoc_opt name st.env with
+  | Some b -> b
+  | None -> invalid_arg ("Lower.lookup: unresolved " ^ name)
+
+let binding_ty = function BLocal (_, t) -> t | BGlobal g -> g.Tac.gty
+
+(* ------------------------------------------------------------------ *)
+
+(* Return-type oracle for user functions, set in [lower]. *)
+let st_prog_ret : (string -> ty) ref = ref (fun _ -> TVoid)
+
+let rec expr_ty st (e : expr) : ty =
+  match e.e with
+  | EInt _ -> TInt
+  | EFloat _ -> TFloat
+  | EVar n -> binding_ty (lookup st n)
+  | EIdx (n, _) -> elem_ty (binding_ty (lookup st n))
+  | EUn (Neg, a) -> expr_ty st a
+  | EUn (LNot, _) -> TInt
+  | EBin ((Add | Sub | Mul | Div), a, _) -> expr_ty st a
+  | EBin (_, _, _) -> TInt
+  | ENew (TInt, _) -> TIntArr
+  | ENew (_, _) -> TFloatArr
+  | ECall ("length", _) -> TInt
+  | ECall (n, _) -> (
+      match List.assoc_opt n Ast.builtins with
+      | Some (_, r) -> r
+      | None -> !st_prog_ret n)
+
+let tac_binop (op : Ast.binop) (t : ty) : Tac.binop =
+  match (op, t) with
+  | Add, TFloat -> Tac.FAdd
+  | Sub, TFloat -> Tac.FSub
+  | Mul, TFloat -> Tac.FMul
+  | Div, TFloat -> Tac.FDiv
+  | Eq, TFloat -> Tac.FEq
+  | Ne, TFloat -> Tac.FNe
+  | Lt, TFloat -> Tac.FLt
+  | Le, TFloat -> Tac.FLe
+  | Gt, TFloat -> Tac.FGt
+  | Ge, TFloat -> Tac.FGe
+  | Add, _ -> Tac.Add
+  | Sub, _ -> Tac.Sub
+  | Mul, _ -> Tac.Mul
+  | Div, _ -> Tac.Div
+  | Rem, _ -> Tac.Rem
+  | BAnd, _ -> Tac.BAnd
+  | BOr, _ -> Tac.BOr
+  | BXor, _ -> Tac.BXor
+  | Shl, _ -> Tac.Shl
+  | Shr, _ -> Tac.Shr
+  | Eq, _ -> Tac.Eq
+  | Ne, _ -> Tac.Ne
+  | Lt, _ -> Tac.Lt
+  | Le, _ -> Tac.Le
+  | Gt, _ -> Tac.Gt
+  | Ge, _ -> Tac.Ge
+  | (LAnd | LOr), _ -> invalid_arg "tac_binop: logical ops lower to control flow"
+
+let tac_builtin = function
+  | "sqrt" -> Tac.Sqrt | "sin" -> Tac.Sin | "cos" -> Tac.Cos
+  | "exp" -> Tac.Exp | "log" -> Tac.Log | "fabs" -> Tac.FAbs
+  | "floor" -> Tac.Floor | "iabs" -> Tac.IAbs | "imin" -> Tac.IMin
+  | "imax" -> Tac.IMax | "fmin" -> Tac.FMin | "fmax" -> Tac.FMax
+  | s -> invalid_arg ("tac_builtin: " ^ s)
+
+let rec lower_expr st (e : expr) : Tac.reg =
+  match e.e with
+  | EInt i ->
+      let r = fresh_reg st in
+      emit st (Tac.Const (r, Value.Int i));
+      r
+  | EFloat f ->
+      let r = fresh_reg st in
+      emit st (Tac.Const (r, Value.Float f));
+      r
+  | EVar n -> (
+      match lookup st n with
+      | BLocal (s, _) ->
+          let r = fresh_reg st in
+          emit st (Tac.Ld_local (r, s));
+          r
+      | BGlobal g ->
+          let ra = fresh_reg st in
+          emit st (Tac.Const (ra, Value.Int g.Tac.gaddr));
+          let r = fresh_reg st in
+          emit st (Tac.Ld_heap (r, ra));
+          r)
+  | EIdx (n, idx) ->
+      let addr = lower_elem_addr st n idx in
+      let r = fresh_reg st in
+      emit st (Tac.Ld_heap (r, addr));
+      r
+  | EUn (Neg, a) ->
+      let ra = lower_expr st a in
+      let r = fresh_reg st in
+      let op = if expr_ty st a = TFloat then Tac.FNeg else Tac.Neg in
+      emit st (Tac.Unop (r, op, ra));
+      r
+  | EUn (LNot, a) ->
+      let ra = lower_expr st a in
+      let r = fresh_reg st in
+      emit st (Tac.Unop (r, Tac.LNot, ra));
+      r
+  | EBin (LAnd, a, b) -> lower_shortcircuit st ~is_and:true a b
+  | EBin (LOr, a, b) -> lower_shortcircuit st ~is_and:false a b
+  | EBin (op, a, b) ->
+      let t = expr_ty st a in
+      let ra = lower_expr st a in
+      let rb = lower_expr st b in
+      let r = fresh_reg st in
+      emit st (Tac.Binop (r, tac_binop op t, ra, rb));
+      r
+  | ENew (elem, n) ->
+      let rn = lower_expr st n in
+      let r = fresh_reg st in
+      let kind = if elem = TFloat then `Float else `Int in
+      emit st (Tac.Alloc (r, rn, kind));
+      r
+  | ECall ("length", [ a ]) ->
+      let rbase = lower_expr st a in
+      let rone = fresh_reg st in
+      emit st (Tac.Const (rone, Value.Int 1));
+      let raddr = fresh_reg st in
+      emit st (Tac.Binop (raddr, Tac.Sub, rbase, rone));
+      let r = fresh_reg st in
+      emit st (Tac.Ld_heap (r, raddr));
+      r
+  | ECall ("print_int", [ a ]) ->
+      let ra = lower_expr st a in
+      emit st (Tac.Print (`Int, ra));
+      ra
+  | ECall ("print_float", [ a ]) ->
+      let ra = lower_expr st a in
+      emit st (Tac.Print (`Float, ra));
+      ra
+  | ECall (("i2f" | "f2i") as cv, [ a ]) ->
+      let ra = lower_expr st a in
+      let r = fresh_reg st in
+      emit st (Tac.Unop (r, (if cv = "i2f" then Tac.I2F else Tac.F2I), ra));
+      r
+  | ECall (n, args) when Ast.is_builtin n ->
+      let rargs = List.map (lower_expr st) args in
+      let r = fresh_reg st in
+      emit st (Tac.Builtin (r, tac_builtin n, rargs));
+      r
+  | ECall (n, args) ->
+      let rargs = List.map (lower_expr st) args in
+      let r = fresh_reg st in
+      emit st (Tac.Call (Some r, n, rargs));
+      r
+
+and lower_elem_addr st n idx =
+  let rbase =
+    match lookup st n with
+    | BLocal (s, _) ->
+        let r = fresh_reg st in
+        emit st (Tac.Ld_local (r, s));
+        r
+    | BGlobal g ->
+        let ra = fresh_reg st in
+        emit st (Tac.Const (ra, Value.Int g.Tac.gaddr));
+        let r = fresh_reg st in
+        emit st (Tac.Ld_heap (r, ra));
+        r
+  in
+  let ri = lower_expr st idx in
+  let raddr = fresh_reg st in
+  emit st (Tac.Binop (raddr, Tac.Add, rbase, ri));
+  raddr
+
+and lower_shortcircuit st ~is_and a b =
+  let res = fresh_reg st in
+  let ra = lower_expr st a in
+  let l_eval_b = new_block st in
+  let l_short = new_block st in
+  let l_end = new_block st in
+  (if is_and then terminate st (Tac.Branch (ra, l_eval_b, l_short))
+   else terminate st (Tac.Branch (ra, l_short, l_eval_b)));
+  (* short-circuit result *)
+  st.cur <- l_short;
+  st.cur_instrs <- [];
+  st.cur_done <- false;
+  emit st (Tac.Const (res, Value.Int (if is_and then 0 else 1)));
+  terminate st (Tac.Jump l_end);
+  (* evaluate b *)
+  st.cur <- l_eval_b;
+  st.cur_instrs <- [];
+  st.cur_done <- false;
+  let rb = lower_expr st b in
+  let rz = fresh_reg st in
+  emit st (Tac.Const (rz, Value.Int 0));
+  emit st (Tac.Binop (res, Tac.Ne, rb, rz));
+  terminate st (Tac.Jump l_end);
+  st.cur <- l_end;
+  st.cur_instrs <- [];
+  st.cur_done <- false;
+  res
+
+let store_var st n (r : Tac.reg) =
+  match lookup st n with
+  | BLocal (s, _) -> emit st (Tac.St_local (s, r))
+  | BGlobal g ->
+      let ra = fresh_reg st in
+      emit st (Tac.Const (ra, Value.Int g.Tac.gaddr));
+      emit st (Tac.St_heap (ra, r))
+
+let rec lower_stmts st (stmts : stmt list) : unit =
+  let saved_env = st.env in
+  List.iter (lower_stmt st) stmts;
+  st.env <- saved_env
+
+and lower_stmt st (s : stmt) : unit =
+  match s.s with
+  | SDecl (ty, name, init) ->
+      let slot = fresh_slot st name ty in
+      st.env <- (name, BLocal (slot, ty)) :: st.env;
+      (match init with
+      | Some e ->
+          let r = lower_expr st e in
+          emit st (Tac.St_local (slot, r))
+      | None -> ())
+  | SAssign (n, e) ->
+      let r = lower_expr st e in
+      store_var st n r
+  | SStore (n, idx, e) ->
+      let addr = lower_elem_addr st n idx in
+      let r = lower_expr st e in
+      emit st (Tac.St_heap (addr, r))
+  | SExpr e -> ignore (lower_expr st e)
+  | SReturn None -> terminate st (Tac.Return None)
+  | SReturn (Some e) ->
+      let r = lower_expr st e in
+      terminate st (Tac.Return (Some r))
+  | SBreak -> (
+      match st.loop_ctx with
+      | (brk, _) :: _ -> terminate st (Tac.Jump brk)
+      | [] -> invalid_arg "Lower: break outside loop")
+  | SContinue -> (
+      match st.loop_ctx with
+      | (_, cont) :: _ -> terminate st (Tac.Jump cont)
+      | [] -> invalid_arg "Lower: continue outside loop")
+  | SIf (c, thn, els) ->
+      let rc = lower_expr st c in
+      let l_then = new_block st in
+      let l_end = new_block st in
+      let l_else = if els = [] then l_end else new_block st in
+      terminate st (Tac.Branch (rc, l_then, l_else));
+      st.cur <- l_then;
+      st.cur_instrs <- [];
+      st.cur_done <- false;
+      lower_stmts st thn;
+      terminate st (Tac.Jump l_end);
+      if els <> [] then begin
+        st.cur <- l_else;
+        st.cur_instrs <- [];
+        st.cur_done <- false;
+        lower_stmts st els;
+        terminate st (Tac.Jump l_end)
+      end;
+      st.cur <- l_end;
+      st.cur_instrs <- [];
+      st.cur_done <- false
+  | SWhile (c, body) ->
+      let l_cond = new_block st in
+      let l_body = new_block st in
+      let l_end = new_block st in
+      start_block st l_cond;
+      (* re-enter cond block *)
+      st.cur <- l_cond;
+      let rc = lower_expr st c in
+      terminate st (Tac.Branch (rc, l_body, l_end));
+      st.cur <- l_body;
+      st.cur_instrs <- [];
+      st.cur_done <- false;
+      st.loop_ctx <- (l_end, l_cond) :: st.loop_ctx;
+      lower_stmts st body;
+      st.loop_ctx <- List.tl st.loop_ctx;
+      terminate st (Tac.Jump l_cond);
+      st.cur <- l_end;
+      st.cur_instrs <- [];
+      st.cur_done <- false
+  | SDoWhile (body, c) ->
+      let l_body = new_block st in
+      let l_cond = new_block st in
+      let l_end = new_block st in
+      start_block st l_body;
+      st.cur <- l_body;
+      let saved_env = st.env in
+      st.loop_ctx <- (l_end, l_cond) :: st.loop_ctx;
+      List.iter (lower_stmt st) body;
+      st.loop_ctx <- List.tl st.loop_ctx;
+      terminate st (Tac.Jump l_cond);
+      st.cur <- l_cond;
+      st.cur_instrs <- [];
+      st.cur_done <- false;
+      (* do-while condition may reference body-scoped locals *)
+      let rc = lower_expr st c in
+      st.env <- saved_env;
+      terminate st (Tac.Branch (rc, l_body, l_end));
+      st.cur <- l_end;
+      st.cur_instrs <- [];
+      st.cur_done <- false
+  | SFor (init, cond, update, body) ->
+      let saved_env = st.env in
+      (match init with Some s -> lower_stmt st s | None -> ());
+      let l_cond = new_block st in
+      let l_body = new_block st in
+      let l_update = new_block st in
+      let l_end = new_block st in
+      start_block st l_cond;
+      st.cur <- l_cond;
+      (match cond with
+      | Some c ->
+          let rc = lower_expr st c in
+          terminate st (Tac.Branch (rc, l_body, l_end))
+      | None -> terminate st (Tac.Jump l_body));
+      st.cur <- l_body;
+      st.cur_instrs <- [];
+      st.cur_done <- false;
+      st.loop_ctx <- (l_end, l_update) :: st.loop_ctx;
+      lower_stmts st body;
+      st.loop_ctx <- List.tl st.loop_ctx;
+      terminate st (Tac.Jump l_update);
+      st.cur <- l_update;
+      st.cur_instrs <- [];
+      st.cur_done <- false;
+      (match update with Some s -> lower_stmt st s | None -> ());
+      terminate st (Tac.Jump l_cond);
+      st.cur <- l_end;
+      st.cur_instrs <- [];
+      st.cur_done <- false;
+      st.env <- saved_env
+
+let lower_func globals_env ret_oracle (f : Ast.func) : Tac.func =
+  st_prog_ret := ret_oracle;
+  let st =
+    {
+      blocks = [];
+      nblocks = 0;
+      cur = 0;
+      cur_instrs = [];
+      cur_done = true;
+      nregs = 0;
+      slots = [];
+      nslots = 0;
+      env = globals_env;
+      loop_ctx = [];
+    }
+  in
+  (* parameters occupy the first slots *)
+  List.iter
+    (fun (ty, name) ->
+      let s = fresh_slot st name ty in
+      st.env <- (name, BLocal (s, ty)) :: st.env)
+    f.params;
+  let entry = new_block st in
+  st.cur <- entry;
+  st.cur_instrs <- [];
+  st.cur_done <- false;
+  lower_stmts st f.body;
+  (* implicit return *)
+  (match f.ret with
+  | TVoid -> terminate st (Tac.Return None)
+  | _ ->
+      if not st.cur_done then begin
+        let r = fresh_reg st in
+        emit st
+          (Tac.Const (r, if f.ret = TFloat then Value.Float 0. else Value.Int 0));
+        terminate st (Tac.Return (Some r))
+      end);
+  let blocks = Array.of_list (List.rev st.blocks) in
+  let slots = Array.of_list (List.rev st.slots) in
+  {
+    Tac.fname = f.fname;
+    nparams = List.length f.params;
+    nslots = st.nslots;
+    slot_names = Array.map fst slots;
+    slot_types = Array.map snd slots;
+    nregs = st.nregs;
+    entry;
+    blocks;
+  }
+
+let lower (p : Ast.program) : Tac.program =
+  let globals =
+    Array.of_list
+      (List.mapi
+         (fun i (g : Ast.global) ->
+           { Tac.gname = g.gname; gty = g.gty; gaddr = i + 1 })
+         p.globals)
+  in
+  let globals_env =
+    Array.to_list (Array.map (fun g -> (g.Tac.gname, BGlobal g)) globals)
+  in
+  let ret_oracle name =
+    match List.find_opt (fun (f : Ast.func) -> f.fname = name) p.funcs with
+    | Some f -> f.ret
+    | None -> TVoid
+  in
+  let funcs =
+    List.map (fun f -> (f.fname, lower_func globals_env ret_oracle f)) p.funcs
+  in
+  { Tac.globals; funcs; heap_base = Array.length globals + 1 }
+
+let compile src =
+  let ast = Parser.parse src in
+  Typecheck.check ast;
+  lower ast

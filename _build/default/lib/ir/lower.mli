@@ -1,0 +1,16 @@
+(** Lowering from the Javelin AST to the {!Tac} CFG representation.
+
+    Name resolution: locals shadow globals; each declaration gets a fresh
+    frame slot (slots are never reused, so a slot identifies one source
+    variable — the property the TEST local-variable annotations rely on).
+    Global scalars live at fixed heap addresses starting at 1 (address 0 is
+    the null array reference); the array allocator starts after the
+    globals. Short-circuit [&&]/[||] lower to control flow. Every lowered
+    function ends in an explicit return. *)
+
+val lower : Ast.program -> Tac.program
+(** Assumes the program already passed {!Typecheck.check}. *)
+
+val compile : string -> Tac.program
+(** [compile src] = parse, typecheck, lower.
+    @raise Parser.Error / Lexer.Error / Typecheck.Error on bad input. *)

@@ -1,0 +1,347 @@
+open Ast
+
+exception Error of string * Ast.pos
+
+type state = { mutable toks : Lexer.located list }
+
+let peek st =
+  match st.toks with [] -> assert false | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> assert false | _ :: rest -> st.toks <- rest
+
+let err st msg = raise (Error (msg, (peek st).pos))
+
+let expect_punct st p =
+  match (peek st).tok with
+  | Lexer.PUNCT q when q = p -> advance st
+  | t -> err st (Printf.sprintf "expected '%s', found '%s'" p (Lexer.string_of_token t))
+
+let expect_kw st k =
+  match (peek st).tok with
+  | Lexer.KW q when q = k -> advance st
+  | t -> err st (Printf.sprintf "expected '%s', found '%s'" k (Lexer.string_of_token t))
+
+let expect_ident st =
+  match (peek st).tok with
+  | Lexer.IDENT s ->
+      advance st;
+      s
+  | t -> err st (Printf.sprintf "expected identifier, found '%s'" (Lexer.string_of_token t))
+
+let accept_punct st p =
+  match (peek st).tok with
+  | Lexer.PUNCT q when q = p ->
+      advance st;
+      true
+  | _ -> false
+
+let accept_op st p =
+  match (peek st).tok with
+  | Lexer.OP q when q = p ->
+      advance st;
+      true
+  | _ -> false
+
+(* ty ::= ('int' | 'float') ('[' ']')? *)
+let parse_base_ty st =
+  match (peek st).tok with
+  | Lexer.KW "int" ->
+      advance st;
+      TInt
+  | Lexer.KW "float" ->
+      advance st;
+      TFloat
+  | Lexer.KW "void" ->
+      advance st;
+      TVoid
+  | t -> err st (Printf.sprintf "expected type, found '%s'" (Lexer.string_of_token t))
+
+let parse_ty st =
+  let base = parse_base_ty st in
+  if accept_punct st "[" then begin
+    expect_punct st "]";
+    match base with
+    | TInt -> TIntArr
+    | TFloat -> TFloatArr
+    | _ -> err st "only int[] and float[] array types exist"
+  end
+  else base
+
+let starts_ty st =
+  match (peek st).tok with
+  | Lexer.KW ("int" | "float" | "void") -> true
+  | _ -> false
+
+let binop_of_string = function
+  | "+" -> Add | "-" -> Sub | "*" -> Mul | "/" -> Div | "%" -> Rem
+  | "&" -> BAnd | "|" -> BOr | "^" -> BXor | "<<" -> Shl | ">>" -> Shr
+  | "==" -> Eq | "!=" -> Ne | "<" -> Lt | "<=" -> Le | ">" -> Gt | ">=" -> Ge
+  | "&&" -> LAnd | "||" -> LOr
+  | s -> invalid_arg ("binop_of_string: " ^ s)
+
+(* Larger binds tighter. *)
+let precedence = function
+  | "||" -> 1 | "&&" -> 2 | "|" -> 3 | "^" -> 4 | "&" -> 5
+  | "==" | "!=" -> 6
+  | "<" | "<=" | ">" | ">=" -> 7
+  | "<<" | ">>" -> 8
+  | "+" | "-" -> 9
+  | "*" | "/" | "%" -> 10
+  | _ -> -1
+
+let rec parse_expr_prec st min_prec =
+  let lhs = parse_unary st in
+  let rec loop lhs =
+    match (peek st).tok with
+    | Lexer.OP op when precedence op >= min_prec && precedence op > 0 ->
+        let p = (peek st).pos in
+        advance st;
+        let rhs = parse_expr_prec st (precedence op + 1) in
+        loop { e = EBin (binop_of_string op, lhs, rhs); epos = p }
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_unary st =
+  let p = (peek st).pos in
+  match (peek st).tok with
+  | Lexer.OP "-" ->
+      advance st;
+      { e = EUn (Neg, parse_unary st); epos = p }
+  | Lexer.OP "!" ->
+      advance st;
+      { e = EUn (LNot, parse_unary st); epos = p }
+  | _ -> parse_primary st
+
+and parse_primary st =
+  let { Lexer.tok; pos = p } = peek st in
+  match tok with
+  | Lexer.INT_LIT i ->
+      advance st;
+      { e = EInt i; epos = p }
+  | Lexer.FLOAT_LIT f ->
+      advance st;
+      { e = EFloat f; epos = p }
+  | Lexer.PUNCT "(" ->
+      advance st;
+      let e = parse_expr_prec st 1 in
+      expect_punct st ")";
+      e
+  | Lexer.KW "new" ->
+      advance st;
+      let base = parse_base_ty st in
+      if base <> TInt && base <> TFloat then err st "new needs int[] or float[]";
+      expect_punct st "[";
+      let n = parse_expr_prec st 1 in
+      expect_punct st "]";
+      { e = ENew (base, n); epos = p }
+  | Lexer.KW "length" ->
+      advance st;
+      expect_punct st "(";
+      let e = parse_expr_prec st 1 in
+      expect_punct st ")";
+      { e = ECall ("length", [ e ]); epos = p }
+  | Lexer.IDENT name -> (
+      advance st;
+      match (peek st).tok with
+      | Lexer.PUNCT "(" ->
+          advance st;
+          let args =
+            if accept_punct st ")" then []
+            else begin
+              let rec loop acc =
+                let a = parse_expr_prec st 1 in
+                if accept_punct st "," then loop (a :: acc)
+                else begin
+                  expect_punct st ")";
+                  List.rev (a :: acc)
+                end
+              in
+              loop []
+            end
+          in
+          { e = ECall (name, args); epos = p }
+      | Lexer.PUNCT "[" ->
+          advance st;
+          let i = parse_expr_prec st 1 in
+          expect_punct st "]";
+          { e = EIdx (name, i); epos = p }
+      | _ -> { e = EVar name; epos = p })
+  | t -> err st (Printf.sprintf "expected expression, found '%s'" (Lexer.string_of_token t))
+
+let parse_expression st = parse_expr_prec st 1
+
+(* A "simple" statement (no trailing ';'): decl, assignment, or expr. *)
+let rec parse_simple st : stmt =
+  let p = (peek st).pos in
+  if starts_ty st then begin
+    let ty = parse_ty st in
+    let name = expect_ident st in
+    let init = if accept_op st "=" then Some (parse_expression st) else None in
+    { s = SDecl (ty, name, init); spos = p }
+  end
+  else
+    match (peek st).tok with
+    | Lexer.IDENT name -> (
+        match (List.nth_opt st.toks 1 : Lexer.located option) with
+        | Some { tok = Lexer.OP "="; _ } ->
+            advance st;
+            advance st;
+            { s = SAssign (name, parse_expression st); spos = p }
+        | Some { tok = Lexer.PUNCT "["; _ } -> (
+            (* Could be a store [a[i] = e] or an index expression. Parse the
+               index, then decide on '='. *)
+            advance st;
+            advance st;
+            let idx = parse_expression st in
+            expect_punct st "]";
+            if accept_op st "=" then
+              { s = SStore (name, idx, parse_expression st); spos = p }
+            else
+              (* expression statement beginning with an index: rebuild *)
+              let base = { e = EIdx (name, idx); epos = p } in
+              { s = SExpr (parse_expr_continue st base); spos = p })
+        | _ -> { s = SExpr (parse_expression st); spos = p })
+    | _ -> { s = SExpr (parse_expression st); spos = p }
+
+(* Continue parsing binary operators after an already-parsed primary. *)
+and parse_expr_continue st lhs =
+  let rec loop lhs =
+    match (peek st).tok with
+    | Lexer.OP op when precedence op > 0 ->
+        let p = (peek st).pos in
+        advance st;
+        let rhs = parse_expr_prec st (precedence op + 1) in
+        loop { e = EBin (binop_of_string op, lhs, rhs); epos = p }
+    | _ -> lhs
+  in
+  loop lhs
+
+let rec parse_stmt st : stmt =
+  let p = (peek st).pos in
+  match (peek st).tok with
+  | Lexer.KW "if" ->
+      advance st;
+      expect_punct st "(";
+      let cond = parse_expression st in
+      expect_punct st ")";
+      let thn = parse_block st in
+      let els =
+        match (peek st).tok with
+        | Lexer.KW "else" -> (
+            advance st;
+            match (peek st).tok with
+            | Lexer.KW "if" -> [ parse_stmt st ]
+            | _ -> parse_block st)
+        | _ -> []
+      in
+      { s = SIf (cond, thn, els); spos = p }
+  | Lexer.KW "while" ->
+      advance st;
+      expect_punct st "(";
+      let cond = parse_expression st in
+      expect_punct st ")";
+      let body = parse_block st in
+      { s = SWhile (cond, body); spos = p }
+  | Lexer.KW "do" ->
+      advance st;
+      let body = parse_block st in
+      expect_kw st "while";
+      expect_punct st "(";
+      let cond = parse_expression st in
+      expect_punct st ")";
+      expect_punct st ";";
+      { s = SDoWhile (body, cond); spos = p }
+  | Lexer.KW "for" ->
+      advance st;
+      expect_punct st "(";
+      let init =
+        if (peek st).tok = Lexer.PUNCT ";" then None else Some (parse_simple st)
+      in
+      expect_punct st ";";
+      let cond =
+        if (peek st).tok = Lexer.PUNCT ";" then None
+        else Some (parse_expression st)
+      in
+      expect_punct st ";";
+      let update =
+        if (peek st).tok = Lexer.PUNCT ")" then None else Some (parse_simple st)
+      in
+      expect_punct st ")";
+      let body = parse_block st in
+      { s = SFor (init, cond, update, body); spos = p }
+  | Lexer.KW "return" ->
+      advance st;
+      let e =
+        if (peek st).tok = Lexer.PUNCT ";" then None
+        else Some (parse_expression st)
+      in
+      expect_punct st ";";
+      { s = SReturn e; spos = p }
+  | Lexer.KW "break" ->
+      advance st;
+      expect_punct st ";";
+      { s = SBreak; spos = p }
+  | Lexer.KW "continue" ->
+      advance st;
+      expect_punct st ";";
+      { s = SContinue; spos = p }
+  | _ ->
+      let s = parse_simple st in
+      expect_punct st ";";
+      s
+
+and parse_block st : stmt list =
+  expect_punct st "{";
+  let rec loop acc =
+    if accept_punct st "}" then List.rev acc else loop (parse_stmt st :: acc)
+  in
+  loop []
+
+let parse_func st =
+  let p = (peek st).pos in
+  expect_kw st "def";
+  let name = expect_ident st in
+  expect_punct st "(";
+  let params =
+    if accept_punct st ")" then []
+    else begin
+      let rec loop acc =
+        let ty = parse_ty st in
+        let pname = expect_ident st in
+        if accept_punct st "," then loop ((ty, pname) :: acc)
+        else begin
+          expect_punct st ")";
+          List.rev ((ty, pname) :: acc)
+        end
+      in
+      loop []
+    end
+  in
+  let ret = if accept_punct st ":" then parse_ty st else TVoid in
+  let body = parse_block st in
+  { fname = name; params; ret; body; fpos = p }
+
+let parse_program st =
+  let rec loop globals funcs =
+    match (peek st).tok with
+    | Lexer.EOF ->
+        { globals = List.rev globals; funcs = List.rev funcs }
+    | Lexer.KW "def" -> loop globals (parse_func st :: funcs)
+    | _ ->
+        let p = (peek st).pos in
+        let ty = parse_ty st in
+        let name = expect_ident st in
+        expect_punct st ";";
+        loop ({ gty = ty; gname = name; gpos = p } :: globals) funcs
+  in
+  loop [] []
+
+let parse src =
+  let st = { toks = Lexer.tokenize src } in
+  parse_program st
+
+let parse_expr src =
+  let st = { toks = Lexer.tokenize src } in
+  parse_expression st

@@ -1,0 +1,26 @@
+(** Recursive-descent parser for Javelin.
+
+    Grammar sketch:
+    {v
+    program  ::= (global | func)*
+    global   ::= ty IDENT ';'
+    func     ::= 'def' IDENT '(' params ')' (':' ty)? block
+    block    ::= '{' stmt* '}'
+    stmt     ::= ty IDENT ('=' expr)? ';'
+               | IDENT '=' expr ';'   | IDENT '[' expr ']' '=' expr ';'
+               | 'if' '(' expr ')' block ('else' (block | if-stmt))?
+               | 'while' '(' expr ')' block
+               | 'do' block 'while' '(' expr ')' ';'
+               | 'for' '(' simple? ';' expr? ';' simple? ')' block
+               | 'return' expr? ';' | 'break' ';' | 'continue' ';'
+               | expr ';'
+    v}
+    Expressions follow C precedence; [&&]/[||] short-circuit. *)
+
+exception Error of string * Ast.pos
+
+val parse : string -> Ast.program
+(** @raise Error on a syntax error, [Lexer.Error] on a lexical error. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a standalone expression (used by tests). *)

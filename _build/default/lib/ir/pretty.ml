@@ -1,0 +1,139 @@
+open Ast
+
+let binop_str = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Rem -> "%"
+  | BAnd -> "&" | BOr -> "|" | BXor -> "^" | Shl -> "<<" | Shr -> ">>"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | LAnd -> "&&" | LOr -> "||"
+
+let float_lit f =
+  (* must re-lex as a FLOAT_LIT: ensure a dot or exponent is present *)
+  let s = Printf.sprintf "%.17g" f in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+  else s ^ ".0"
+
+let rec expr_to_string (e : expr) : string =
+  match e.e with
+  | EInt i -> if i < 0 then Printf.sprintf "(0 - %d)" (-i) else string_of_int i
+  | EFloat f ->
+      if f < 0. then Printf.sprintf "(0.0 - %s)" (float_lit (-.f))
+      else float_lit f
+  | EVar n -> n
+  | EIdx (n, i) -> Printf.sprintf "%s[%s]" n (expr_to_string i)
+  | EBin (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_str op)
+        (expr_to_string b)
+  | EUn (Neg, a) -> Printf.sprintf "(-%s)" (expr_to_string a)
+  | EUn (LNot, a) -> Printf.sprintf "(!%s)" (expr_to_string a)
+  | ECall ("length", [ a ]) -> Printf.sprintf "length(%s)" (expr_to_string a)
+  | ECall (f, args) ->
+      Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr_to_string args))
+  | ENew (t, n) ->
+      Printf.sprintf "new %s[%s]" (string_of_ty t) (expr_to_string n)
+
+let rec stmt_to_string ?(indent = 0) (s : stmt) : string =
+  let pad = String.make indent ' ' in
+  let block stmts =
+    if stmts = [] then "{ }"
+    else
+      "{\n"
+      ^ String.concat "\n"
+          (List.map (stmt_to_string ~indent:(indent + 2)) stmts)
+      ^ "\n" ^ pad ^ "}"
+  in
+  match s.s with
+  | SDecl (ty, n, None) -> Printf.sprintf "%s%s %s;" pad (string_of_ty ty) n
+  | SDecl (ty, n, Some e) ->
+      Printf.sprintf "%s%s %s = %s;" pad (string_of_ty ty) n (expr_to_string e)
+  | SAssign (n, e) -> Printf.sprintf "%s%s = %s;" pad n (expr_to_string e)
+  | SStore (n, i, e) ->
+      Printf.sprintf "%s%s[%s] = %s;" pad n (expr_to_string i) (expr_to_string e)
+  | SIf (c, thn, []) ->
+      Printf.sprintf "%sif (%s) %s" pad (expr_to_string c) (block thn)
+  | SIf (c, thn, els) ->
+      Printf.sprintf "%sif (%s) %s else %s" pad (expr_to_string c) (block thn)
+        (block els)
+  | SWhile (c, body) ->
+      Printf.sprintf "%swhile (%s) %s" pad (expr_to_string c) (block body)
+  | SDoWhile (body, c) ->
+      Printf.sprintf "%sdo %s while (%s);" pad (block body) (expr_to_string c)
+  | SFor (init, cond, update, body) ->
+      let simple = function
+        | None -> ""
+        | Some (st : stmt) ->
+            (* strip the trailing ';' and padding of a simple statement *)
+            let s = stmt_to_string ~indent:0 st in
+            if String.length s > 0 && s.[String.length s - 1] = ';' then
+              String.sub s 0 (String.length s - 1)
+            else s
+      in
+      Printf.sprintf "%sfor (%s; %s; %s) %s" pad (simple init)
+        (match cond with Some c -> expr_to_string c | None -> "")
+        (simple update) (block body)
+  | SReturn None -> pad ^ "return;"
+  | SReturn (Some e) -> Printf.sprintf "%sreturn %s;" pad (expr_to_string e)
+  | SExpr e -> Printf.sprintf "%s%s;" pad (expr_to_string e)
+  | SBreak -> pad ^ "break;"
+  | SContinue -> pad ^ "continue;"
+
+let func_to_string (f : func) : string =
+  let params =
+    String.concat ", "
+      (List.map (fun (t, n) -> Printf.sprintf "%s %s" (string_of_ty t) n) f.params)
+  in
+  let ret = if f.ret = TVoid then "" else Printf.sprintf " : %s" (string_of_ty f.ret) in
+  Printf.sprintf "def %s(%s)%s {\n%s\n}" f.fname params ret
+    (String.concat "\n" (List.map (stmt_to_string ~indent:2) f.body))
+
+let program_to_string (p : program) : string =
+  String.concat "\n"
+    (List.map
+       (fun (g : global) -> Printf.sprintf "%s %s;" (string_of_ty g.gty) g.gname)
+       p.globals
+    @ List.map func_to_string p.funcs)
+  ^ "\n"
+
+(* ------------------------------------------------------------------ *)
+
+let rec strip_expr (e : expr) : expr =
+  let e' =
+    match e.e with
+    | EInt _ | EFloat _ | EVar _ -> e.e
+    | EIdx (n, i) -> EIdx (n, strip_expr i)
+    | EBin (op, a, b) -> EBin (op, strip_expr a, strip_expr b)
+    | EUn (op, a) -> EUn (op, strip_expr a)
+    | ECall (f, args) -> ECall (f, List.map strip_expr args)
+    | ENew (t, n) -> ENew (t, strip_expr n)
+  in
+  { e = e'; epos = dummy_pos }
+
+let rec strip_stmt (s : stmt) : stmt =
+  let s' =
+    match s.s with
+    | SDecl (t, n, init) -> SDecl (t, n, Option.map strip_expr init)
+    | SAssign (n, e) -> SAssign (n, strip_expr e)
+    | SStore (n, i, e) -> SStore (n, strip_expr i, strip_expr e)
+    | SIf (c, a, b) -> SIf (strip_expr c, List.map strip_stmt a, List.map strip_stmt b)
+    | SWhile (c, b) -> SWhile (strip_expr c, List.map strip_stmt b)
+    | SDoWhile (b, c) -> SDoWhile (List.map strip_stmt b, strip_expr c)
+    | SFor (i, c, u, b) ->
+        SFor
+          ( Option.map strip_stmt i,
+            Option.map strip_expr c,
+            Option.map strip_stmt u,
+            List.map strip_stmt b )
+    | SReturn e -> SReturn (Option.map strip_expr e)
+    | SExpr e -> SExpr (strip_expr e)
+    | SBreak -> SBreak
+    | SContinue -> SContinue
+  in
+  { s = s'; spos = dummy_pos }
+
+let strip_positions_program (p : program) : program =
+  {
+    globals = List.map (fun g -> { g with gpos = dummy_pos }) p.globals;
+    funcs =
+      List.map
+        (fun f -> { f with body = List.map strip_stmt f.body; fpos = dummy_pos })
+        p.funcs;
+  }

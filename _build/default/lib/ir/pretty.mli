@@ -1,0 +1,14 @@
+(** Pretty-printer from the Javelin AST back to concrete syntax.
+
+    [program_to_string] emits source that parses back to a structurally
+    identical AST (positions excepted): the parse∘print∘parse round-trip
+    is qcheck-tested. Every expression is fully parenthesized, so
+    operator precedence never needs reconstruction. *)
+
+val expr_to_string : Ast.expr -> string
+val stmt_to_string : ?indent:int -> Ast.stmt -> string
+val program_to_string : Ast.program -> string
+
+val strip_positions_program : Ast.program -> Ast.program
+(** Replace every position with {!Ast.dummy_pos}, for structural
+    comparison of round-tripped programs. *)

@@ -1,0 +1,142 @@
+(** Three-address intermediate representation over a control-flow graph.
+
+    This is the representation the Jrpm-style pipeline analyzes: named
+    local variables live in per-frame {e slots} (the things TEST annotates
+    with [lwl]/[swl]), expression temporaries live in virtual registers
+    (never annotated — the paper's "block-local and temporary variables
+    ... never cause a dependency"), and globals / arrays live in a flat
+    heap addressed by integer addresses.
+
+    Blocks are identified by dense integer labels, so a function's body is
+    an array of blocks indexed by label. *)
+
+type reg = int
+type label = int
+type slot = int (* named-local slot within a frame *)
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | BAnd | BOr | BXor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | FAdd | FSub | FMul | FDiv
+  | FEq | FNe | FLt | FLe | FGt | FGe
+
+type unop = Neg | FNeg | LNot | I2F | F2I
+
+type builtin =
+  | Sqrt | Sin | Cos | Exp | Log | FAbs | Floor
+  | IAbs | IMin | IMax | FMin | FMax
+
+type instr =
+  | Const of reg * Value.t
+  | Mov of reg * reg
+  | Unop of reg * unop * reg
+  | Binop of reg * binop * reg * reg
+  | Ld_local of reg * slot        (** read a named local *)
+  | St_local of slot * reg        (** write a named local *)
+  | Ld_heap of reg * reg          (** [dst <- mem\[addr_reg\]] *)
+  | St_heap of reg * reg          (** [mem\[addr_reg\] <- src_reg] *)
+  | Alloc of reg * reg * [ `Int | `Float ]
+      (** allocate array of [size] cells of the given element kind (cells
+          zero-initialized per kind); dst = base of payload; mem[base-1]
+          holds the length *)
+  | Call of reg option * string * reg list
+  | Builtin of reg * builtin * reg list
+  | Print of [ `Int | `Float ] * reg
+
+type term =
+  | Jump of label
+  | Branch of reg * label * label (** nonzero -> first target *)
+  | Return of reg option
+
+type block = { mutable instrs : instr list; mutable term : term }
+
+type func = {
+  fname : string;
+  nparams : int;                   (** parameters occupy slots [0..nparams-1] *)
+  nslots : int;                    (** total named-local slots *)
+  slot_names : string array;       (** length [nslots] *)
+  slot_types : Ast.ty array;
+  nregs : int;                     (** virtual register count *)
+  entry : label;
+  blocks : block array;            (** indexed by label *)
+}
+
+type global_info = { gname : string; gty : Ast.ty; gaddr : int }
+
+type program = {
+  globals : global_info array;    (** global [i] lives at heap address [gaddr] *)
+  funcs : (string * func) list;
+  heap_base : int;                 (** first heap address available to the allocator *)
+}
+
+let find_func p name =
+  match List.assoc_opt name p.funcs with
+  | Some f -> f
+  | None -> invalid_arg ("Tac.find_func: " ^ name)
+
+let successors (t : term) : label list =
+  match t with
+  | Jump l -> [ l ]
+  | Branch (_, a, b) -> if a = b then [ a ] else [ a; b ]
+  | Return _ -> []
+
+(* -------------------------------------------------------------------- *)
+(* Pretty printing *)
+
+let string_of_binop = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Rem -> "rem"
+  | BAnd -> "and" | BOr -> "or" | BXor -> "xor" | Shl -> "shl" | Shr -> "shr"
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
+  | FAdd -> "fadd" | FSub -> "fsub" | FMul -> "fmul" | FDiv -> "fdiv"
+  | FEq -> "feq" | FNe -> "fne" | FLt -> "flt" | FLe -> "fle" | FGt -> "fgt"
+  | FGe -> "fge"
+
+let string_of_unop = function
+  | Neg -> "neg" | FNeg -> "fneg" | LNot -> "lnot" | I2F -> "i2f" | F2I -> "f2i"
+
+let string_of_builtin = function
+  | Sqrt -> "sqrt" | Sin -> "sin" | Cos -> "cos" | Exp -> "exp" | Log -> "log"
+  | FAbs -> "fabs" | Floor -> "floor" | IAbs -> "iabs" | IMin -> "imin"
+  | IMax -> "imax" | FMin -> "fmin" | FMax -> "fmax"
+
+let pp_instr ppf = function
+  | Const (r, v) -> Format.fprintf ppf "r%d <- %a" r Value.pp v
+  | Mov (d, s) -> Format.fprintf ppf "r%d <- r%d" d s
+  | Unop (d, op, s) -> Format.fprintf ppf "r%d <- %s r%d" d (string_of_unop op) s
+  | Binop (d, op, a, b) ->
+      Format.fprintf ppf "r%d <- %s r%d, r%d" d (string_of_binop op) a b
+  | Ld_local (d, s) -> Format.fprintf ppf "r%d <- local[%d]" d s
+  | St_local (s, r) -> Format.fprintf ppf "local[%d] <- r%d" s r
+  | Ld_heap (d, a) -> Format.fprintf ppf "r%d <- mem[r%d]" d a
+  | St_heap (a, s) -> Format.fprintf ppf "mem[r%d] <- r%d" a s
+  | Alloc (d, n, `Int) -> Format.fprintf ppf "r%d <- alloc_i r%d" d n
+  | Alloc (d, n, `Float) -> Format.fprintf ppf "r%d <- alloc_f r%d" d n
+  | Call (Some d, f, args) ->
+      Format.fprintf ppf "r%d <- call %s(%s)" d f
+        (String.concat "," (List.map (Printf.sprintf "r%d") args))
+  | Call (None, f, args) ->
+      Format.fprintf ppf "call %s(%s)" f
+        (String.concat "," (List.map (Printf.sprintf "r%d") args))
+  | Builtin (d, b, args) ->
+      Format.fprintf ppf "r%d <- %s(%s)" d (string_of_builtin b)
+        (String.concat "," (List.map (Printf.sprintf "r%d") args))
+  | Print (`Int, r) -> Format.fprintf ppf "print_int r%d" r
+  | Print (`Float, r) -> Format.fprintf ppf "print_float r%d" r
+
+let pp_term ppf = function
+  | Jump l -> Format.fprintf ppf "jump L%d" l
+  | Branch (r, a, b) -> Format.fprintf ppf "branch r%d ? L%d : L%d" r a b
+  | Return None -> Format.fprintf ppf "return"
+  | Return (Some r) -> Format.fprintf ppf "return r%d" r
+
+let pp_func ppf (f : func) =
+  Format.fprintf ppf "@[<v>def %s (params=%d, slots=%d, regs=%d, entry=L%d)@,"
+    f.fname f.nparams f.nslots f.nregs f.entry;
+  Array.iteri
+    (fun l (b : block) ->
+      Format.fprintf ppf "L%d:@,  @[<v>" l;
+      List.iter (fun i -> Format.fprintf ppf "%a@," pp_instr i) b.instrs;
+      Format.fprintf ppf "%a@]@," pp_term b.term)
+    f.blocks;
+  Format.fprintf ppf "@]"

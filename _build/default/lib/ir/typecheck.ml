@@ -1,0 +1,229 @@
+open Ast
+
+exception Error of string * Ast.pos
+
+let err pos fmt = Format.kasprintf (fun s -> raise (Error (s, pos))) fmt
+
+let lookup name env = List.assoc_opt name env
+
+let rec type_of_expr ~globals ~locals ~funcs (e : expr) : ty =
+  let recur x = type_of_expr ~globals ~locals ~funcs x in
+  match e.e with
+  | EInt _ -> TInt
+  | EFloat _ -> TFloat
+  | EVar name -> (
+      match lookup name locals with
+      | Some t -> t
+      | None -> (
+          match lookup name globals with
+          | Some t -> t
+          | None -> err e.epos "unknown variable '%s'" name))
+  | EIdx (name, idx) -> (
+      let it = recur idx in
+      if it <> TInt then err idx.epos "array index must be int, got %s" (string_of_ty it);
+      let arr_ty =
+        match lookup name locals with
+        | Some t -> t
+        | None -> (
+            match lookup name globals with
+            | Some t -> t
+            | None -> err e.epos "unknown array '%s'" name)
+      in
+      match arr_ty with
+      | TIntArr -> TInt
+      | TFloatArr -> TFloat
+      | t -> err e.epos "'%s' has type %s, not an array" name (string_of_ty t))
+  | EUn (Neg, a) -> (
+      match recur a with
+      | TInt -> TInt
+      | TFloat -> TFloat
+      | t -> err e.epos "cannot negate %s" (string_of_ty t))
+  | EUn (LNot, a) -> (
+      match recur a with
+      | TInt -> TInt
+      | t -> err e.epos "'!' needs int, got %s" (string_of_ty t))
+  | EBin (op, a, b) -> (
+      let ta = recur a and tb = recur b in
+      match op with
+      | Add | Sub | Mul | Div -> (
+          match (ta, tb) with
+          | TInt, TInt -> TInt
+          | TFloat, TFloat -> TFloat
+          | _ ->
+              err e.epos "arithmetic operands must both be int or both float (got %s, %s)"
+                (string_of_ty ta) (string_of_ty tb))
+      | Rem | BAnd | BOr | BXor | Shl | Shr | LAnd | LOr ->
+          if ta = TInt && tb = TInt then TInt
+          else err e.epos "operator needs int operands (got %s, %s)" (string_of_ty ta) (string_of_ty tb)
+      | Eq | Ne | Lt | Le | Gt | Ge ->
+          if (ta = TInt && tb = TInt) || (ta = TFloat && tb = TFloat) then TInt
+          else
+            err e.epos "comparison operands must both be int or both float (got %s, %s)"
+              (string_of_ty ta) (string_of_ty tb))
+  | ENew (elem, n) ->
+      let tn = recur n in
+      if tn <> TInt then err n.epos "array size must be int";
+      if elem = TInt then TIntArr else TFloatArr
+  | ECall ("length", [ a ]) -> (
+      match recur a with
+      | TIntArr | TFloatArr -> TInt
+      | t -> err e.epos "length() needs an array, got %s" (string_of_ty t))
+  | ECall ("length", _) -> err e.epos "length() takes one argument"
+  | ECall (name, args) -> (
+      let sigs =
+        match List.assoc_opt name funcs with
+        | Some s -> Some s
+        | None -> List.assoc_opt name Ast.builtins
+      in
+      match sigs with
+      | None -> err e.epos "unknown function '%s'" name
+      | Some (ptys, ret) ->
+          if List.length ptys <> List.length args then
+            err e.epos "'%s' expects %d arguments, got %d" name (List.length ptys)
+              (List.length args);
+          List.iter2
+            (fun pt a ->
+              let ta = recur a in
+              if ta <> pt then
+                err a.epos "argument to '%s': expected %s, got %s" name
+                  (string_of_ty pt) (string_of_ty ta))
+            ptys args;
+          ret)
+
+let check_duplicates ~what ~pos names =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun n ->
+      if Hashtbl.mem seen n then err pos "duplicate %s '%s'" what n
+      else Hashtbl.add seen n ())
+    names
+
+let check (p : program) : unit =
+  check_duplicates ~what:"global" ~pos:dummy_pos (List.map (fun g -> g.gname) p.globals);
+  check_duplicates ~what:"function" ~pos:dummy_pos (List.map (fun f -> f.fname) p.funcs);
+  List.iter
+    (fun g ->
+      if g.gty = TVoid then err g.gpos "global '%s' cannot be void" g.gname)
+    p.globals;
+  let globals = List.map (fun g -> (g.gname, g.gty)) p.globals in
+  let funcs =
+    List.map (fun f -> (f.fname, (List.map fst f.params, f.ret))) p.funcs
+  in
+  List.iter
+    (fun f ->
+      if Ast.is_builtin f.fname || f.fname = "length" then
+        err f.fpos "function '%s' shadows a builtin" f.fname)
+    p.funcs;
+  (match List.assoc_opt "main" funcs with
+  | Some ([], _) -> ()
+  | Some _ -> err dummy_pos "main must take no parameters"
+  | None -> err dummy_pos "program has no main function");
+  let check_func (f : func) =
+    check_duplicates ~what:"parameter" ~pos:f.fpos (List.map snd f.params);
+    List.iter
+      (fun (t, n) -> if t = TVoid then err f.fpos "parameter '%s' cannot be void" n)
+      f.params;
+    let rec check_stmts locals ~in_loop stmts =
+      match stmts with
+      | [] -> locals
+      | st :: rest -> (
+          let texpr e = type_of_expr ~globals ~locals ~funcs e in
+          match st.s with
+          | SDecl (ty, name, init) ->
+              if ty = TVoid then err st.spos "local '%s' cannot be void" name;
+              if List.mem_assoc name locals then
+                err st.spos "duplicate local '%s'" name;
+              (match init with
+              | Some e ->
+                  let t = texpr e in
+                  if t <> ty then
+                    err st.spos "initializer of '%s': expected %s, got %s" name
+                      (string_of_ty ty) (string_of_ty t)
+              | None -> ());
+              check_stmts ((name, ty) :: locals) ~in_loop rest
+          | SAssign (name, e) ->
+              let vt =
+                match lookup name locals with
+                | Some t -> t
+                | None -> (
+                    match lookup name globals with
+                    | Some t -> t
+                    | None -> err st.spos "unknown variable '%s'" name)
+              in
+              let t = texpr e in
+              if t <> vt then
+                err st.spos "assignment to '%s': expected %s, got %s" name
+                  (string_of_ty vt) (string_of_ty t);
+              check_stmts locals ~in_loop rest
+          | SStore (name, idx, e) ->
+              let at =
+                match lookup name locals with
+                | Some t -> t
+                | None -> (
+                    match lookup name globals with
+                    | Some t -> t
+                    | None -> err st.spos "unknown array '%s'" name)
+              in
+              let elem =
+                match at with
+                | TIntArr -> TInt
+                | TFloatArr -> TFloat
+                | t -> err st.spos "'%s' has type %s, not an array" name (string_of_ty t)
+              in
+              if texpr idx <> TInt then err st.spos "array index must be int";
+              let t = texpr e in
+              if t <> elem then
+                err st.spos "store to '%s[]': expected %s, got %s" name
+                  (string_of_ty elem) (string_of_ty t);
+              check_stmts locals ~in_loop rest
+          | SIf (c, thn, els) ->
+              if texpr c <> TInt then err st.spos "if condition must be int";
+              ignore (check_stmts locals ~in_loop thn);
+              ignore (check_stmts locals ~in_loop els);
+              check_stmts locals ~in_loop rest
+          | SWhile (c, body) ->
+              if texpr c <> TInt then err st.spos "while condition must be int";
+              ignore (check_stmts locals ~in_loop:true body);
+              check_stmts locals ~in_loop rest
+          | SDoWhile (body, c) ->
+              let locals' = check_stmts locals ~in_loop:true body in
+              if type_of_expr ~globals ~locals:locals' ~funcs c <> TInt then
+                err st.spos "do-while condition must be int";
+              check_stmts locals ~in_loop rest
+          | SFor (init, cond, update, body) ->
+              let locals' =
+                match init with
+                | Some s -> check_stmts locals ~in_loop [ s ]
+                | None -> locals
+              in
+              (match cond with
+              | Some c ->
+                  if type_of_expr ~globals ~locals:locals' ~funcs c <> TInt then
+                    err st.spos "for condition must be int"
+              | None -> ());
+              let locals'' = check_stmts locals' ~in_loop:true body in
+              (match update with
+              | Some s -> ignore (check_stmts locals'' ~in_loop:true [ s ])
+              | None -> ());
+              check_stmts locals ~in_loop rest
+          | SReturn e ->
+              (match (e, f.ret) with
+              | None, TVoid -> ()
+              | None, t -> err st.spos "return needs a %s value" (string_of_ty t)
+              | Some _, TVoid -> err st.spos "void function cannot return a value"
+              | Some e, t ->
+                  let te = texpr e in
+                  if te <> t then
+                    err st.spos "return type: expected %s, got %s" (string_of_ty t)
+                      (string_of_ty te));
+              check_stmts locals ~in_loop rest
+          | SExpr e ->
+              ignore (texpr e);
+              check_stmts locals ~in_loop rest
+          | SBreak | SContinue ->
+              if not in_loop then err st.spos "break/continue outside a loop";
+              check_stmts locals ~in_loop rest)
+    in
+    ignore (check_stmts (List.map (fun (t, n) -> (n, t)) f.params) ~in_loop:false f.body)
+  in
+  List.iter check_func p.funcs

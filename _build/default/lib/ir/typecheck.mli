@@ -1,0 +1,24 @@
+(** Type checker / name resolver for Javelin programs.
+
+    Javelin is explicitly typed with no implicit numeric conversions —
+    use the [i2f] / [f2i] builtins. Arithmetic is overloaded on [int] and
+    [float]; comparisons yield [int]; [%], shifts, bitwise and logical
+    operators are [int]-only. *)
+
+exception Error of string * Ast.pos
+
+val check : Ast.program -> unit
+(** @raise Error on the first type or scope error. Checks: duplicate
+    globals/functions/params/locals in scope, unknown identifiers, call
+    arity and argument types, array element types, [return] type against
+    the declared return type, presence of a [main] function with no
+    parameters, and [break]/[continue] only inside loops. *)
+
+val type_of_expr :
+  globals:(string * Ast.ty) list ->
+  locals:(string * Ast.ty) list ->
+  funcs:(string * (Ast.ty list * Ast.ty)) list ->
+  Ast.expr ->
+  Ast.ty
+(** Expression typing judgement, exposed for tests and the lowerer.
+    @raise Error on ill-typed expressions. *)

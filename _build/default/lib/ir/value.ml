@@ -1,0 +1,25 @@
+type t = Int of int | Float of float
+
+let zero = Int 0
+
+let to_int = function
+  | Int i -> i
+  | Float _ -> invalid_arg "Value.to_int: float"
+
+let to_float = function
+  | Float f -> f
+  | Int _ -> invalid_arg "Value.to_float: int"
+
+let truthy = function Int i -> i <> 0 | Float f -> f <> 0.
+
+let equal a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | _ -> false
+
+let pp ppf = function
+  | Int i -> Format.fprintf ppf "%d" i
+  | Float f -> Format.fprintf ppf "%g" f
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,23 @@
+(** Runtime values of the Javelin machine.
+
+    Every memory cell, register, and local slot holds a [t]. Array
+    references are represented as [Int] base addresses into the flat heap
+    (see {!Hydra.Memory}). *)
+
+type t = Int of int | Float of float
+
+val zero : t
+(** [Int 0] — the initial content of every memory cell and local. *)
+
+val to_int : t -> int
+(** @raise Invalid_argument on a [Float]. *)
+
+val to_float : t -> float
+(** @raise Invalid_argument on an [Int]. *)
+
+val truthy : t -> bool
+(** Branch condition: nonzero int / nonzero float. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

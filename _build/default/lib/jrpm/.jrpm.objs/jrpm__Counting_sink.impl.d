@@ -1,0 +1,1 @@
+lib/jrpm/counting_sink.ml: Hydra

@@ -1,0 +1,1 @@
+lib/jrpm/pipeline.ml: Compiler Counting_sink Float Fun Hydra Ir List Test_core

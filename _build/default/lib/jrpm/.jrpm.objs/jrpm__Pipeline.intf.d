@@ -1,0 +1,1 @@
+lib/jrpm/pipeline.mli: Compiler Hydra Ir Test_core

@@ -1,0 +1,59 @@
+(** A pass-through trace sink that counts annotation events by category,
+    used to split the Figure-6 profiling slowdown into its components
+    (local-variable annotations vs. statistics reads vs. loop-boundary
+    annotations). *)
+
+type counts = {
+  mutable locals : int;       (** lwl + swl events *)
+  mutable read_stats : int;
+  mutable loop_bounds : int;  (** sloop + eloop events *)
+  mutable eois : int;
+  mutable heap_events : int;
+}
+
+let create_counts () =
+  { locals = 0; read_stats = 0; loop_bounds = 0; eois = 0; heap_events = 0 }
+
+(** Cycles attributable to each annotation category under {!Hydra.Cost}. *)
+let locals_cycles c = c.locals * Hydra.Cost.cost_anno_local
+let read_stats_cycles c = c.read_stats * Hydra.Cost.cost_read_stats
+let loop_cycles c =
+  (c.loop_bounds * Hydra.Cost.cost_anno_loop) + (c.eois * Hydra.Cost.cost_anno_eoi)
+
+let wrap (counts : counts) (inner : Hydra.Trace.sink) : Hydra.Trace.sink =
+  {
+    Hydra.Trace.on_sloop =
+      (fun ~stl ~nlocals ~frame ~now ->
+        counts.loop_bounds <- counts.loop_bounds + 1;
+        inner.Hydra.Trace.on_sloop ~stl ~nlocals ~frame ~now);
+    on_eoi =
+      (fun ~stl ~now ->
+        counts.eois <- counts.eois + 1;
+        inner.Hydra.Trace.on_eoi ~stl ~now);
+    on_eloop =
+      (fun ~stl ~now ->
+        counts.loop_bounds <- counts.loop_bounds + 1;
+        inner.Hydra.Trace.on_eloop ~stl ~now);
+    on_read_stats =
+      (fun ~stl ~now ->
+        counts.read_stats <- counts.read_stats + 1;
+        inner.Hydra.Trace.on_read_stats ~stl ~now);
+    on_heap_load =
+      (fun ~addr ~pc ~now ->
+        counts.heap_events <- counts.heap_events + 1;
+        inner.Hydra.Trace.on_heap_load ~addr ~pc ~now);
+    on_heap_store =
+      (fun ~addr ~now ->
+        counts.heap_events <- counts.heap_events + 1;
+        inner.Hydra.Trace.on_heap_store ~addr ~now);
+    on_local_load =
+      (fun ~frame ~slot ~pc ~now ->
+        counts.locals <- counts.locals + 1;
+        inner.Hydra.Trace.on_local_load ~frame ~slot ~pc ~now);
+    on_local_store =
+      (fun ~frame ~slot ~now ->
+        counts.locals <- counts.locals + 1;
+        inner.Hydra.Trace.on_local_store ~frame ~slot ~now);
+    on_call = (fun ~callee ~now -> inner.Hydra.Trace.on_call ~callee ~now);
+    on_return = (fun ~now -> inner.Hydra.Trace.on_return ~now);
+  }

@@ -1,0 +1,136 @@
+type anno_run = {
+  cycles : int;
+  slowdown : float;
+  locals_cycles : int;
+  read_stats_cycles : int;
+  loop_anno_cycles : int;
+}
+
+type report = {
+  name : string;
+  plain_cycles : int;
+  plain_output : Ir.Value.t list;
+  base : anno_run;
+  opt : anno_run;
+  stats : (int * Test_core.Stats.t) list;
+  estimates : (int * Test_core.Analyzer.estimate) list;
+  selection : Test_core.Analyzer.selection;
+  tls_cycles : int;
+  tls_output : Ir.Value.t list;
+  actual_speedup : float;
+  outputs_match : bool;
+  spec_stats : Hydra.Tls_sim.spec_stats;
+  loop_count : int;
+  max_static_depth : int;
+  max_dynamic_depth : int;
+  table : Compiler.Stl_table.t;
+  tac : Ir.Tac.program;
+  annotated_program : Hydra.Native.program;
+  tracer : Test_core.Tracer.t;
+  method_candidates : Test_core.Method_profile.candidate list;
+      (** method-return decompositions NOT covered by loop STLs
+          (paper Sec. 4.1 expects this to be nearly empty) *)
+}
+
+let annotated_run ?tracer_config ?fuel ?(wrap_sink = Fun.id) ~optimized
+    ~plain_cycles table tac =
+  let prog =
+    Compiler.Codegen.generate ~mode:(Compiler.Codegen.Annotated { optimized })
+      table tac
+  in
+  let tracer = Test_core.Tracer.create ?config:tracer_config () in
+  let counts = Counting_sink.create_counts () in
+  let sink =
+    wrap_sink (Counting_sink.wrap counts (Test_core.Tracer.sink tracer))
+  in
+  let r = Hydra.Seq_interp.run ?fuel ~tracing:true ~sink prog in
+  let run =
+    {
+      cycles = r.Hydra.Seq_interp.cycles;
+      slowdown =
+        Float.of_int r.Hydra.Seq_interp.cycles /. Float.of_int (max 1 plain_cycles);
+      locals_cycles = Counting_sink.locals_cycles counts;
+      read_stats_cycles = Counting_sink.read_stats_cycles counts;
+      loop_anno_cycles = Counting_sink.loop_cycles counts;
+    }
+  in
+  (run, tracer, prog)
+
+let profile_only ?tracer_config ?fuel ?(optimize = true) src =
+  let tac = Ir.Lower.compile src in
+  let tac = if optimize then Compiler.Opt.program tac else tac in
+  let table = Compiler.Stl_table.build tac in
+  let plain = Compiler.Codegen.generate ~mode:Compiler.Codegen.Plain table tac in
+  let pr = Hydra.Seq_interp.run ?fuel plain in
+  let _, tracer, _ =
+    annotated_run ?tracer_config ?fuel ~optimized:true
+      ~plain_cycles:pr.Hydra.Seq_interp.cycles table tac
+  in
+  (tracer, pr.Hydra.Seq_interp.cycles)
+
+let run ?tracer_config ?cpus ?fuel ?sync ?(optimize = true) ~name src : report =
+  let tac = Ir.Lower.compile src in
+  let tac = if optimize then Compiler.Opt.program tac else tac in
+  let table = Compiler.Stl_table.build tac in
+  (* 1. plain sequential baseline *)
+  let plain = Compiler.Codegen.generate ~mode:Compiler.Codegen.Plain table tac in
+  let pr = Hydra.Seq_interp.run ?fuel plain in
+  let plain_cycles = pr.Hydra.Seq_interp.cycles in
+  (* 2. profiling runs *)
+  let base, _, _ =
+    annotated_run ?tracer_config ?fuel ~optimized:false ~plain_cycles table tac
+  in
+  let methods = Test_core.Method_profile.create () in
+  let opt, tracer, annotated_program =
+    annotated_run ?tracer_config ?fuel
+      ~wrap_sink:(Test_core.Method_profile.wrap methods)
+      ~optimized:true ~plain_cycles table tac
+  in
+  (* 3. analyze & select *)
+  let stats = Test_core.Tracer.stats tracer in
+  let estimates =
+    List.map (fun (stl, s) -> (stl, Test_core.Analyzer.estimate ?cpus s)) stats
+  in
+  (* All the analyzer's cycle counts come from the annotated run, so the
+     whole-program denominator must too (annotation overhead cancels). *)
+  let selection =
+    Test_core.Analyzer.select ?cpus ~stats
+      ~child_cycles:(Test_core.Tracer.child_cycles tracer)
+      ~program_cycles:opt.cycles ()
+  in
+  (* 4. recompile chosen STLs; 5. speculative run *)
+  let selected =
+    List.map (fun (c : Test_core.Analyzer.choice) -> c.chosen_stl) selection.chosen
+  in
+  let tls_prog =
+    Compiler.Codegen.generate ~mode:(Compiler.Codegen.Tls { selected }) table tac
+  in
+  let tr = Hydra.Tls_sim.run ?fuel ?sync tls_prog in
+  {
+    name;
+    plain_cycles;
+    plain_output = pr.Hydra.Seq_interp.output;
+    base;
+    opt;
+    stats;
+    estimates;
+    selection;
+    tls_cycles = tr.Hydra.Tls_sim.cycles;
+    tls_output = tr.Hydra.Tls_sim.output;
+    actual_speedup =
+      Float.of_int plain_cycles /. Float.of_int (max 1 tr.Hydra.Tls_sim.cycles);
+    outputs_match =
+      (try List.for_all2 Ir.Value.equal pr.Hydra.Seq_interp.output tr.Hydra.Tls_sim.output
+       with Invalid_argument _ -> false);
+    spec_stats = tr.Hydra.Tls_sim.stats;
+    loop_count = Compiler.Stl_table.loop_count table;
+    max_static_depth = Compiler.Stl_table.max_static_depth table;
+    max_dynamic_depth = Test_core.Tracer.max_dynamic_depth tracer;
+    table;
+    tac;
+    annotated_program;
+    tracer;
+    method_candidates =
+      Test_core.Method_profile.candidates methods ~program:annotated_program
+        ~program_cycles:opt.cycles ();
+  }

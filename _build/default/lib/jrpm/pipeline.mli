@@ -1,0 +1,73 @@
+(** The full Jrpm life cycle over one Javelin program (paper Fig. 1):
+
+    1. compile the source, identify potential STLs;
+    2. run natively with base and with optimized annotations, collecting
+       TEST statistics (the optimized run feeds the analyzer);
+    3. estimate per-STL speedups (Equation 1), pick decompositions
+       (Equation 2);
+    4. recompile the chosen STLs into speculative threads;
+    5. run the TLS code on the 4-CPU simulator.
+
+    The {!report} carries everything the paper's tables and figures
+    need: plain/annotated/speculative cycle counts, the slowdown split,
+    per-STL statistics and estimates, the selection, and the actual
+    speculative outcome with an output-equality check. *)
+
+type anno_run = {
+  cycles : int;
+  slowdown : float;               (** vs. plain sequential *)
+  locals_cycles : int;            (** lwl/swl component *)
+  read_stats_cycles : int;
+  loop_anno_cycles : int;         (** sloop/eloop/eoi component *)
+}
+
+type report = {
+  name : string;
+  plain_cycles : int;
+  plain_output : Ir.Value.t list;
+  base : anno_run;                (** base annotations *)
+  opt : anno_run;                 (** optimized annotations *)
+  stats : (int * Test_core.Stats.t) list;
+  estimates : (int * Test_core.Analyzer.estimate) list;
+  selection : Test_core.Analyzer.selection;
+  tls_cycles : int;
+  tls_output : Ir.Value.t list;
+  actual_speedup : float;
+  outputs_match : bool;
+  spec_stats : Hydra.Tls_sim.spec_stats;
+  (* program characteristics (paper Table 6) *)
+  loop_count : int;
+  max_static_depth : int;
+  max_dynamic_depth : int;
+  table : Compiler.Stl_table.t;
+  tac : Ir.Tac.program;
+  annotated_program : Hydra.Native.program;   (** optimized-annotation build *)
+  tracer : Test_core.Tracer.t;
+  method_candidates : Test_core.Method_profile.candidate list;
+      (** method-return decompositions not covered by loop STLs
+          (paper Sec. 4.1: expected to be nearly empty) *)
+}
+
+val run :
+  ?tracer_config:Test_core.Tracer.config ->
+  ?cpus:int ->
+  ?fuel:int ->
+  ?sync:bool ->
+  ?optimize:bool ->
+  name:string ->
+  string ->
+  report
+(** [run ~name source] executes the whole cycle. [sync] (default false)
+    enables the TLS hardware's learned synchronization (see
+    {!Hydra.Tls_sim.run}); [optimize] (default true) runs the microJIT's
+    {!Compiler.Opt} scalar passes before analysis and code generation.
+    @raise the usual front-end exceptions on bad source. *)
+
+val profile_only :
+  ?tracer_config:Test_core.Tracer.config ->
+  ?fuel:int ->
+  ?optimize:bool ->
+  string ->
+  Test_core.Tracer.t * int
+(** Compile with optimized annotations and trace once; returns the
+    tracer and the plain sequential cycle count. *)

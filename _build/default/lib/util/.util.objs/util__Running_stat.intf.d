@@ -1,0 +1,1 @@
+lib/util/running_stat.mli:

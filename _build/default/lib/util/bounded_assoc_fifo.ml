@@ -1,0 +1,70 @@
+type 'a entry = { mutable value : 'a; mutable seq : int }
+
+type 'a t = {
+  cap : int;
+  tbl : (int, 'a entry) Hashtbl.t;
+  order : (int * int) Queue.t; (* (key, seq) pairs; stale pairs skipped *)
+  mutable next_seq : int;
+  mutable evicted : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Bounded_assoc_fifo.create";
+  {
+    cap = capacity;
+    tbl = Hashtbl.create (2 * capacity);
+    order = Queue.create ();
+    next_seq = 0;
+    evicted = 0;
+  }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.tbl
+
+(* Drop queue entries whose seq no longer matches the live entry. *)
+let rec drop_stale t =
+  match Queue.peek_opt t.order with
+  | None -> ()
+  | Some (k, seq) -> (
+      match Hashtbl.find_opt t.tbl k with
+      | Some e when e.seq = seq -> ()
+      | _ ->
+          ignore (Queue.pop t.order);
+          drop_stale t)
+
+let evict_one t =
+  drop_stale t;
+  match Queue.pop t.order with
+  | k, _ ->
+      Hashtbl.remove t.tbl k;
+      t.evicted <- t.evicted + 1
+  | exception Queue.Empty -> ()
+
+let set t k v =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  (match Hashtbl.find_opt t.tbl k with
+  | Some e ->
+      e.value <- v;
+      e.seq <- seq
+  | None ->
+      if Hashtbl.length t.tbl >= t.cap then evict_one t;
+      Hashtbl.replace t.tbl k { value = v; seq });
+  Queue.push (k, seq) t.order;
+  (* Bound the queue of (possibly stale) order records. *)
+  if Queue.length t.order > 4 * t.cap then begin
+    let live = Hashtbl.fold (fun k e acc -> (k, e.seq) :: acc) t.tbl [] in
+    Queue.clear t.order;
+    List.iter (fun p -> Queue.push p t.order)
+      (List.sort (fun (_, a) (_, b) -> compare a b) live)
+  end
+
+let find t k = Option.map (fun e -> e.value) (Hashtbl.find_opt t.tbl k)
+let mem t k = Hashtbl.mem t.tbl k
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  Queue.clear t.order;
+  t.evicted <- 0
+
+let evictions t = t.evicted

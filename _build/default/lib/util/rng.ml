@@ -1,0 +1,21 @@
+type t = { mutable state : int64 }
+
+let create ~seed =
+  let s = if seed = 0 then 0x9E3779B97F4A7C15L else Int64.of_int seed in
+  { state = s }
+
+let next t =
+  let open Int64 in
+  let x = t.state in
+  let x = logxor x (shift_left x 13) in
+  let x = logxor x (shift_right_logical x 7) in
+  let x = logxor x (shift_left x 17) in
+  t.state <- x;
+  to_int (shift_right_logical (mul x 0x2545F4914F6CDD1DL) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  next t mod bound
+
+let float t bound = Float.of_int (next t) /. Float.of_int max_int *. bound
+let bool t = next t land 1 = 1

@@ -1,0 +1,21 @@
+(** Deterministic xorshift64* pseudo-random generator.
+
+    All workload input generators use this instead of [Stdlib.Random] so
+    every run of the pipeline, tests, and benches is bit-reproducible. *)
+
+type t
+
+val create : seed:int -> t
+(** [create ~seed] builds a generator; a zero seed is remapped internally. *)
+
+val next : t -> int
+(** Next raw 62-bit non-negative value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool

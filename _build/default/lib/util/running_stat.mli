@@ -1,0 +1,18 @@
+(** Streaming accumulator for count / sum / min / max / mean of a series. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val sum : t -> float
+val mean : t -> float
+(** Mean of added values; [0.] when empty. *)
+
+val min : t -> float
+(** @raise Invalid_argument when empty. *)
+
+val max : t -> float
+(** @raise Invalid_argument when empty. *)
+
+val reset : t -> unit

@@ -1,0 +1,38 @@
+type align = Left | Right
+
+let normalize ncols row =
+  let len = List.length row in
+  if len = ncols then row
+  else if len < ncols then row @ List.init (ncols - len) (fun _ -> "")
+  else List.filteri (fun i _ -> i < ncols) row
+
+let render ?(aligns = []) ~header rows =
+  let ncols = List.length header in
+  let rows = List.map (normalize ncols) rows in
+  let aligns =
+    let a = Array.make ncols Left in
+    List.iteri (fun i x -> if i < ncols then a.(i) <- x) aligns;
+    a
+  in
+  let widths = Array.of_list (List.map String.length header) in
+  List.iter
+    (List.iteri (fun i cell ->
+         if String.length cell > widths.(i) then widths.(i) <- String.length cell))
+    rows;
+  let pad i cell =
+    let n = widths.(i) - String.length cell in
+    if n <= 0 then cell
+    else
+      match aligns.(i) with
+      | Left -> cell ^ String.make n ' '
+      | Right -> String.make n ' ' ^ cell
+  in
+  let line row =
+    String.concat "  " (List.mapi pad row)
+  in
+  let sep =
+    String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  String.concat "\n" (line header :: sep :: List.map line rows) ^ "\n"
+
+let print ?aligns ~header rows = print_string (render ?aligns ~header rows)

@@ -1,0 +1,12 @@
+(** Minimal aligned-text table renderer for bench / report output. *)
+
+type align = Left | Right
+
+val render : ?aligns:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays the table out with one space-padded column per
+    header entry. [aligns] defaults to [Left] for every column; a short list
+    is padded with [Left]. Rows shorter than the header are padded with empty
+    cells; longer rows are truncated. *)
+
+val print : ?aligns:align list -> header:string list -> string list list -> unit
+(** [render] followed by [print_string]. *)

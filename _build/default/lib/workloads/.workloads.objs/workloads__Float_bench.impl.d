@@ -1,0 +1,1 @@
+lib/workloads/float_bench.ml: Printf Workload

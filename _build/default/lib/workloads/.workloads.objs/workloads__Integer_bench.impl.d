@@ -1,0 +1,1 @@
+lib/workloads/integer_bench.ml: Printf Workload

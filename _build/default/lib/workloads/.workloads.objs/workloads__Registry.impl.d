@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Float_bench Integer_bench List Media_bench Workload

@@ -1,0 +1,386 @@
+(** Floating-point benchmarks (paper Table 6, middle group). All are
+    Fortran-style numeric kernels a traditional parallelizing compiler
+    could also handle (Table 6 col. a); several exhibit the paper's
+    data-set-sensitive decomposition choice (col. b): with bigger inner
+    trip counts, speculating on the outer loop of a 2-D traversal
+    overflows the speculative buffers and a lower loop must be chosen. *)
+
+let p = Printf.sprintf
+
+(* 2-D Euler-style stencil relaxation over an nx x ny grid. *)
+let euler n =
+  p
+    {|
+float[] u;
+float[] unew;
+int nx;
+int ny;
+
+def main() {
+  nx = %d;
+  ny = 9;
+  u = new float[nx * ny];
+  unew = new float[nx * ny];
+  for (int i = 0; i < nx * ny; i = i + 1) {
+    u[i] = i2f(i %% 17) * 0.25;
+  }
+  for (int step = 0; step < 60; step = step + 1) {
+    for (int i = 1; i < nx - 1; i = i + 1) {
+      for (int j = 1; j < ny - 1; j = j + 1) {
+        unew[i * ny + j] =
+          0.25 * (u[(i - 1) * ny + j] + u[(i + 1) * ny + j]
+                  + u[i * ny + j - 1] + u[i * ny + j + 1]);
+      }
+    }
+    for (int i = 1; i < nx - 1; i = i + 1) {
+      for (int j = 1; j < ny - 1; j = j + 1) {
+        u[i * ny + j] = unew[i * ny + j];
+      }
+    }
+  }
+  float sum = 0.0;
+  for (int i = 0; i < nx * ny; i = i + 1) {
+    sum = sum + u[i];
+  }
+  print_float(sum);
+}
+|}
+    n
+
+(* Iterative radix-2 FFT over complex data (separate re/im arrays). *)
+let fft n =
+  p
+    {|
+float[] re;
+float[] im;
+int size;
+
+def main() {
+  size = %d;
+  re = new float[size];
+  im = new float[size];
+  for (int i = 0; i < size; i = i + 1) {
+    re[i] = sin(i2f(i) * 0.1);
+    im[i] = 0.0;
+  }
+  // bit reversal
+  int j = 0;
+  for (int i = 0; i < size - 1; i = i + 1) {
+    if (i < j) {
+      float tr = re[i]; re[i] = re[j]; re[j] = tr;
+      float ti = im[i]; im[i] = im[j]; im[j] = ti;
+    }
+    int k = size / 2;
+    while (k <= j) {
+      j = j - k;
+      k = k / 2;
+    }
+    j = j + k;
+  }
+  // butterfly stages
+  int len = 2;
+  while (len <= size) {
+    float ang = 6.28318530717958647 / i2f(len);
+    int half = len / 2;
+    for (int blk = 0; blk < size; blk = blk + len) {
+      for (int t = 0; t < half; t = t + 1) {
+        float wr = cos(ang * i2f(t));
+        float wi = 0.0 - sin(ang * i2f(t));
+        int a = blk + t;
+        int b = blk + t + half;
+        float xr = re[b] * wr - im[b] * wi;
+        float xi = re[b] * wi + im[b] * wr;
+        re[b] = re[a] - xr;
+        im[b] = im[a] - xi;
+        re[a] = re[a] + xr;
+        im[a] = im[a] + xi;
+      }
+    }
+    len = len * 2;
+  }
+  float energy = 0.0;
+  for (int i = 0; i < size; i = i + 1) {
+    energy = energy + re[i] * re[i] + im[i] * im[i];
+  }
+  print_float(energy);
+}
+|}
+    n
+
+(* jBYTEmark Fourier coefficients: each coefficient integrates
+   numerically over the interval — enormous independent threads
+   (paper: 167802-cycle threads). *)
+let fourier_test n =
+  p
+    {|
+float[] coeff;
+int ncoeff;
+
+def trapezoid(int k, int intervals) : float {
+  float x0 = 0.0;
+  float x1 = 2.0;
+  float dx = (x1 - x0) / i2f(intervals);
+  float area = 0.0;
+  float x = x0;
+  for (int i = 0; i < intervals; i = i + 1) {
+    float fx = (x + 1.0) * cos(i2f(k) * x);
+    float fx2 = (x + dx + 1.0) * cos(i2f(k) * (x + dx));
+    area = area + 0.5 * (fx + fx2) * dx;
+    x = x + dx;
+  }
+  return area;
+}
+
+def main() {
+  ncoeff = %d;
+  coeff = new float[ncoeff];
+  for (int k = 0; k < ncoeff; k = k + 1) {
+    coeff[k] = trapezoid(k, 200);
+  }
+  float sum = 0.0;
+  for (int k = 0; k < ncoeff; k = k + 1) {
+    sum = sum + coeff[k];
+  }
+  print_float(sum);
+}
+|}
+    n
+
+(* LU factorization with partial pivoting skipped (diagonally dominant
+   matrix): the k loop is serial, the elimination loops are parallel. *)
+let lu_factor n =
+  p
+    {|
+float[] a;
+int dim;
+int seed;
+
+def rnd() : int {
+  seed = (seed * 1103515245 + 12345) %% 2147483648;
+  return seed / 65536 %% 32768;
+}
+
+def main() {
+  dim = %d;
+  seed = 909;
+  a = new float[dim * dim];
+  for (int i = 0; i < dim; i = i + 1) {
+    for (int j = 0; j < dim; j = j + 1) {
+      a[i * dim + j] = i2f(rnd() %% 100) * 0.01;
+    }
+    a[i * dim + i] = a[i * dim + i] + i2f(dim);
+  }
+  for (int k = 0; k < dim - 1; k = k + 1) {
+    for (int i = k + 1; i < dim; i = i + 1) {
+      float m = a[i * dim + k] / a[k * dim + k];
+      a[i * dim + k] = m;
+      for (int j = k + 1; j < dim; j = j + 1) {
+        a[i * dim + j] = a[i * dim + j] - m * a[k * dim + j];
+      }
+    }
+  }
+  float trace = 0.0;
+  for (int i = 0; i < dim; i = i + 1) {
+    trace = trace + a[i * dim + i];
+  }
+  print_float(trace);
+}
+|}
+    n
+
+(* Java Grande moldyn: pairwise Lennard-Jones-style forces; forces are
+   accumulated one-sidedly so the outer particle loop is parallel but
+   very fine-grained (paper: 96-cycle threads). *)
+let moldyn n =
+  p
+    {|
+float[] x;
+float[] y;
+float[] fx;
+float[] fy;
+int nparts;
+
+def main() {
+  nparts = %d;
+  x = new float[nparts];
+  y = new float[nparts];
+  fx = new float[nparts];
+  fy = new float[nparts];
+  for (int i = 0; i < nparts; i = i + 1) {
+    x[i] = i2f(i %% 32) * 0.8;
+    y[i] = i2f(i / 32) * 0.8;
+    fx[i] = 0.0;
+    fy[i] = 0.0;
+  }
+  for (int step = 0; step < 4; step = step + 1) {
+    for (int i = 0; i < nparts; i = i + 1) {
+      float fxi = 0.0;
+      float fyi = 0.0;
+      for (int j = 0; j < nparts; j = j + 1) {
+        if (j != i) {
+          float dx = x[i] - x[j];
+          float dy = y[i] - y[j];
+          float r2 = dx * dx + dy * dy + 0.01;
+          float inv = 1.0 / (r2 * r2);
+          fxi = fxi + dx * inv;
+          fyi = fyi + dy * inv;
+        }
+      }
+      fx[i] = fx[i] + fxi;
+      fy[i] = fy[i] + fyi;
+    }
+    for (int i = 0; i < nparts; i = i + 1) {
+      x[i] = x[i] + fx[i] * 0.0001;
+      y[i] = y[i] + fy[i] * 0.0001;
+    }
+  }
+  float sum = 0.0;
+  for (int i = 0; i < nparts; i = i + 1) {
+    sum = sum + fx[i] * fx[i] + fy[i] * fy[i];
+  }
+  print_float(sum);
+}
+|}
+    n
+
+(* A small multilayer perceptron forward/backward pass; layered loops
+   with tiny bodies (paper: 9-thread STL entries, 617-cycle threads). *)
+let neural_net n =
+  p
+    {|
+float[] w1;
+float[] w2;
+float[] hidden;
+float[] out;
+float[] input;
+float[] target;
+int n_in;
+int n_hid;
+int n_out;
+
+def sigmoid(float v) : float {
+  return 1.0 / (1.0 + exp(0.0 - v));
+}
+
+def main() {
+  n_in = %d;
+  n_hid = 8;
+  n_out = 8;
+  int epochs = 40;
+  w1 = new float[n_in * n_hid];
+  w2 = new float[n_hid * n_out];
+  hidden = new float[n_hid];
+  out = new float[n_out];
+  input = new float[n_in];
+  target = new float[n_out];
+  for (int i = 0; i < n_in * n_hid; i = i + 1) {
+    w1[i] = i2f(i %% 7) * 0.1 - 0.3;
+  }
+  for (int i = 0; i < n_hid * n_out; i = i + 1) {
+    w2[i] = i2f(i %% 5) * 0.1 - 0.2;
+  }
+  for (int i = 0; i < n_in; i = i + 1) {
+    input[i] = i2f(i %% 3) * 0.5;
+  }
+  for (int i = 0; i < n_out; i = i + 1) {
+    target[i] = i2f(i %% 2);
+  }
+  float err = 0.0;
+  for (int e = 0; e < epochs; e = e + 1) {
+    // forward: hidden layer
+    for (int h = 0; h < n_hid; h = h + 1) {
+      float acc = 0.0;
+      for (int i = 0; i < n_in; i = i + 1) {
+        acc = acc + input[i] * w1[i * n_hid + h];
+      }
+      hidden[h] = sigmoid(acc);
+    }
+    // forward: output layer
+    for (int o = 0; o < n_out; o = o + 1) {
+      float acc = 0.0;
+      for (int h = 0; h < n_hid; h = h + 1) {
+        acc = acc + hidden[h] * w2[h * n_out + o];
+      }
+      out[o] = sigmoid(acc);
+    }
+    // backward: output weights
+    err = 0.0;
+    for (int o = 0; o < n_out; o = o + 1) {
+      float delta = (target[o] - out[o]) * out[o] * (1.0 - out[o]);
+      err = err + (target[o] - out[o]) * (target[o] - out[o]);
+      for (int h = 0; h < n_hid; h = h + 1) {
+        w2[h * n_out + o] = w2[h * n_out + o] + 0.25 * delta * hidden[h];
+      }
+    }
+  }
+  print_float(err);
+}
+|}
+    n
+
+(* Shallow-water model: 2-D stencil updates of height/velocity fields. *)
+let shallow n =
+  p
+    {|
+float[] h;
+float[] u;
+float[] v;
+int nx;
+int ny;
+
+def main() {
+  nx = %d;
+  ny = %d;
+  h = new float[nx * ny];
+  u = new float[nx * ny];
+  v = new float[nx * ny];
+  for (int i = 0; i < nx * ny; i = i + 1) {
+    h[i] = 10.0 + i2f(i %% 13) * 0.1;
+    u[i] = 0.0;
+    v[i] = 0.0;
+  }
+  for (int step = 0; step < 20; step = step + 1) {
+    // momentum update
+    for (int i = 1; i < nx - 1; i = i + 1) {
+      for (int j = 1; j < ny - 1; j = j + 1) {
+        int at = i * ny + j;
+        u[at] = u[at] - 0.01 * (h[at + ny] - h[at - ny]);
+        v[at] = v[at] - 0.01 * (h[at + 1] - h[at - 1]);
+      }
+    }
+    // continuity update
+    for (int i = 1; i < nx - 1; i = i + 1) {
+      for (int j = 1; j < ny - 1; j = j + 1) {
+        int at = i * ny + j;
+        h[at] = h[at]
+          - 0.5 * (u[at + ny] - u[at - ny])
+          - 0.5 * (v[at + 1] - v[at - 1]);
+      }
+    }
+  }
+  float sum = 0.0;
+  for (int i = 0; i < nx * ny; i = i + 1) {
+    sum = sum + h[i];
+  }
+  print_float(sum);
+}
+|}
+    n n
+
+let all : Workload.t list =
+  [
+    Workload.v ~analyzable:true ~data_sensitive:true "euler"
+      Workload.Floating_point "Fluid dynamics" 120 euler;
+    Workload.v ~analyzable:true ~data_sensitive:true "fft"
+      Workload.Floating_point "Fast fourier transform" 512 fft;
+    Workload.v ~analyzable:true "FourierTest" Workload.Floating_point
+      "Fourier coefficients" 12 fourier_test;
+    Workload.v ~analyzable:true ~data_sensitive:true "LuFactor"
+      Workload.Floating_point "LU factorization" 36 lu_factor;
+    Workload.v ~analyzable:true "moldyn" Workload.Floating_point
+      "Molecular dynamics" 160 moldyn;
+    Workload.v ~analyzable:true ~data_sensitive:true "NeuralNet"
+      Workload.Floating_point "Neural net" 35 neural_net;
+    Workload.v ~analyzable:true ~data_sensitive:true "shallow"
+      Workload.Floating_point "Shallow water sim" 48 shallow;
+  ]

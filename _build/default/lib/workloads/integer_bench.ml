@@ -1,0 +1,887 @@
+(** Integer benchmarks (paper Table 6, top group). *)
+
+let p = Printf.sprintf
+
+(* The paper's running example (Figs. 3, 5; Table 3): Huffman decode with
+   an outer do-while over symbols and an inner tree-descent while. [in_p]
+   and [out_p] are globals, carrying the inter-thread dependencies whose
+   arcs Figure 3 traces. A skewed 16-symbol tree: symbol s is coded as s
+   ones followed by a zero (s < 15). *)
+let huffman n =
+  p
+    {|
+int in_p;
+int out_p;
+int nbits;
+int[] tree_left;
+int[] tree_right;
+int[] tree_char;
+int[] in_bits;
+int[] out;
+int[] msg;
+int seed;
+
+def rnd() : int {
+  seed = (seed * 1103515245 + 12345) %% 2147483648;
+  return seed / 65536 %% 32768;
+}
+
+def build_tree() {
+  tree_left = new int[15];
+  tree_right = new int[15];
+  tree_char = new int[31];
+  for (int i = 0; i < 15; i = i + 1) {
+    tree_left[i] = 15 + i;
+    tree_right[i] = i + 1;
+    tree_char[i] = -1;
+  }
+  tree_right[14] = 30;
+  for (int s = 0; s < 16; s = s + 1) {
+    tree_char[15 + s] = s;
+  }
+}
+
+def encode(int m) {
+  in_bits = new int[m * 16];
+  msg = new int[m];
+  int bp = 0;
+  for (int i = 0; i < m; i = i + 1) {
+    int a = rnd() %% 16;
+    int b = rnd() %% 16;
+    int s = imin(a, b);
+    msg[i] = s;
+    for (int k = 0; k < s; k = k + 1) {
+      in_bits[bp] = 1;
+      bp = bp + 1;
+    }
+    if (s < 15) {
+      in_bits[bp] = 0;
+      bp = bp + 1;
+    }
+  }
+  nbits = bp;
+}
+
+def decode() {
+  // outer loop (the STL Table 3 selects)
+  do {
+    int n = 0;
+    // inner loop
+    while (tree_char[n] == 0 - 1) {
+      if (in_bits[in_p] == 0) {
+        n = tree_left[n];
+      } else {
+        n = tree_right[n];
+      }
+      in_p = in_p + 1;
+    }
+    out[out_p] = tree_char[n];
+    out_p = out_p + 1;
+  } while (in_p < nbits);
+}
+
+def main() {
+  seed = 20030324;
+  build_tree();
+  encode(%d);
+  out = new int[%d];
+  in_p = 0;
+  out_p = 0;
+  decode();
+  int errs = 0;
+  for (int i = 0; i < %d; i = i + 1) {
+    if (out[i] != msg[i]) { errs = errs + 1; }
+  }
+  print_int(errs);
+  print_int(out_p);
+}
+|}
+    n n n
+
+(* jBYTEmark bit manipulation: set / clear / count runs of bits in a
+   packed bit array. Very small threads (paper: 29-cycle threads). *)
+let bitops n =
+  p
+    {|
+int[] bits;
+int checksum;
+
+def main() {
+  int n = %d;
+  bits = new int[n];
+  for (int i = 0; i < n; i = i + 1) {
+    bits[i] = 0;
+  }
+  // set every 3rd bit
+  for (int i = 0; i < n; i = i + 3) {
+    bits[i] = 1;
+  }
+  // toggle every 5th
+  for (int i = 0; i < n; i = i + 5) {
+    bits[i] = 1 - bits[i];
+  }
+  // count set bits
+  int count = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    count = count + bits[i];
+  }
+  checksum = count;
+  print_int(checksum);
+}
+|}
+    n
+
+(* LZW-flavoured compression: hash-table dictionary of (prefix, char)
+   pairs; the dictionary insertions carry dependencies between
+   iterations of the main compress loop. *)
+let compress n =
+  p
+    {|
+int[] input;
+int[] hash_code;
+int[] hash_prefix;
+int[] hash_char;
+int[] output;
+int out_n;
+int next_code;
+int seed;
+
+def rnd() : int {
+  seed = (seed * 1103515245 + 12345) %% 2147483648;
+  return seed / 65536 %% 32768;
+}
+
+def hash_find(int prefix, int ch) : int {
+  int h = (prefix * 31 + ch) %% 8191;
+  while (hash_code[h] != 0 - 1) {
+    if (hash_prefix[h] == prefix && hash_char[h] == ch) {
+      return hash_code[h];
+    }
+    h = (h + 1) %% 8191;
+  }
+  return 0 - 1;
+}
+
+def hash_insert(int prefix, int ch, int code) {
+  int h = (prefix * 31 + ch) %% 8191;
+  while (hash_code[h] != 0 - 1) {
+    h = (h + 1) %% 8191;
+  }
+  hash_prefix[h] = prefix;
+  hash_char[h] = ch;
+  hash_code[h] = code;
+}
+
+def main() {
+  int n = %d;
+  seed = 987654321;
+  input = new int[n];
+  for (int i = 0; i < n; i = i + 1) {
+    input[i] = rnd() %% 16;
+  }
+  hash_code = new int[8191];
+  hash_prefix = new int[8191];
+  hash_char = new int[8191];
+  for (int i = 0; i < 8191; i = i + 1) {
+    hash_code[i] = 0 - 1;
+  }
+  output = new int[n + 1];
+  out_n = 0;
+  next_code = 16;
+  int w = input[0];
+  for (int i = 1; i < n; i = i + 1) {
+    int c = input[i];
+    int wc = hash_find(w, c);
+    if (wc != 0 - 1) {
+      w = wc;
+    } else {
+      output[out_n] = w;
+      out_n = out_n + 1;
+      if (next_code < 3800) {
+        hash_insert(w, c, next_code);
+        next_code = next_code + 1;
+      }
+      w = c;
+    }
+  }
+  output[out_n] = w;
+  out_n = out_n + 1;
+  int sum = 0;
+  for (int i = 0; i < out_n; i = i + 1) {
+    sum = (sum + output[i]) %% 65536;
+  }
+  print_int(out_n);
+  print_int(sum);
+}
+|}
+    n
+
+(* SPECjvm98 db: build a keyed table, then run a query mix (lookups,
+   updates, range scans) against a sorted index. The index build is the
+   serial section the paper notes limits db's total speedup. *)
+let db n =
+  p
+    {|
+int[] keys;
+int[] vals;
+int[] index;
+int table_n;
+int seed;
+
+def rnd() : int {
+  seed = (seed * 1103515245 + 12345) %% 2147483648;
+  return seed / 65536 %% 32768;
+}
+
+def find(int key) : int {
+  int lo = 0;
+  int hi = table_n - 1;
+  while (lo <= hi) {
+    int mid = (lo + hi) / 2;
+    int k = keys[index[mid]];
+    if (k == key) { return index[mid]; }
+    if (k < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return 0 - 1;
+}
+
+def main() {
+  table_n = %d;
+  int queries = table_n * 4;
+  keys = new int[table_n];
+  vals = new int[table_n];
+  index = new int[table_n];
+  seed = 5000;
+  // deterministic distinct keys
+  for (int i = 0; i < table_n; i = i + 1) {
+    keys[i] = i * 7 + (i %% 13);
+    vals[i] = i;
+    index[i] = i;
+  }
+  // insertion sort of the index by key (serial section)
+  for (int i = 1; i < table_n; i = i + 1) {
+    int x = index[i];
+    int j = i - 1;
+    while (j >= 0 && keys[index[j]] > keys[x]) {
+      index[j + 1] = index[j];
+      j = j - 1;
+    }
+    index[j + 1] = x;
+  }
+  // query mix (parallel across queries)
+  int hits = 0;
+  int sum = 0;
+  for (int q = 0; q < queries; q = q + 1) {
+    int key = (rnd() %% (table_n * 8));
+    int at = find(key);
+    if (at >= 0) {
+      hits = hits + 1;
+      sum = (sum + vals[at]) %% 1000000;
+    }
+  }
+  print_int(hits);
+  print_int(sum);
+}
+|}
+    n
+
+(* deltaBlue-flavoured incremental constraint propagation along a chain
+   of stay/edit constraints; each pass walks the chain. *)
+let delta_blue n =
+  p
+    {|
+int[] value;
+int[] strength;
+int chain_n;
+
+def propagate() : int {
+  int changed = 0;
+  for (int i = 1; i < chain_n; i = i + 1) {
+    int want = value[i - 1] + 1;
+    if (strength[i] < 5 && value[i] != want) {
+      value[i] = want;
+      changed = changed + 1;
+    }
+  }
+  return changed;
+}
+
+def main() {
+  chain_n = %d;
+  value = new int[chain_n];
+  strength = new int[chain_n];
+  for (int i = 0; i < chain_n; i = i + 1) {
+    value[i] = 0;
+    strength[i] = i %% 7;
+  }
+  int total = 0;
+  for (int pass = 0; pass < 40; pass = pass + 1) {
+    value[0] = pass * 3;
+    total = total + propagate();
+  }
+  print_int(total);
+  print_int(value[chain_n - 1]);
+}
+|}
+    n
+
+(* jBYTEmark FP emulation: software floating point — normalized
+   mantissa multiply-accumulate implemented with integer ops only.
+   Very coarse threads (one emulated dot product per iteration). *)
+let em_float_pnt n =
+  p
+    {|
+int[] amant;
+int[] aexp;
+int[] bmant;
+int[] bexp;
+int[] rmant;
+int[] rexp;
+int vec_n;
+int seed;
+
+def rnd() : int {
+  seed = (seed * 1103515245 + 12345) %% 2147483648;
+  return seed / 65536 %% 32768;
+}
+
+// emulated multiply of two 15-bit mantissas with exponent handling
+def emul(int ma, int ea, int mb, int eb, int which) : int {
+  int m = ma * mb;
+  int e = ea + eb;
+  // renormalize to 15 bits
+  while (m >= 32768) {
+    m = m / 2;
+    e = e + 1;
+  }
+  while (m > 0 && m < 16384) {
+    m = m * 2;
+    e = e - 1;
+  }
+  if (which == 0) { return m; }
+  return e;
+}
+
+def main() {
+  vec_n = %d;
+  int rounds = 24;
+  seed = 777;
+  amant = new int[vec_n];
+  aexp = new int[vec_n];
+  bmant = new int[vec_n];
+  bexp = new int[vec_n];
+  rmant = new int[vec_n];
+  rexp = new int[vec_n];
+  for (int i = 0; i < vec_n; i = i + 1) {
+    amant[i] = 16384 + rnd() %% 16384;
+    aexp[i] = rnd() %% 16 - 8;
+    bmant[i] = 16384 + rnd() %% 16384;
+    bexp[i] = rnd() %% 16 - 8;
+  }
+  // each outer iteration emulates a whole vector multiply
+  for (int r = 0; r < rounds; r = r + 1) {
+    for (int i = 0; i < vec_n; i = i + 1) {
+      rmant[i] = emul(amant[i], aexp[i], bmant[i], bexp[i], 0);
+      rexp[i] = emul(amant[i], aexp[i], bmant[i], bexp[i], 1);
+    }
+  }
+  int sum = 0;
+  for (int i = 0; i < vec_n; i = i + 1) {
+    sum = (sum + rmant[i] + rexp[i]) %% 1000003;
+  }
+  print_int(sum);
+}
+|}
+    n
+
+(* IDEA block cipher rounds over independent 4-word blocks; the
+   mod-65537 multiply is the hot operation. *)
+let idea n =
+  p
+    {|
+int[] blocks;
+int[] keys;
+int nblocks;
+int seed;
+
+def rnd() : int {
+  seed = (seed * 1103515245 + 12345) %% 2147483648;
+  return seed / 65536 %% 32768;
+}
+
+def mulmod(int a, int b) : int {
+  if (a == 0) { a = 65536; }
+  if (b == 0) { b = 65536; }
+  return (a * b) %% 65537 %% 65536;
+}
+
+def main() {
+  nblocks = %d;
+  seed = 4242;
+  blocks = new int[nblocks * 4];
+  keys = new int[52];
+  for (int i = 0; i < 52; i = i + 1) {
+    keys[i] = rnd() %% 65536;
+  }
+  for (int i = 0; i < nblocks * 4; i = i + 1) {
+    blocks[i] = rnd() %% 65536;
+  }
+  // encrypt every block: 8 rounds of IDEA-style mixing
+  for (int b = 0; b < nblocks; b = b + 1) {
+    int x0 = blocks[b * 4];
+    int x1 = blocks[b * 4 + 1];
+    int x2 = blocks[b * 4 + 2];
+    int x3 = blocks[b * 4 + 3];
+    for (int r = 0; r < 8; r = r + 1) {
+      x0 = mulmod(x0, keys[r * 6]);
+      x1 = (x1 + keys[r * 6 + 1]) %% 65536;
+      x2 = (x2 + keys[r * 6 + 2]) %% 65536;
+      x3 = mulmod(x3, keys[r * 6 + 3]);
+      int t0 = x0 ^ x2;
+      int t1 = x1 ^ x3;
+      t0 = mulmod(t0, keys[r * 6 + 4]);
+      t1 = (t1 + t0) %% 65536;
+      t1 = mulmod(t1, keys[r * 6 + 5]);
+      t0 = (t0 + t1) %% 65536;
+      x0 = x0 ^ t1;
+      x2 = x2 ^ t1;
+      x1 = x1 ^ t0;
+      x3 = x3 ^ t0;
+    }
+    blocks[b * 4] = x0;
+    blocks[b * 4 + 1] = x1;
+    blocks[b * 4 + 2] = x2;
+    blocks[b * 4 + 3] = x3;
+  }
+  int sum = 0;
+  for (int i = 0; i < nblocks * 4; i = i + 1) {
+    sum = (sum + blocks[i]) %% 1000003;
+  }
+  print_int(sum);
+}
+|}
+    n
+
+(* jess-flavoured rule matching: facts vs. rule patterns, firing rules
+   append facts; deep control flow, modest parallelism. *)
+let jess n =
+  p
+    {|
+int[] fact_kind;
+int[] fact_val;
+int nfacts;
+int[] rule_kind;
+int[] rule_min;
+int[] rule_out;
+int nrules;
+int fired;
+
+def main() {
+  int base = %d;
+  nrules = 24;
+  rule_kind = new int[nrules];
+  rule_min = new int[nrules];
+  rule_out = new int[nrules];
+  for (int r = 0; r < nrules; r = r + 1) {
+    rule_kind[r] = r %% 6;
+    rule_min[r] = r * 3;
+    rule_out[r] = (r + 1) %% 6;
+  }
+  fact_kind = new int[base * 4];
+  fact_val = new int[base * 4];
+  nfacts = base;
+  for (int i = 0; i < base; i = i + 1) {
+    fact_kind[i] = i %% 6;
+    fact_val[i] = i %% 90;
+  }
+  fired = 0;
+  // match-fire cycles
+  for (int cycle = 0; cycle < 6; cycle = cycle + 1) {
+    int limit = nfacts;
+    for (int r = 0; r < nrules; r = r + 1) {
+      int matches = 0;
+      for (int f = 0; f < limit; f = f + 1) {
+        if (fact_kind[f] == rule_kind[r] && fact_val[f] >= rule_min[r]) {
+          matches = matches + 1;
+        }
+      }
+      if (matches > 2 && nfacts < base * 4 - 1) {
+        fact_kind[nfacts] = rule_out[r];
+        fact_val[nfacts] = matches %% 90;
+        nfacts = nfacts + 1;
+        fired = fired + 1;
+      }
+    }
+  }
+  print_int(fired);
+  print_int(nfacts);
+}
+|}
+    n
+
+(* jLex-flavoured table-driven DFA scanning over an input text; each
+   token scan is one outer iteration. *)
+let jlex n =
+  p
+    {|
+int[] trans;
+int[] accept;
+int[] text;
+int text_n;
+int ntokens;
+int pos;
+int seed;
+
+def rnd() : int {
+  seed = (seed * 1103515245 + 12345) %% 2147483648;
+  return seed / 65536 %% 32768;
+}
+
+def main() {
+  text_n = %d;
+  seed = 31337;
+  // 8 states x 4 character classes
+  trans = new int[32];
+  accept = new int[8];
+  for (int s = 0; s < 8; s = s + 1) {
+    accept[s] = s %% 3;
+    for (int c = 0; c < 4; c = c + 1) {
+      trans[s * 4 + c] = (s + c + 1) %% 8;
+    }
+  }
+  text = new int[text_n];
+  for (int i = 0; i < text_n; i = i + 1) {
+    text[i] = rnd() %% 4;
+  }
+  ntokens = 0;
+  pos = 0;
+  int checks = 0;
+  while (pos < text_n) {
+    int state = 0;
+    int len = 0;
+    // scan one token: until an accepting state after >= 2 chars
+    while (pos < text_n && (len < 2 || accept[state] == 0)) {
+      state = trans[state * 4 + text[pos]];
+      pos = pos + 1;
+      len = len + 1;
+    }
+    ntokens = ntokens + 1;
+    checks = (checks + state * len) %% 65536;
+  }
+  print_int(ntokens);
+  print_int(checks);
+}
+|}
+    n
+
+(* A small CPU interpreter (the paper's MipsSimulator): fetch/decode/
+   execute over a register file and data memory; the architected state
+   carries dependencies between iterations. *)
+let mips_simulator n =
+  p
+    {|
+int[] prog_op;
+int[] prog_a;
+int[] prog_b;
+int[] prog_c;
+int[] regs;
+int[] dmem;
+int prog_n;
+int cycles_done;
+
+def main() {
+  int steps = %d;
+  prog_n = 64;
+  prog_op = new int[prog_n];
+  prog_a = new int[prog_n];
+  prog_b = new int[prog_n];
+  prog_c = new int[prog_n];
+  regs = new int[16];
+  dmem = new int[256];
+  // a little program: mix of alu / load / store / branch
+  for (int i = 0; i < prog_n; i = i + 1) {
+    prog_op[i] = i %% 5;
+    prog_a[i] = i %% 16;
+    prog_b[i] = (i + 5) %% 16;
+    prog_c[i] = (i * 7) %% 16;
+  }
+  for (int i = 0; i < 16; i = i + 1) { regs[i] = i; }
+  for (int i = 0; i < 256; i = i + 1) { dmem[i] = i * 3; }
+  int pc = 0;
+  cycles_done = 0;
+  for (int s = 0; s < steps; s = s + 1) {
+    int op = prog_op[pc];
+    int a = prog_a[pc];
+    int b = prog_b[pc];
+    int c = prog_c[pc];
+    if (op == 0) {
+      regs[a] = (regs[b] + regs[c]) %% 100000;
+      pc = pc + 1;
+    } else { if (op == 1) {
+      regs[a] = (regs[b] * 3 - regs[c]) %% 100000;
+      pc = pc + 1;
+    } else { if (op == 2) {
+      regs[a] = dmem[iabs(regs[b]) %% 256];
+      pc = pc + 1;
+    } else { if (op == 3) {
+      dmem[iabs(regs[b]) %% 256] = regs[a];
+      pc = pc + 1;
+    } else {
+      if (regs[a] %% 2 == 0) {
+        pc = (pc + c + 1) %% 64;
+      } else {
+        pc = pc + 1;
+      }
+    } } } }
+    if (pc >= 64) { pc = 0; }
+    cycles_done = cycles_done + 1;
+  }
+  int sum = 0;
+  for (int i = 0; i < 16; i = i + 1) { sum = (sum + regs[i]) %% 1000003; }
+  print_int(cycles_done);
+  print_int(sum);
+}
+|}
+    n
+
+(* Monte Carlo integration with a per-sample seed (Java Grande style):
+   samples are independent, the accumulation is a reduction. *)
+let monte_carlo n =
+  p
+    {|
+def sample(int s) : int {
+  // per-sample LCG stream
+  int x = (s * 1103515245 + 12345) %% 2147483648;
+  int y = (x * 1103515245 + 12345) %% 2147483648;
+  int px = x / 65536 %% 10000;
+  int py = y / 65536 %% 10000;
+  if (px * px + py * py < 100000000) {
+    return 1;
+  }
+  return 0;
+}
+
+def main() {
+  int samples = %d;
+  int inside = 0;
+  for (int i = 0; i < samples; i = i + 1) {
+    inside = inside + sample(i * 2654435761 %% 2147483648);
+  }
+  // pi/4 ~ inside/samples
+  print_int(inside);
+}
+|}
+    n
+
+(* jBYTEmark numeric heap sort: sift-down chains make the inner loops
+   strongly dependent; the paper's Sec. 6.3 names it as a program TEST
+   helped restructure. *)
+let num_heap_sort n =
+  p
+    {|
+int[] a;
+int heap_n;
+int seed;
+
+def rnd() : int {
+  seed = (seed * 1103515245 + 12345) %% 2147483648;
+  return seed / 65536 %% 32768;
+}
+
+def sift(int start, int limit) {
+  int root = start;
+  int going = 1;
+  while (going == 1 && root * 2 + 1 < limit) {
+    int child = root * 2 + 1;
+    if (child + 1 < limit && a[child] < a[child + 1]) {
+      child = child + 1;
+    }
+    if (a[root] < a[child]) {
+      int t = a[root];
+      a[root] = a[child];
+      a[child] = t;
+      root = child;
+    } else {
+      going = 0;
+    }
+  }
+}
+
+def main() {
+  heap_n = %d;
+  seed = 11111;
+  a = new int[heap_n];
+  for (int i = 0; i < heap_n; i = i + 1) {
+    a[i] = rnd();
+  }
+  // heapify
+  for (int s = heap_n / 2 - 1; s >= 0; s = s - 1) {
+    sift(s, heap_n);
+  }
+  // extract
+  for (int e = heap_n - 1; e > 0; e = e - 1) {
+    int t = a[0];
+    a[0] = a[e];
+    a[e] = t;
+    sift(0, e);
+  }
+  int sorted = 1;
+  for (int i = 1; i < heap_n; i = i + 1) {
+    if (a[i - 1] > a[i]) { sorted = 0; }
+  }
+  print_int(sorted);
+  print_int(a[heap_n - 1] %% 32768);
+}
+|}
+    n
+
+(* jBYTEmark raytrace in integer fixed-point (16.8): rays over a pixel
+   grid against three spheres; pixels are independent. *)
+let raytrace n =
+  p
+    {|
+int[] image;
+int[] sph_x;
+int[] sph_y;
+int[] sph_z;
+int[] sph_r2;
+int width;
+int height;
+
+def isqrt(int v) : int {
+  if (v <= 0) { return 0; }
+  int x = v;
+  int y = (x + 1) / 2;
+  while (y < x) {
+    x = y;
+    y = (x + v / x) / 2;
+  }
+  return x;
+}
+
+def trace(int px, int py) : int {
+  // ray from origin through (px, py, 256) in fixed point
+  int best = 0;
+  int bestd = 1000000000;
+  for (int s = 0; s < 3; s = s + 1) {
+    // closest approach of the ray to sphere center (coarse fixed point)
+    int dx = sph_x[s] - px;
+    int dy = sph_y[s] - py;
+    int d2 = dx * dx + dy * dy;
+    if (d2 < sph_r2[s]) {
+      int depth = sph_z[s] - isqrt(sph_r2[s] - d2);
+      if (depth < bestd) {
+        bestd = depth;
+        best = 255 - (depth %% 200) - s * 10;
+      }
+    }
+  }
+  return best;
+}
+
+def main() {
+  width = %d;
+  height = width * 3 / 4;
+  sph_x = new int[3];
+  sph_y = new int[3];
+  sph_z = new int[3];
+  sph_r2 = new int[3];
+  for (int s = 0; s < 3; s = s + 1) {
+    sph_x[s] = width / 4 + s * width / 4;
+    sph_y[s] = height / 3 + s * height / 5;
+    sph_z[s] = 300 + s * 120;
+    sph_r2[s] = (width / 5 + s * 3) * (width / 5 + s * 3);
+  }
+  image = new int[width * height];
+  for (int y = 0; y < height; y = y + 1) {
+    for (int x = 0; x < width; x = x + 1) {
+      image[y * width + x] = trace(x, y);
+    }
+  }
+  int sum = 0;
+  for (int i = 0; i < width * height; i = i + 1) {
+    sum = (sum + image[i]) %% 1000003;
+  }
+  print_int(sum);
+}
+|}
+    n
+
+(* jBYTEmark assignment (resource allocation): row/column reduction
+   passes over a cost matrix — many small STLs that contribute equally
+   (paper: 11 selected loops). *)
+let assignment n =
+  p
+    {|
+int[] cost;
+int dim;
+int seed;
+
+def rnd() : int {
+  seed = (seed * 1103515245 + 12345) %% 2147483648;
+  return seed / 65536 %% 32768;
+}
+
+def main() {
+  dim = %d;
+  seed = 606;
+  cost = new int[dim * dim];
+  for (int i = 0; i < dim * dim; i = i + 1) {
+    cost[i] = rnd() %% 1000;
+  }
+  // row reduction
+  for (int r = 0; r < dim; r = r + 1) {
+    int m = cost[r * dim];
+    for (int c = 1; c < dim; c = c + 1) {
+      m = imin(m, cost[r * dim + c]);
+    }
+    for (int c = 0; c < dim; c = c + 1) {
+      cost[r * dim + c] = cost[r * dim + c] - m;
+    }
+  }
+  // column reduction
+  for (int c = 0; c < dim; c = c + 1) {
+    int m = cost[c];
+    for (int r = 1; r < dim; r = r + 1) {
+      m = imin(m, cost[r * dim + c]);
+    }
+    for (int r = 0; r < dim; r = r + 1) {
+      cost[r * dim + c] = cost[r * dim + c] - m;
+    }
+  }
+  // count zeros per row (assignment candidates)
+  int zeros = 0;
+  for (int r = 0; r < dim; r = r + 1) {
+    for (int c = 0; c < dim; c = c + 1) {
+      if (cost[r * dim + c] == 0) { zeros = zeros + 1; }
+    }
+  }
+  print_int(zeros);
+}
+|}
+    n
+
+let all : Workload.t list =
+  [
+    Workload.v ~data_sensitive:true "Assignment" Workload.Integer
+      "Resource allocation" 51 assignment;
+    Workload.v "BitOps" Workload.Integer "Bit array operations" 30000 bitops;
+    Workload.v "compress" Workload.Integer "Compression (LZW-style)" 6000
+      compress;
+    Workload.v ~data_sensitive:true "db" Workload.Integer "Database" 900 db;
+    Workload.v "deltaBlue" Workload.Integer "Constraint solver" 700 delta_blue;
+    Workload.v "EmFloatPnt" Workload.Integer "FP emulation" 220 em_float_pnt;
+    Workload.v "Huffman" Workload.Integer "Compression" 2500 huffman;
+    Workload.v ~analyzable:true "IDEA" Workload.Integer "Encryption" 420 idea;
+    Workload.v "jess" Workload.Integer "Expert system" 500 jess;
+    Workload.v "jLex" Workload.Integer "Lexical analyzer gen" 12000 jlex;
+    Workload.v "MipsSimulator" Workload.Integer "CPU simulator" 16000
+      mips_simulator;
+    Workload.v "monteCarlo" Workload.Integer "Monte carlo sim" 6000 monte_carlo;
+    Workload.v "NumHeapSort" Workload.Integer "Heap sort" 2600 num_heap_sort;
+    Workload.v "raytrace" Workload.Integer "Raytracer" 110 raytrace;
+  ]

@@ -1,0 +1,344 @@
+(** Multimedia benchmarks (paper Table 6, bottom group): blocked DCT
+    transforms, motion compensation, and filterbank synthesis — many
+    independent 8x8 blocks / macroblocks with fine-grained threads. *)
+
+let sub = Workload.subst_n
+
+(* Shared Javelin helpers: integer 1-D DCT-II over 8 samples applied to
+   rows then columns of each 8x8 block (fixed-point, scale 1/1024). *)
+let dct_helpers =
+  {|
+int[] cosk;
+
+def init_cos() {
+  // cos((2*x+1)*u*pi/16) in 1.10 fixed point, indexed [u * 8 + x]
+  cosk = new int[64];
+  for (int u = 0; u < 8; u = u + 1) {
+    for (int x = 0; x < 8; x = x + 1) {
+      float ang = i2f((2 * x + 1) * u) * 3.14159265358979 / 16.0;
+      cosk[u * 8 + x] = f2i(cos(ang) * 1024.0);
+    }
+  }
+}
+
+def dct8(int[] src, int base, int stride, int[] dst) {
+  for (int u = 0; u < 8; u = u + 1) {
+    int acc = 0;
+    for (int x = 0; x < 8; x = x + 1) {
+      acc = acc + src[base + x * stride] * cosk[u * 8 + x];
+    }
+    dst[u] = acc / 1024;
+  }
+}
+
+def idct8(int[] src, int base, int stride, int[] dst) {
+  for (int x = 0; x < 8; x = x + 1) {
+    int acc = src[base] / 2;
+    for (int u = 1; u < 8; u = u + 1) {
+      acc = acc + src[base + u * stride] * cosk[u * 8 + x] / 1024;
+    }
+    dst[x] = acc / 4;
+  }
+}
+|}
+
+(* JPEG decode: dequantize + 2-D iDCT per 8x8 block. *)
+let dec_jpeg n =
+  sub
+    ({|
+int[] coeffs;
+int[] quant;
+int[] pixels;
+int[] tmp;
+int[] row;
+int nblocks;
+int seed;
+
+def rnd() : int {
+  seed = (seed * 1103515245 + 12345) % 2147483648;
+  return seed / 65536 % 32768;
+}
+|}
+   ^ dct_helpers
+   ^ {|
+def main() {
+  nblocks = @N@;
+  seed = 13579;
+  init_cos();
+  coeffs = new int[nblocks * 64];
+  quant = new int[64];
+  pixels = new int[nblocks * 64];
+  tmp = new int[64];
+  row = new int[8];
+  for (int i = 0; i < 64; i = i + 1) {
+    quant[i] = 1 + i / 4;
+  }
+  for (int i = 0; i < nblocks * 64; i = i + 1) {
+    // sparse high-frequency coefficients, like real entropy-decoded data
+    if (i % 64 < 10) {
+      coeffs[i] = rnd() % 256 - 128;
+    } else {
+      coeffs[i] = 0;
+    }
+  }
+  for (int b = 0; b < nblocks; b = b + 1) {
+    // dequantize into tmp
+    for (int i = 0; i < 64; i = i + 1) {
+      tmp[i] = coeffs[b * 64 + i] * quant[i];
+    }
+    // rows
+    for (int r = 0; r < 8; r = r + 1) {
+      idct8(tmp, r * 8, 1, row);
+      for (int x = 0; x < 8; x = x + 1) {
+        tmp[r * 8 + x] = row[x];
+      }
+    }
+    // columns
+    for (int c = 0; c < 8; c = c + 1) {
+      idct8(tmp, c, 8, row);
+      for (int x = 0; x < 8; x = x + 1) {
+        pixels[b * 64 + x * 8 + c] = imin(255, imax(0, row[x] / 16 + 128));
+      }
+    }
+  }
+  int sum = 0;
+  for (int i = 0; i < nblocks * 64; i = i + 1) {
+    sum = (sum + pixels[i]) % 1000003;
+  }
+  print_int(sum);
+}
+|})
+    n
+
+(* JPEG encode: 2-D fDCT + quantization per block. *)
+let enc_jpeg n =
+  sub
+    ({|
+int[] pixels;
+int[] quant;
+int[] coeffs;
+int[] tmp;
+int[] row;
+int nblocks;
+int seed;
+
+def rnd() : int {
+  seed = (seed * 1103515245 + 12345) % 2147483648;
+  return seed / 65536 % 32768;
+}
+|}
+   ^ dct_helpers
+   ^ {|
+def main() {
+  nblocks = @N@;
+  seed = 24680;
+  init_cos();
+  pixels = new int[nblocks * 64];
+  coeffs = new int[nblocks * 64];
+  quant = new int[64];
+  tmp = new int[64];
+  row = new int[8];
+  for (int i = 0; i < 64; i = i + 1) {
+    quant[i] = 1 + i / 4;
+  }
+  for (int i = 0; i < nblocks * 64; i = i + 1) {
+    pixels[i] = rnd() % 256;
+  }
+  for (int b = 0; b < nblocks; b = b + 1) {
+    for (int i = 0; i < 64; i = i + 1) {
+      tmp[i] = pixels[b * 64 + i] - 128;
+    }
+    for (int r = 0; r < 8; r = r + 1) {
+      dct8(tmp, r * 8, 1, row);
+      for (int x = 0; x < 8; x = x + 1) {
+        tmp[r * 8 + x] = row[x];
+      }
+    }
+    for (int c = 0; c < 8; c = c + 1) {
+      dct8(tmp, c, 8, row);
+      for (int x = 0; x < 8; x = x + 1) {
+        coeffs[b * 64 + x * 8 + c] = row[x] / (quant[x * 8 + c] * 8);
+      }
+    }
+  }
+  int nonzero = 0;
+  for (int i = 0; i < nblocks * 64; i = i + 1) {
+    if (coeffs[i] != 0) { nonzero = nonzero + 1; }
+  }
+  print_int(nonzero);
+}
+|})
+    n
+
+(* H.263-style decode: motion compensation — copy predicted macroblocks
+   with motion vectors, add residuals. *)
+let h263_dec n =
+  sub
+    {|
+int[] ref_frame;
+int[] cur_frame;
+int[] mv_x;
+int[] mv_y;
+int[] residual;
+int mb_w;
+int mb_h;
+int width;
+int seed;
+
+def rnd() : int {
+  seed = (seed * 1103515245 + 12345) % 2147483648;
+  return seed / 65536 % 32768;
+}
+
+def main() {
+  mb_w = @N@;
+  mb_h = mb_w * 2 / 3;
+  width = mb_w * 16;
+  int height = mb_h * 16;
+  seed = 112233;
+  ref_frame = new int[width * height];
+  cur_frame = new int[width * height];
+  mv_x = new int[mb_w * mb_h];
+  mv_y = new int[mb_w * mb_h];
+  residual = new int[mb_w * mb_h];
+  for (int i = 0; i < width * height; i = i + 1) {
+    ref_frame[i] = rnd() % 256;
+  }
+  for (int m = 0; m < mb_w * mb_h; m = m + 1) {
+    mv_x[m] = rnd() % 7 - 3;
+    mv_y[m] = rnd() % 7 - 3;
+    residual[m] = rnd() % 32 - 16;
+  }
+  // per-macroblock motion compensation (parallel across macroblocks)
+  for (int m = 0; m < mb_w * mb_h; m = m + 1) {
+    int bx = m % mb_w * 16;
+    int by = m / mb_w * 16;
+    for (int y = 0; y < 16; y = y + 1) {
+      for (int x = 0; x < 16; x = x + 1) {
+        int sx = imin(width - 1, imax(0, bx + x + mv_x[m]));
+        int sy = imin(mb_h * 16 - 1, imax(0, by + y + mv_y[m]));
+        int v = ref_frame[sy * width + sx] + residual[m];
+        cur_frame[(by + y) * width + bx + x] = imin(255, imax(0, v));
+      }
+    }
+  }
+  int sum = 0;
+  for (int i = 0; i < width * mb_h * 16; i = i + 1) {
+    sum = (sum + cur_frame[i]) % 1000003;
+  }
+  print_int(sum);
+}
+|}
+    n
+
+(* MPEG video decode inner loops: per-block iDCT plus motion add.
+   Combines the decJpeg and h263dec kernels per macroblock. *)
+let mpeg_video n =
+  sub
+    ({|
+int[] ref_frame;
+int[] cur_frame;
+int[] coeffs;
+int[] tmp;
+int[] row;
+int nblocks;
+int seed;
+
+def rnd() : int {
+  seed = (seed * 1103515245 + 12345) % 2147483648;
+  return seed / 65536 % 32768;
+}
+|}
+   ^ dct_helpers
+   ^ {|
+def main() {
+  nblocks = @N@;
+  seed = 445566;
+  init_cos();
+  ref_frame = new int[nblocks * 64];
+  cur_frame = new int[nblocks * 64];
+  coeffs = new int[nblocks * 64];
+  tmp = new int[64];
+  row = new int[8];
+  for (int i = 0; i < nblocks * 64; i = i + 1) {
+    ref_frame[i] = rnd() % 256;
+    if (i % 64 < 6) {
+      coeffs[i] = rnd() % 64 - 32;
+    } else {
+      coeffs[i] = 0;
+    }
+  }
+  for (int b = 0; b < nblocks; b = b + 1) {
+    for (int i = 0; i < 64; i = i + 1) {
+      tmp[i] = coeffs[b * 64 + i] * 2;
+    }
+    for (int r = 0; r < 8; r = r + 1) {
+      idct8(tmp, r * 8, 1, row);
+      for (int x = 0; x < 8; x = x + 1) { tmp[r * 8 + x] = row[x]; }
+    }
+    for (int c = 0; c < 8; c = c + 1) {
+      idct8(tmp, c, 8, row);
+      for (int x = 0; x < 8; x = x + 1) {
+        int v = ref_frame[b * 64 + x * 8 + c] + row[x] / 16;
+        cur_frame[b * 64 + x * 8 + c] = imin(255, imax(0, v));
+      }
+    }
+  }
+  int sum = 0;
+  for (int i = 0; i < nblocks * 64; i = i + 1) {
+    sum = (sum + cur_frame[i]) % 1000003;
+  }
+  print_int(sum);
+}
+|})
+    n
+
+(* mp3-style subband synthesis: windowed dot products per output sample
+   over a 32-subband filterbank. *)
+let mp3 n =
+  sub
+    {|
+float[] subbands;
+float[] window;
+float[] pcm;
+int nframes;
+
+def main() {
+  nframes = @N@;
+  subbands = new float[nframes * 32];
+  window = new float[512];
+  pcm = new float[nframes * 32];
+  for (int i = 0; i < 512; i = i + 1) {
+    window[i] = sin(i2f(i) * 0.01227184630308513) * 0.5;
+  }
+  for (int i = 0; i < nframes * 32; i = i + 1) {
+    subbands[i] = sin(i2f(i) * 0.37) * 0.3;
+  }
+  // synthesis: each frame's 32 outputs are windowed dot products over
+  // the last 16 frames of subband history
+  for (int f = 16; f < nframes; f = f + 1) {
+    for (int s = 0; s < 32; s = s + 1) {
+      float acc = 0.0;
+      for (int k = 0; k < 16; k = k + 1) {
+        acc = acc + subbands[(f - k) * 32 + s] * window[(k * 32 + s) % 512];
+      }
+      pcm[f * 32 + s] = acc;
+    }
+  }
+  float sum = 0.0;
+  for (int i = 0; i < nframes * 32; i = i + 1) {
+    sum = sum + pcm[i] * pcm[i];
+  }
+  print_float(sum);
+}
+|}
+    n
+
+let all : Workload.t list =
+  [
+    Workload.v "decJpeg" Workload.Multimedia "Image decoder" 40 dec_jpeg;
+    Workload.v "encJpeg" Workload.Multimedia "Image compression" 30 enc_jpeg;
+    Workload.v "h263dec" Workload.Multimedia "Video decoder" 9 h263_dec;
+    Workload.v "mpegVideo" Workload.Multimedia "Video decoder" 36 mpeg_video;
+    Workload.v "mp3" Workload.Multimedia "mp3 decoder" 60 mp3;
+  ]

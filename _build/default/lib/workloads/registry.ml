@@ -1,0 +1,16 @@
+(** All benchmarks, in the paper's Table 6 order. *)
+
+let all : Workload.t list =
+  Integer_bench.all @ Float_bench.all @ Media_bench.all
+
+let find name =
+  List.find_opt (fun (w : Workload.t) -> w.Workload.name = name) all
+
+let find_exn name =
+  match find name with
+  | Some w -> w
+  | None -> invalid_arg ("Workloads.Registry.find_exn: " ^ name)
+
+let names = List.map (fun (w : Workload.t) -> w.Workload.name) all
+
+let default_source (w : Workload.t) = w.Workload.source w.Workload.default_size

@@ -1,0 +1,58 @@
+(** Benchmark registry.
+
+    Each workload is a Javelin program named after a benchmark from the
+    paper's Table 6 (jBYTEmark / SPECjvm98 / Java Grande / mediabench).
+    The kernels are faithful to the loop structure and dependency pattern
+    that drive the paper's per-benchmark behaviour — e.g. Huffman's
+    variable-length inner decode loop, NumHeapSort's sift-down chain,
+    FourierTest's huge independent outer iterations — scaled to simulator-
+    friendly sizes. [source n] generates the program at dataset scale [n]
+    (used for the paper's data-set-sensitivity observation, Sec. 6.1). *)
+
+type category = Integer | Floating_point | Multimedia
+
+type t = {
+  name : string;
+  category : category;
+  description : string;
+  default_size : int;
+  source : int -> string;
+  (** [analyzable] mirrors Table 6 col. (a): could a traditional
+      Fortran-style parallelizing compiler handle it? *)
+  analyzable : bool;
+  (** [data_sensitive] mirrors Table 6 col. (b): does the best
+      decomposition change with input size? *)
+  data_sensitive : bool;
+}
+
+let string_of_category = function
+  | Integer -> "Integer"
+  | Floating_point -> "Floating point"
+  | Multimedia -> "Multimedia"
+
+let v ?(analyzable = false) ?(data_sensitive = false) name category
+    description default_size source =
+  { name; category; description; default_size; source; analyzable; data_sensitive }
+
+(** Replace every ["@N@"] in a source template with [string_of_int n] —
+    used where templates are assembled from shared fragments and a
+    [Printf] format literal is impractical. *)
+let subst_n template n =
+  let needle = "@N@" in
+  let buf = Buffer.create (String.length template + 16) in
+  let len = String.length template in
+  let i = ref 0 in
+  while !i < len do
+    if
+      !i + 3 <= len
+      && String.sub template !i 3 = needle
+    then begin
+      Buffer.add_string buf (string_of_int n);
+      i := !i + 3
+    end
+    else begin
+      Buffer.add_char buf template.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf

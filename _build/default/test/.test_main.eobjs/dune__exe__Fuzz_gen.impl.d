@@ -1,0 +1,1 @@
+test/fuzz_gen.ml: Array List Printf String

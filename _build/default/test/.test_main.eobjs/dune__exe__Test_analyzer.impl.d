@@ -1,0 +1,1 @@
+test/test_analyzer.ml: Alcotest List Printf QCheck QCheck_alcotest Test_core

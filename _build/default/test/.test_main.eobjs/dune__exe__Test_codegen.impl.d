@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Compiler Hashtbl Hydra Ir List Printf Workloads

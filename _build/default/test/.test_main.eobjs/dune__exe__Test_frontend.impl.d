@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Ast Ir Lexer List Parser String Typecheck

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Array Compiler Fuzz_gen Hydra Ir List Printf QCheck QCheck_alcotest Test_core Workloads

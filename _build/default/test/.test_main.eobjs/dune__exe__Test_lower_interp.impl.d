@@ -1,0 +1,1 @@
+test/test_lower_interp.ml: Alcotest Compiler Hydra Ir List

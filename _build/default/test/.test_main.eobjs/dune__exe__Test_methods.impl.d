@@ -1,0 +1,1 @@
+test/test_methods.ml: Alcotest Hydra Jrpm List Test_core Workloads

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Compiler Hydra Ir List Printf QCheck QCheck_alcotest Workloads

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Compiler Float Ir Jrpm List Option Printf Test_core Workloads

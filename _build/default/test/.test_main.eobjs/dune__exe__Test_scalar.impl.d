@@ -1,0 +1,1 @@
+test/test_scalar.ml: Alcotest Array Cfg Ir

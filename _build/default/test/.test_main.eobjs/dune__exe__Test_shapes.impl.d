@@ -1,0 +1,1 @@
+test/test_shapes.ml: Alcotest Array Compiler Float Hydra Ir Jrpm Lazy List Printf Test_core Workloads

@@ -1,0 +1,1 @@
+test/test_tls.ml: Alcotest Array Compiler Hydra Ir List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_tracer.ml: Alcotest Hashtbl Hydra Jrpm List Option Test_core

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Hashtbl List QCheck QCheck_alcotest String Util

@@ -1,0 +1,1 @@
+test/test_workload_golden.ml: Alcotest Compiler Hydra Ir List Printf Workloads

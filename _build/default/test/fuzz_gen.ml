@@ -1,0 +1,129 @@
+(* Random well-typed Javelin program generator for differential testing.
+
+   Generated programs are int-only, loop-bounded (every loop is a
+   counted for-loop), and free of trapping operations (division and
+   modulo only by positive constants, array indices masked into range),
+   so they always terminate and run identically on every engine. Each
+   program ends by printing all locals and a heap checksum. *)
+
+type rng = { mutable st : int }
+
+let mk_rng seed = { st = (if seed = 0 then 1 else seed) }
+
+let next r =
+  (* xorshift *)
+  let x = r.st in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  r.st <- x land max_int;
+  r.st
+
+let rand r n = if n <= 0 then 0 else next r mod n
+
+let locals = [| "x0"; "x1"; "x2"; "x3" |]
+let arr_len = 64
+
+(* integer expression over the locals, the global scalar gs, and the
+   global array g *)
+let rec gen_expr r depth : string =
+  if depth <= 0 then
+    match rand r 4 with
+    | 0 -> string_of_int (rand r 100)
+    | 1 -> locals.(rand r (Array.length locals))
+    | 2 -> "gs"
+    | _ -> Printf.sprintf "g[iabs(%s) %% %d]" locals.(rand r 4) arr_len
+  else
+    let a = gen_expr r (depth - 1) and b = gen_expr r (depth - 1) in
+    match rand r 10 with
+    | 0 -> Printf.sprintf "(%s + %s)" a b
+    | 1 -> Printf.sprintf "(%s - %s)" a b
+    | 2 -> Printf.sprintf "(%s * %s)" a b
+    | 3 -> Printf.sprintf "(%s / %d)" a (1 + rand r 7)
+    | 4 -> Printf.sprintf "(%s %% %d)" a (1 + rand r 31)
+    | 5 -> Printf.sprintf "(%s & %s)" a b
+    | 6 -> Printf.sprintf "(%s | %s)" a b
+    | 7 -> Printf.sprintf "(%s ^ %s)" a b
+    | 8 -> Printf.sprintf "imin(%s, %s)" a b
+    | _ -> Printf.sprintf "imax(%s, %s)" a b
+
+let gen_cond r depth =
+  let a = gen_expr r depth and b = gen_expr r depth in
+  let op = [| "<"; "<="; ">"; ">="; "=="; "!=" |].(rand r 6) in
+  Printf.sprintf "(%s %s %s)" a op b
+
+(* statements; [loop_depth] bounds nesting, [fresh] provides unique loop
+   counter names *)
+let rec gen_stmt r ~loop_depth ~fresh ~indent : string =
+  let pad = String.make indent ' ' in
+  match rand r (if loop_depth > 0 then 6 else 4) with
+  | 0 ->
+      Printf.sprintf "%s%s = %s;" pad
+        locals.(rand r (Array.length locals))
+        (gen_expr r (1 + rand r 2))
+  | 1 ->
+      Printf.sprintf "%sg[iabs(%s) %% %d] = %s;" pad
+        locals.(rand r 4) arr_len
+        (gen_expr r (1 + rand r 2))
+  | 2 -> Printf.sprintf "%sgs = %s;" pad (gen_expr r (1 + rand r 2))
+  | 3 ->
+      let thn = gen_block r ~loop_depth ~fresh ~indent:(indent + 2) ~len:(1 + rand r 2) in
+      if rand r 2 = 0 then
+        Printf.sprintf "%sif %s {\n%s\n%s}" pad (gen_cond r 1) thn pad
+      else
+        let els =
+          gen_block r ~loop_depth ~fresh ~indent:(indent + 2) ~len:(1 + rand r 2)
+        in
+        Printf.sprintf "%sif %s {\n%s\n%s} else {\n%s\n%s}" pad (gen_cond r 1)
+          thn pad els pad
+  | _ ->
+      let v = Printf.sprintf "li%d" (fresh ()) in
+      let trip = 2 + rand r 7 in
+      let body =
+        gen_block r ~loop_depth:(loop_depth - 1) ~fresh ~indent:(indent + 2)
+          ~len:(1 + rand r 3)
+      in
+      Printf.sprintf "%sfor (int %s = 0; %s < %d; %s = %s + 1) {\n%s\n%s}" pad v
+        v trip v v body pad
+
+and gen_block r ~loop_depth ~fresh ~indent ~len : string =
+  String.concat "\n"
+    (List.init len (fun _ -> gen_stmt r ~loop_depth ~fresh ~indent))
+
+let gen_program seed : string =
+  let r = mk_rng seed in
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    !counter
+  in
+  let body =
+    gen_block r ~loop_depth:2 ~fresh ~indent:2 ~len:(3 + rand r 5)
+  in
+  (* always include at least one top-level counted loop over the array so
+     the TLS machinery has something to chew on *)
+  let v = Printf.sprintf "li%d" (fresh ()) in
+  Printf.sprintf
+    {|int[] g;
+int gs;
+def main() {
+  g = new int[%d];
+  int x0 = %d;
+  int x1 = %d;
+  int x2 = %d;
+  int x3 = %d;
+  gs = %d;
+  for (int %s = 0; %s < %d; %s = %s + 1) {
+    g[%s] = %s * 7 + x0;
+  }
+%s
+  int check = 0;
+  for (int kk = 0; kk < %d; kk = kk + 1) {
+    check = check + g[kk] * (kk + 1);
+  }
+  print_int(x0); print_int(x1); print_int(x2); print_int(x3);
+  print_int(gs); print_int(check);
+}
+|}
+    arr_len (rand r 50) (rand r 50) (rand r 50) (rand r 50) (rand r 50) v v
+    arr_len v v v v body arr_len

@@ -1,0 +1,218 @@
+(* Equation 1 (speedup estimation) and Equation 2 (decomposition
+   selection) tests, including the Table 3 shape. *)
+
+module Stats = Test_core.Stats
+module Analyzer = Test_core.Analyzer
+
+(* Build a Stats.t from derived quantities. *)
+let mk_stats ?(stl = 0) ~cycles ~threads ~entries ?(prev_count = 0)
+    ?(prev_len = 0) ?(earlier_count = 0) ?(earlier_len = 0) ?(overflow = 0) () =
+  let s = Stats.create stl in
+  s.Stats.cycles <- cycles;
+  s.Stats.threads <- threads;
+  s.Stats.entries <- entries;
+  s.Stats.crit_prev_count <- prev_count;
+  s.Stats.crit_prev_len <- prev_len;
+  s.Stats.crit_earlier_count <- earlier_count;
+  s.Stats.crit_earlier_len <- earlier_len;
+  s.Stats.overflow_threads <- overflow;
+  s
+
+let test_no_deps_max_speedup () =
+  (* no arcs, no overflow, large threads: speedup approaches p = 4 *)
+  let s = mk_stats ~cycles:1_000_000 ~threads:1000 ~entries:1 () in
+  let e = Analyzer.estimate s in
+  Alcotest.(check (float 1e-6)) "base" 4.0 e.Analyzer.base_speedup;
+  Alcotest.(check bool) "near 4" true (e.Analyzer.est_speedup > 3.8)
+
+let test_three_quarter_rule () =
+  (* the paper: maximal speedup when L >= (p-1)/p * T; here T = 1000 *)
+  let with_arc len =
+    let s =
+      mk_stats ~cycles:1_000_000 ~threads:1000 ~entries:1 ~prev_count:999
+        ~prev_len:(999 * len) ()
+    in
+    (Analyzer.estimate s).Analyzer.base_speedup
+  in
+  Alcotest.(check (float 1e-3)) "L = 3/4 T hits p" 4.0 (with_arc 750);
+  Alcotest.(check bool) "L above 3/4 T stays p" true (with_arc 900 >= 3.999);
+  Alcotest.(check bool) "L below 3/4 T limits" true (with_arc 500 < 3.0);
+  Alcotest.(check (float 1e-3)) "L = T/2 gives 2" 2.0 (with_arc 500);
+  Alcotest.(check bool) "tiny arcs serialize" true (with_arc 10 < 1.2)
+
+let test_arc_frequency_scales () =
+  (* arcs on half the threads hurt half as much *)
+  let freq n =
+    let s =
+      mk_stats ~cycles:1_000_000 ~threads:1000 ~entries:1 ~prev_count:n
+        ~prev_len:(n * 100) ()
+    in
+    (Analyzer.estimate s).Analyzer.base_speedup
+  in
+  Alcotest.(check bool) "monotone in frequency" true (freq 999 < freq 500);
+  Alcotest.(check bool) "monotone still" true (freq 500 < freq 100)
+
+let test_earlier_bin_model () =
+  (* An arc into the <t-1 bin spans at least two whole threads, so its
+     length is always >= T. At distance 2: L = T gives I = T/2 (speedup
+     2), L = 1.5T gives I = T/4 (speedup 4). *)
+  let t = 1000 in
+  let earlier len =
+    (Analyzer.estimate
+       (mk_stats ~cycles:1_000_000 ~threads:1000 ~entries:1 ~earlier_count:999
+          ~earlier_len:(999 * len) ()))
+      .Analyzer.base_speedup
+  in
+  Alcotest.(check (float 1e-2)) "L = T -> 2" 2.0 (earlier t);
+  Alcotest.(check (float 1e-2)) "L = 1.5T -> 4" 4.0 (earlier (3 * t / 2));
+  Alcotest.(check bool) "monotone in length" true (earlier 1100 < earlier 1400)
+
+let test_overflow_serializes () =
+  let ovf f =
+    let s =
+      mk_stats ~cycles:1_000_000 ~threads:1000 ~entries:1
+        ~overflow:(int_of_float (f *. 1000.)) ()
+    in
+    (Analyzer.estimate s).Analyzer.est_speedup
+  in
+  Alcotest.(check bool) "full overflow ~1" true (ovf 1.0 < 1.05);
+  Alcotest.(check bool) "half overflow in between" true
+    (ovf 0.5 > 1.2 && ovf 0.5 < 2.2);
+  Alcotest.(check bool) "monotone" true (ovf 0.0 > ovf 0.25 && ovf 0.25 > ovf 0.75)
+
+let test_overheads_hurt_small_loops () =
+  (* tiny threads and many entries pay startup/eoi overheads *)
+  let small = mk_stats ~cycles:4000 ~threads:400 ~entries:100 () in
+  let big = mk_stats ~cycles:400_000 ~threads:400 ~entries:1 () in
+  let es = Analyzer.estimate small and eb = Analyzer.estimate big in
+  Alcotest.(check bool) "small loop overhead-bound" true
+    (es.Analyzer.est_speedup < eb.Analyzer.est_speedup);
+  Alcotest.(check bool) "big loop near max" true (eb.Analyzer.est_speedup > 3.8)
+
+(* ------------------------------------------------------------------ *)
+(* Equation 2 selection over a synthetic nest, Table 3-style: an outer
+   loop with estimated speedup 1.85 beats the inner STL + serial rest. *)
+let test_table3_shape () =
+  (* outer covers everything (cycles 18941k); inner covers 13774k with
+     5167k serial. Arc lengths tuned so outer ~1.85x, inner ~1.30x. *)
+  let outer =
+    mk_stats ~stl:0 ~cycles:18_941_000 ~threads:10_000 ~entries:1
+      ~prev_count:9_999
+      ~prev_len:(9_999 * 1023)
+      ()
+  in
+  (* thread size 1894; arc 1023 -> T/(T-L) = 2.17; with overheads ~2 *)
+  let inner =
+    mk_stats ~stl:1 ~cycles:13_774_000 ~threads:100_000 ~entries:10_000
+      ~prev_count:89_000
+      ~prev_len:(89_000 * 40)
+      ()
+  in
+  (* thread size 138; arc 40 -> T/(T-L) = 1.40 minus overheads *)
+  let sel =
+    Analyzer.select
+      ~stats:[ (0, outer); (1, inner) ]
+      ~child_cycles:[ ((-1, 0), 18_941_000); ((0, 1), 13_774_000) ]
+      ~program_cycles:18_941_000 ()
+  in
+  (match sel.Analyzer.chosen with
+  | [ c ] -> Alcotest.(check int) "outer loop chosen" 0 c.Analyzer.chosen_stl
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 chosen, got %d" (List.length l)));
+  Alcotest.(check bool) "predicted speedup sensible" true
+    (sel.Analyzer.predicted_speedup > 1.3 && sel.Analyzer.predicted_speedup < 4.)
+
+let test_inner_wins_when_outer_overflows () =
+  let outer =
+    mk_stats ~stl:0 ~cycles:10_000_000 ~threads:1_000 ~entries:1 ~overflow:990 ()
+  in
+  let inner =
+    mk_stats ~stl:1 ~cycles:9_000_000 ~threads:90_000 ~entries:1_000 ()
+  in
+  let sel =
+    Analyzer.select
+      ~stats:[ (0, outer); (1, inner) ]
+      ~child_cycles:[ ((-1, 0), 10_000_000); ((0, 1), 9_000_000) ]
+      ~program_cycles:10_000_000 ()
+  in
+  (match sel.Analyzer.chosen with
+  | [ c ] -> Alcotest.(check int) "inner chosen" 1 c.Analyzer.chosen_stl
+  | _ -> Alcotest.fail "expected exactly the inner loop");
+  Alcotest.(check bool) "serial remainder accounted" true
+    (sel.Analyzer.predicted_cycles > 1_000_000.)
+
+let test_nothing_chosen_when_serial () =
+  let serial =
+    mk_stats ~stl:0 ~cycles:1_000_000 ~threads:1_000 ~entries:1 ~prev_count:999
+      ~prev_len:(999 * 5) ()
+  in
+  let sel =
+    Analyzer.select ~stats:[ (0, serial) ]
+      ~child_cycles:[ ((-1, 0), 1_000_000) ]
+      ~program_cycles:1_200_000 ()
+  in
+  Alcotest.(check int) "nothing chosen" 0 (List.length sel.Analyzer.chosen);
+  Alcotest.(check (float 1e-3)) "predicted = sequential" 1.0
+    sel.Analyzer.predicted_speedup
+
+let test_siblings_both_chosen () =
+  let a = mk_stats ~stl:0 ~cycles:500_000 ~threads:500 ~entries:1 () in
+  let b = mk_stats ~stl:1 ~cycles:400_000 ~threads:400 ~entries:1 () in
+  let sel =
+    Analyzer.select
+      ~stats:[ (0, a); (1, b) ]
+      ~child_cycles:[ ((-1, 0), 500_000); ((-1, 1), 400_000) ]
+      ~program_cycles:1_000_000 ()
+  in
+  Alcotest.(check int) "both siblings" 2 (List.length sel.Analyzer.chosen);
+  Alcotest.(check int) "serial = uncovered" 100_000 sel.Analyzer.serial_cycles;
+  (* coverage sorted descending *)
+  (match sel.Analyzer.chosen with
+  | [ x; y ] ->
+      Alcotest.(check bool) "sorted by coverage" true
+        (x.Analyzer.coverage >= y.Analyzer.coverage)
+  | _ -> ())
+
+(* qcheck property: the estimate is always within [something, p] and
+   spec_time is positive. *)
+let prop_estimate_bounds =
+  QCheck.Test.make ~name:"estimate bounded and positive" ~count:300
+    QCheck.(
+      quad (int_range 1000 10_000_000) (int_range 1 100_000) (int_range 0 100)
+        (pair (int_range 0 100) (int_range 0 1000)))
+    (fun (cycles, threads, overflow_pct, (arc_pct, arc_len)) ->
+      let entries = 1 + (threads / 100) in
+      let denom = max 1 (threads - entries) in
+      let prev_count = min denom (denom * arc_pct / 100) in
+      let overflow = min threads (threads * overflow_pct / 100) in
+      let s =
+        mk_stats ~cycles ~threads ~entries ~prev_count
+          ~prev_len:(prev_count * arc_len) ~overflow ()
+      in
+      let e = Analyzer.estimate s in
+      e.Analyzer.base_speedup >= 1.
+      && e.Analyzer.base_speedup <= 4.
+      && e.Analyzer.spec_time > 0.)
+
+let suites =
+  [
+    ( "analyzer.equation1",
+      [
+        Alcotest.test_case "no deps" `Quick test_no_deps_max_speedup;
+        Alcotest.test_case "3/4 rule" `Quick test_three_quarter_rule;
+        Alcotest.test_case "arc frequency" `Quick test_arc_frequency_scales;
+        Alcotest.test_case "<t-1 bin model" `Quick test_earlier_bin_model;
+        Alcotest.test_case "overflow serializes" `Quick test_overflow_serializes;
+        Alcotest.test_case "overheads vs loop size" `Quick
+          test_overheads_hurt_small_loops;
+        QCheck_alcotest.to_alcotest prop_estimate_bounds;
+      ] );
+    ( "analyzer.equation2",
+      [
+        Alcotest.test_case "table 3 shape" `Quick test_table3_shape;
+        Alcotest.test_case "overflowing outer loses" `Quick
+          test_inner_wins_when_outer_overflows;
+        Alcotest.test_case "serial chosen nothing" `Quick
+          test_nothing_chosen_when_serial;
+        Alcotest.test_case "sibling loops" `Quick test_siblings_both_chosen;
+      ] );
+  ]

@@ -1,0 +1,152 @@
+(* CFG, dominator, and natural-loop tests, driven from Javelin sources. *)
+
+let func_of src name =
+  let tac = Ir.Lower.compile src in
+  Ir.Tac.find_func tac name
+
+let loops_of src name = Cfg.Loops.analyze (func_of src name)
+
+let test_dominators_diamond () =
+  (* if/else diamond: entry dominates all; join dominated by entry only *)
+  let f =
+    func_of
+      "def main() { int x = 1; if (x) { x = 2; } else { x = 3; } print_int(x); }"
+      "main"
+  in
+  let g = Cfg.Cfgraph.of_func f in
+  let doms = Cfg.Dominators.compute g in
+  let entry = Cfg.Cfgraph.entry g in
+  Array.iter
+    (fun l ->
+      if Cfg.Cfgraph.reachable g l then
+        Alcotest.(check bool)
+          (Printf.sprintf "entry dom L%d" l)
+          true
+          (Cfg.Dominators.dominates doms entry l))
+    (Cfg.Cfgraph.rpo g);
+  Alcotest.(check bool) "reflexive" true (Cfg.Dominators.dominates doms entry entry)
+
+let test_no_loops () =
+  let l = loops_of "def main() { print_int(1); }" "main" in
+  Alcotest.(check int) "no loops" 0 (Array.length l.Cfg.Loops.loops);
+  Alcotest.(check int) "depth 0" 0 (Cfg.Loops.max_depth l)
+
+let test_single_loop () =
+  let l =
+    loops_of "def main() { int i = 0; while (i < 9) { i = i + 1; } }" "main"
+  in
+  Alcotest.(check int) "one loop" 1 (Array.length l.Cfg.Loops.loops);
+  let lp = l.Cfg.Loops.loops.(0) in
+  Alcotest.(check int) "depth 1" 1 lp.Cfg.Loops.depth;
+  Alcotest.(check int) "one latch" 1 (List.length lp.Cfg.Loops.latches);
+  Alcotest.(check bool) "has exit" true (lp.Cfg.Loops.exit_edges <> []);
+  Alcotest.(check bool) "has entry edge" true (lp.Cfg.Loops.entry_edges <> []);
+  Alcotest.(check bool) "header in body" true
+    (List.mem lp.Cfg.Loops.header lp.Cfg.Loops.body)
+
+let nested_src =
+  "def main() {\n\
+   for (int i = 0; i < 3; i = i + 1) {\n\
+   for (int j = 0; j < 3; j = j + 1) {\n\
+   for (int k = 0; k < 3; k = k + 1) { print_int(k); }\n\
+   }\n\
+   }\n\
+   }"
+
+let test_nested_loops () =
+  let l = loops_of nested_src "main" in
+  Alcotest.(check int) "three loops" 3 (Array.length l.Cfg.Loops.loops);
+  Alcotest.(check int) "max depth 3" 3 (Cfg.Loops.max_depth l);
+  let depths =
+    List.sort compare
+      (Array.to_list (Array.map (fun lp -> lp.Cfg.Loops.depth) l.Cfg.Loops.loops))
+  in
+  Alcotest.(check (list int)) "depths" [ 1; 2; 3 ] depths;
+  (* outermost loop (depth 1) has height 2; innermost height 0 *)
+  Array.iteri
+    (fun i lp ->
+      let h = Cfg.Loops.height l i in
+      Alcotest.(check int)
+        (Printf.sprintf "height of depth-%d" lp.Cfg.Loops.depth)
+        (3 - lp.Cfg.Loops.depth) h)
+    l.Cfg.Loops.loops;
+  (* nesting: each deeper loop's body is inside its parent's *)
+  Array.iteri
+    (fun i lp ->
+      match lp.Cfg.Loops.parent with
+      | Some p ->
+          let pb = l.Cfg.Loops.loops.(p).Cfg.Loops.body in
+          Alcotest.(check bool) "body subset" true
+            (List.for_all (fun b -> List.mem b pb) lp.Cfg.Loops.body);
+          Alcotest.(check bool) "child link" true
+            (List.mem i l.Cfg.Loops.loops.(p).Cfg.Loops.children)
+      | None -> ())
+    l.Cfg.Loops.loops
+
+let test_sibling_loops () =
+  let l =
+    loops_of
+      "def main() { int i = 0; while (i < 3) { i = i + 1; } int j = 0; while (j < 3) { j = j + 1; } }"
+      "main"
+  in
+  Alcotest.(check int) "two loops" 2 (Array.length l.Cfg.Loops.loops);
+  Array.iter
+    (fun lp -> Alcotest.(check int) "both depth 1" 1 lp.Cfg.Loops.depth)
+    l.Cfg.Loops.loops
+
+let test_do_while_loop () =
+  let l =
+    loops_of "def main() { int i = 0; do { i = i + 1; } while (i < 5); }" "main"
+  in
+  Alcotest.(check int) "one loop" 1 (Array.length l.Cfg.Loops.loops)
+
+let test_break_makes_extra_exit () =
+  let l =
+    loops_of
+      "def main() { int i = 0; while (i < 10) { if (i == 3) { break; } i = i + 1; } print_int(i); }"
+      "main"
+  in
+  let lp = l.Cfg.Loops.loops.(0) in
+  Alcotest.(check bool) "at least two exit edges" true
+    (List.length lp.Cfg.Loops.exit_edges >= 2)
+
+let test_continue_extra_latch () =
+  let l =
+    loops_of
+      "def main() { int i = 0; int s = 0; while (i < 10) { i = i + 1; if (i == 3) { continue; } s = s + i; } print_int(s); }"
+      "main"
+  in
+  let lp = l.Cfg.Loops.loops.(0) in
+  Alcotest.(check bool) "multiple latches" true
+    (List.length lp.Cfg.Loops.latches >= 2)
+
+let test_innermost_containing () =
+  let l = loops_of nested_src "main" in
+  (* the innermost loop's header belongs to all three bodies, and
+     innermost_containing must pick the deepest one *)
+  let inner =
+    let best = ref 0 in
+    Array.iteri
+      (fun i lp -> if lp.Cfg.Loops.depth = 3 then best := i)
+      l.Cfg.Loops.loops;
+    !best
+  in
+  let hdr = l.Cfg.Loops.loops.(inner).Cfg.Loops.header in
+  Alcotest.(check (option int)) "innermost" (Some inner)
+    (Cfg.Loops.innermost_containing l hdr)
+
+let suites =
+  [
+    ( "cfg.loops",
+      [
+        Alcotest.test_case "dominators diamond" `Quick test_dominators_diamond;
+        Alcotest.test_case "no loops" `Quick test_no_loops;
+        Alcotest.test_case "single while" `Quick test_single_loop;
+        Alcotest.test_case "triple nest" `Quick test_nested_loops;
+        Alcotest.test_case "siblings" `Quick test_sibling_loops;
+        Alcotest.test_case "do-while" `Quick test_do_while_loop;
+        Alcotest.test_case "break exits" `Quick test_break_makes_extra_exit;
+        Alcotest.test_case "continue latches" `Quick test_continue_extra_latch;
+        Alcotest.test_case "innermost containing" `Quick test_innermost_containing;
+      ] );
+  ]

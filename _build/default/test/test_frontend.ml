@@ -1,0 +1,158 @@
+(* Lexer, parser, and typechecker tests. *)
+
+open Ir
+
+let toks s = List.map (fun (t : Lexer.located) -> t.tok) (Lexer.tokenize s)
+
+let test_lexer_basic () =
+  match toks "int x = 42;" with
+  | [ Lexer.KW "int"; Lexer.IDENT "x"; Lexer.OP "="; Lexer.INT_LIT 42;
+      Lexer.PUNCT ";"; Lexer.EOF ] ->
+      ()
+  | _ -> Alcotest.fail "unexpected token stream"
+
+let test_lexer_operators () =
+  match toks "a <= b && c >> 2 != d" with
+  | [ Lexer.IDENT "a"; Lexer.OP "<="; Lexer.IDENT "b"; Lexer.OP "&&";
+      Lexer.IDENT "c"; Lexer.OP ">>"; Lexer.INT_LIT 2; Lexer.OP "!=";
+      Lexer.IDENT "d"; Lexer.EOF ] ->
+      ()
+  | _ -> Alcotest.fail "unexpected operator stream"
+
+let test_lexer_floats () =
+  match toks "1.5 2. 3.25e-2" with
+  | [ Lexer.FLOAT_LIT a; Lexer.FLOAT_LIT b; Lexer.FLOAT_LIT c; Lexer.EOF ] ->
+      Alcotest.(check (float 1e-12)) "1.5" 1.5 a;
+      Alcotest.(check (float 1e-12)) "2." 2. b;
+      Alcotest.(check (float 1e-12)) "3.25e-2" 0.0325 c
+  | _ -> Alcotest.fail "unexpected float stream"
+
+let test_lexer_comments () =
+  match toks "a // comment\n /* block\n comment */ b" with
+  | [ Lexer.IDENT "a"; Lexer.IDENT "b"; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "comments not skipped"
+
+let test_lexer_errors () =
+  (try
+     ignore (Lexer.tokenize "a $ b");
+     Alcotest.fail "expected lex error"
+   with Lexer.Error _ -> ());
+  try
+    ignore (Lexer.tokenize "/* never closed");
+    Alcotest.fail "expected unterminated comment error"
+  with Lexer.Error (msg, _) ->
+    Alcotest.(check bool) "message" true
+      (String.length msg > 0)
+
+let test_parser_precedence () =
+  (* 1 + 2 * 3 parses as 1 + (2 * 3) *)
+  match (Parser.parse_expr "1 + 2 * 3").e with
+  | Ast.EBin (Ast.Add, { e = Ast.EInt 1; _ }, { e = Ast.EBin (Ast.Mul, _, _); _ })
+    ->
+      ()
+  | _ -> Alcotest.fail "wrong precedence"
+
+let test_parser_assoc () =
+  (* 10 - 3 - 2 parses left-associatively *)
+  match (Parser.parse_expr "10 - 3 - 2").e with
+  | Ast.EBin (Ast.Sub, { e = Ast.EBin (Ast.Sub, _, _); _ }, { e = Ast.EInt 2; _ })
+    ->
+      ()
+  | _ -> Alcotest.fail "wrong associativity"
+
+let test_parser_program () =
+  let p =
+    Parser.parse
+      {|
+        int g;
+        int[] arr;
+        def f(int a, float b) : int {
+          if (a > 0) { return a; } else { return 0; }
+        }
+        def main() {
+          g = f(3, 1.5);
+          for (int i = 0; i < 10; i = i + 1) { g = g + i; }
+          do { g = g - 1; } while (g > 0);
+        }
+      |}
+  in
+  Alcotest.(check int) "globals" 2 (List.length p.Ast.globals);
+  Alcotest.(check int) "funcs" 2 (List.length p.Ast.funcs);
+  let main = List.find (fun (f : Ast.func) -> f.fname = "main") p.funcs in
+  Alcotest.(check int) "main stmts" 3 (List.length main.body)
+
+let test_parser_errors () =
+  (try
+     ignore (Parser.parse "def main() { int x = ; }");
+     Alcotest.fail "expected parse error"
+   with Parser.Error _ -> ());
+  try
+    ignore (Parser.parse "def main() { while 1 { } }");
+    Alcotest.fail "expected parse error for missing parens"
+  with Parser.Error _ -> ()
+
+let check_src src = Typecheck.check (Parser.parse src)
+
+let accepts name src =
+  Alcotest.test_case name `Quick (fun () -> check_src src)
+
+let rejects name src =
+  Alcotest.test_case name `Quick (fun () ->
+      try
+        check_src src;
+        Alcotest.fail "expected type error"
+      with Typecheck.Error _ -> ())
+
+let typecheck_cases =
+  [
+    accepts "minimal" "def main() { }";
+    accepts "locals and arithmetic"
+      "def main() { int x = 1; float y = 2.5; x = x * 3; y = y / 2.0; }";
+    accepts "arrays" "int[] a; def main() { a = new int[4]; a[0] = length(a); }";
+    accepts "calls"
+      "def f(int x) : int { return x + 1; } def main() { int y = f(2); }";
+    accepts "conversions" "def main() { float f = i2f(3); int i = f2i(f); }";
+    accepts "shadowing scope"
+      "def main() { if (1) { int t = 1; } if (1) { int t = 2; } }";
+    rejects "no main" "def f() { }";
+    rejects "main with params" "def main(int x) { }";
+    rejects "unknown var" "def main() { x = 1; }";
+    rejects "int/float mix" "def main() { int x = 1; x = x + 1.0; }";
+    rejects "implicit conversion" "def main() { float f = 3; }";
+    rejects "bad index type" "int[] a; def main() { a[1.5] = 0; }";
+    rejects "index non-array" "def main() { int x = 0; x[0] = 1; }";
+    rejects "call arity" "def f(int x) : int { return x; } def main() { int y = f(); }";
+    rejects "call arg type" "def f(int x) : int { return x; } def main() { int y = f(1.0); }";
+    rejects "return type" "def f() : int { return 1.5; } def main() { }";
+    rejects "void value return" "def f() { return 3; } def main() { }";
+    rejects "break outside loop" "def main() { break; }";
+    rejects "duplicate local" "def main() { int x = 1; int x = 2; }";
+    rejects "duplicate global" "int g; int g; def main() { }";
+    rejects "shadow builtin" "def sqrt(int x) : int { return x; } def main() { }";
+    rejects "float shift" "def main() { float f = 1.0; int x = 1 << 2; x = f2i(f) << 1; int y = 1; y = y << 1; int z = 0; if (1.0 < 2.0) { z = 1; } float g = 1.0; g = g * 2.0; int w = f2i(g) %% 2; }";
+  ]
+
+(* the last case above is actually fine up to the %% typo — replace it *)
+let typecheck_cases =
+  List.filteri (fun i _ -> i < List.length typecheck_cases - 1) typecheck_cases
+  @ [ rejects "logical on float" "def main() { int x = 0; if (1.0 && 2.0) { x = 1; } }" ]
+
+let suites =
+  [
+    ( "frontend.lexer",
+      [
+        Alcotest.test_case "basic" `Quick test_lexer_basic;
+        Alcotest.test_case "operators" `Quick test_lexer_operators;
+        Alcotest.test_case "floats" `Quick test_lexer_floats;
+        Alcotest.test_case "comments" `Quick test_lexer_comments;
+        Alcotest.test_case "errors" `Quick test_lexer_errors;
+      ] );
+    ( "frontend.parser",
+      [
+        Alcotest.test_case "precedence" `Quick test_parser_precedence;
+        Alcotest.test_case "associativity" `Quick test_parser_assoc;
+        Alcotest.test_case "program" `Quick test_parser_program;
+        Alcotest.test_case "errors" `Quick test_parser_errors;
+      ] );
+    ("frontend.typecheck", typecheck_cases);
+  ]

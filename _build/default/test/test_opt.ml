@@ -1,0 +1,113 @@
+(* Optimizer (constant folding / copy propagation / DCE) tests. *)
+
+let instr_count (p : Ir.Tac.program) =
+  List.fold_left
+    (fun acc (_, (f : Ir.Tac.func)) ->
+      Array.fold_left (fun acc b -> acc + List.length b.Ir.Tac.instrs) acc f.blocks)
+    0 p.Ir.Tac.funcs
+
+let outputs ?(optimize = false) src =
+  let tac = Ir.Lower.compile src in
+  let tac = if optimize then Compiler.Opt.program tac else tac in
+  let table = Compiler.Stl_table.build tac in
+  let prog = Compiler.Codegen.generate ~mode:Compiler.Codegen.Plain table tac in
+  let r = Hydra.Seq_interp.run prog in
+  (List.map Ir.Value.to_string r.Hydra.Seq_interp.output, r.Hydra.Seq_interp.cycles)
+
+let test_folding_shrinks () =
+  let src =
+    "def main() { int x = 2 + 3 * 4; int y = x; print_int(1 * (y + 0)); }"
+  in
+  let before = instr_count (Ir.Lower.compile src) in
+  let after = instr_count (Compiler.Opt.program (Ir.Lower.compile src)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "shrinks (%d -> %d)" before after)
+    true (after < before);
+  let out, _ = outputs ~optimize:true src in
+  Alcotest.(check (list string)) "still correct" [ "14" ] out
+
+let test_branch_folding () =
+  let src =
+    "def main() { if (1 < 2) { print_int(7); } else { print_int(8); } }"
+  in
+  let tac = Compiler.Opt.program (Ir.Lower.compile src) in
+  let f = Ir.Tac.find_func tac "main" in
+  let has_branch =
+    Array.exists
+      (fun (b : Ir.Tac.block) ->
+        match b.Ir.Tac.term with Ir.Tac.Branch _ -> true | _ -> false)
+      f.blocks
+  in
+  Alcotest.(check bool) "constant branch folded" false has_branch;
+  let out, _ = outputs ~optimize:true src in
+  Alcotest.(check (list string)) "right arm" [ "7" ] out
+
+let test_trap_preserved () =
+  (* a dead division must NOT be removed: it traps *)
+  let src = "def main() { int z = 0; int dead = 1 / z; print_int(5); }" in
+  let tac = Compiler.Opt.program (Ir.Lower.compile src) in
+  let table = Compiler.Stl_table.build tac in
+  let prog = Compiler.Codegen.generate ~mode:Compiler.Codegen.Plain table tac in
+  Alcotest.check_raises "still traps"
+    (Hydra.Machine.Trap "integer division by zero") (fun () ->
+      ignore (Hydra.Seq_interp.run prog))
+
+let test_opt_cheaper () =
+  let src =
+    "int[] a;\n\
+     def main() { a = new int[500]; for (int i = 0; i < 500; i = i + 1) { a[i] = i * 1 + 0 + 2 * 3; } print_int(a[499]); }"
+  in
+  let out1, c1 = outputs ~optimize:false src in
+  let out2, c2 = outputs ~optimize:true src in
+  Alcotest.(check (list string)) "same output" out1 out2;
+  Alcotest.(check bool) (Printf.sprintf "fewer cycles (%d -> %d)" c1 c2) true
+    (c2 < c1)
+
+(* random arithmetic expressions: folding preserves evaluation *)
+let prop_fold_preserves =
+  let gen =
+    QCheck.Gen.(
+      sized_size (int_range 1 6) @@ fix (fun self n ->
+          if n <= 1 then map (fun i -> string_of_int (i mod 100)) small_int
+          else
+            let sub = self (n / 2) in
+            oneof
+              [
+                map2 (fun a b -> Printf.sprintf "(%s + %s)" a b) sub sub;
+                map2 (fun a b -> Printf.sprintf "(%s - %s)" a b) sub sub;
+                map2 (fun a b -> Printf.sprintf "(%s * %s)" a b) sub sub;
+                map2
+                  (fun a b -> Printf.sprintf "(%s + %s * 3)" a b)
+                  sub sub;
+              ]))
+  in
+  QCheck.Test.make ~name:"folding preserves expression values" ~count:100
+    (QCheck.make gen) (fun expr ->
+      let src = Printf.sprintf "def main() { print_int(%s); }" expr in
+      let o1, _ = outputs ~optimize:false src in
+      let o2, _ = outputs ~optimize:true src in
+      o1 = o2)
+
+(* whole workloads: optimizer preserves program results *)
+let test_workloads_preserved () =
+  List.iter
+    (fun name ->
+      let w = Workloads.Registry.find_exn name in
+      let src = w.Workloads.Workload.source (max 4 (w.Workloads.Workload.default_size / 8)) in
+      let o1, _ = outputs ~optimize:false src in
+      let o2, _ = outputs ~optimize:true src in
+      Alcotest.(check (list string)) (name ^ " outputs") o1 o2)
+    [ "Huffman"; "compress"; "fft"; "decJpeg"; "NumHeapSort" ]
+
+let suites =
+  [
+    ( "opt.passes",
+      [
+        Alcotest.test_case "folding shrinks" `Quick test_folding_shrinks;
+        Alcotest.test_case "branch folding" `Quick test_branch_folding;
+        Alcotest.test_case "trap preserved" `Quick test_trap_preserved;
+        Alcotest.test_case "optimized is cheaper" `Quick test_opt_cheaper;
+        QCheck_alcotest.to_alcotest prop_fold_preserves;
+        Alcotest.test_case "workloads preserved" `Slow test_workloads_preserved;
+      ] );
+  ]

@@ -1,0 +1,112 @@
+(* Scalar classification tests: inductors, reductions, invariants,
+   private, carried, and live-out promotion. *)
+
+let classify_main src =
+  let tac = Ir.Lower.compile src in
+  let f = Ir.Tac.find_func tac "main" in
+  let loops = Cfg.Loops.analyze f in
+  (* classify w.r.t. the outermost loop (depth 1, largest body) *)
+  let outer = ref 0 in
+  Array.iteri
+    (fun i lp -> if lp.Cfg.Loops.depth = 1 then outer := i)
+    loops.Cfg.Loops.loops;
+  let classes = Cfg.Scalar.classify f loops !outer in
+  (f, classes)
+
+let class_of src var =
+  let f, classes = classify_main src in
+  let slot = ref (-1) in
+  Array.iteri (fun i n -> if n = var then slot := i) f.Ir.Tac.slot_names;
+  if !slot < 0 then Alcotest.fail ("no slot for " ^ var);
+  classes.(!slot)
+
+let check_class name src var expected =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check string) name expected
+        (Cfg.Scalar.string_of_class (class_of src var)))
+
+let cases =
+  [
+    check_class "inductor +1"
+      "def main() { int s = 0; for (int i = 0; i < 9; i = i + 1) { s = s + i; } print_int(s); }"
+      "i" "inductor(+1)";
+    check_class "inductor +3"
+      "def main() { int i = 0; while (i < 30) { i = i + 3; } print_int(i); }"
+      "i" "inductor(+3)";
+    check_class "inductor -2"
+      "def main() { int i = 30; while (i > 0) { i = i - 2; } print_int(i); }"
+      "i" "inductor(-2)";
+    check_class "sum reduction (live-out via print handled by merge)"
+      "def main() { int s = 0; for (int i = 0; i < 9; i = i + 1) { s = s + i * i; } print_int(s); }"
+      "s" "reduction(+)";
+    check_class "float reduction"
+      "def main() { float s = 0.0; for (int i = 0; i < 9; i = i + 1) { s = s + i2f(i); } print_float(s); }"
+      "s" "reduction(+.)";
+    check_class "min reduction"
+      "int[] a; def main() { a = new int[9]; int m = 99999; for (int i = 0; i < 9; i = i + 1) { m = imin(m, a[i]); } print_int(m); }"
+      "m" "reduction(min)";
+    check_class "max reduction"
+      "int[] a; def main() { a = new int[9]; int m = -99999; for (int i = 0; i < 9; i = i + 1) { m = imax(m, a[i]); } print_int(m); }"
+      "m" "reduction(max)";
+    check_class "invariant"
+      "def main() { int k = 7; int s = 0; for (int i = 0; i < 9; i = i + 1) { s = s + k; } print_int(s); }"
+      "k" "invariant";
+    check_class "private temp (dead after loop)"
+      "int[] a; def main() { a = new int[9]; for (int i = 0; i < 9; i = i + 1) { int t = a[i]; a[i] = t * 2; } print_int(a[0]); }"
+      "t" "private";
+    check_class "private but live-out becomes carried"
+      "int[] a; def main() { a = new int[9]; int last = 0; for (int i = 0; i < 9; i = i + 1) { last = a[i]; } print_int(last); }"
+      "last" "carried";
+    check_class "genuine carried (conditional update)"
+      "def main() { int x = 0; for (int i = 0; i < 9; i = i + 1) { if (x < 5) { x = x + i; } } print_int(x); }"
+      "x" "carried";
+    check_class "carried via variable-step update"
+      "int[] a; def main() { a = new int[99]; int p = 0; for (int i = 0; i < 9; i = i + 1) { p = p + a[i]; print_int(p); } }"
+      "p" "carried";
+    check_class "unused in loop"
+      "def main() { int u = 3; for (int i = 0; i < 9; i = i + 1) { print_int(i); } print_int(u); }"
+      "u" "unused";
+  ]
+
+let test_inductor_not_every_iteration () =
+  (* conditional increment is NOT an inductor *)
+  let c =
+    class_of
+      "def main() { int i = 0; int n = 0; while (n < 20) { n = n + 1; if (n % 2 == 0) { i = i + 1; } } print_int(i); }"
+      "i"
+  in
+  Alcotest.(check bool) "not an inductor" true (c <> Cfg.Scalar.Inductor 1)
+
+let test_obviously_serial () =
+  (* end-of-loop store feeding start-of-loop load through a non-inductor *)
+  let tac =
+    Ir.Lower.compile
+      "def main() { int x = 1; int n = 0; while (x < 100000) { n = n + 1; x = x * 2; } print_int(n); print_int(x); }"
+  in
+  let f = Ir.Tac.find_func tac "main" in
+  let loops = Cfg.Loops.analyze f in
+  Alcotest.(check bool) "serial chain detected" true
+    (Cfg.Scalar.obviously_serial f loops 0)
+
+let test_not_obviously_serial () =
+  let tac =
+    Ir.Lower.compile
+      "int[] a; def main() { a = new int[9]; for (int i = 0; i < 9; i = i + 1) { a[i] = i; } print_int(a[3]); }"
+  in
+  let f = Ir.Tac.find_func tac "main" in
+  let loops = Cfg.Loops.analyze f in
+  Alcotest.(check bool) "parallel loop passes filter" false
+    (Cfg.Scalar.obviously_serial f loops 0)
+
+let suites =
+  [
+    ( "scalar.classify",
+      cases
+      @ [
+          Alcotest.test_case "conditional not inductor" `Quick
+            test_inductor_not_every_iteration;
+          Alcotest.test_case "obviously serial" `Quick test_obviously_serial;
+          Alcotest.test_case "not obviously serial" `Quick
+            test_not_obviously_serial;
+        ] );
+  ]

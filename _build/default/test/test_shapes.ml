@@ -1,0 +1,133 @@
+(* Suite-level shape assertions: the qualitative claims EXPERIMENTS.md
+   makes about Figures 6/10/11 and Table 6, checked automatically on a
+   reduced-size run of a representative benchmark subset. *)
+
+let subset =
+  [ "Huffman"; "monteCarlo"; "NumHeapSort"; "shallow"; "FourierTest"; "BitOps" ]
+
+let reports =
+  lazy
+    (List.map
+       (fun name ->
+         let w = Workloads.Registry.find_exn name in
+         (* FourierTest needs its full trip count: at half size only 6
+            huge iterations share 4 CPUs, capping the speedup at 3 *)
+         let n =
+           if name = "FourierTest" then w.Workloads.Workload.default_size
+           else max 4 (w.Workloads.Workload.default_size / 2)
+         in
+         (name, Jrpm.Pipeline.run ~name (w.Workloads.Workload.source n)))
+       subset)
+
+let report name = List.assoc name (Lazy.force reports)
+
+(* Figure 6 shape: profiling slowdown in the paper's band; base >= opt *)
+let test_fig6_band () =
+  List.iter
+    (fun (name, (r : Jrpm.Pipeline.report)) ->
+      let opt = r.opt.Jrpm.Pipeline.slowdown -. 1. in
+      let base = r.base.Jrpm.Pipeline.slowdown -. 1. in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s opt slowdown %.3f in [0, 0.30]" name opt)
+        true
+        (opt >= 0. && opt < 0.30);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s base >= opt" name)
+        true
+        (base >= opt -. 0.005))
+    (Lazy.force reports)
+
+(* Figure 11 shape: dependence-free programs reach near-4x actual;
+   Huffman stays dependence-bound; everything stays correct *)
+let test_fig11_shape () =
+  Alcotest.(check bool) "monteCarlo near 4x" true
+    ((report "monteCarlo").actual_speedup > 3.3);
+  Alcotest.(check bool) "FourierTest near 4x" true
+    ((report "FourierTest").actual_speedup > 3.3);
+  Alcotest.(check bool) "shallow parallel" true
+    ((report "shallow").actual_speedup > 2.5);
+  let h = report "Huffman" in
+  Alcotest.(check bool) "Huffman dependence-bound" true
+    (h.actual_speedup < 2.0);
+  Alcotest.(check bool) "Huffman saw violations" true
+    (h.spec_stats.Hydra.Tls_sim.violations > 100);
+  List.iter
+    (fun (name, (r : Jrpm.Pipeline.report)) ->
+      Alcotest.(check bool) (name ^ " outputs match") true r.outputs_match)
+    (Lazy.force reports)
+
+(* Table 6 shape: thread sizes diverse; prediction correlates with
+   actuality across the subset (same ordering of best/worst) *)
+let test_prediction_correlates () =
+  let pairs =
+    List.map
+      (fun (_, (r : Jrpm.Pipeline.report)) ->
+        ( r.selection.Test_core.Analyzer.predicted_speedup,
+          r.actual_speedup ))
+      (Lazy.force reports)
+  in
+  (* Spearman-lite: the best-predicted should not be the worst-actual *)
+  let best_pred =
+    List.fold_left (fun a (p, _) -> Float.max a p) 0. pairs
+  in
+  let worst_actual = List.fold_left (fun a (_, x) -> Float.min a x) 99. pairs in
+  let best_pair = List.find (fun (p, _) -> p = best_pred) pairs in
+  Alcotest.(check bool) "best prediction not the worst outcome" true
+    (snd best_pair > worst_actual +. 0.2)
+
+(* Determinism: the whole pipeline is bit-reproducible *)
+let test_pipeline_deterministic () =
+  let w = Workloads.Registry.find_exn "Huffman" in
+  let src = w.Workloads.Workload.source 400 in
+  let a = Jrpm.Pipeline.run ~name:"h1" src in
+  let b = Jrpm.Pipeline.run ~name:"h2" src in
+  Alcotest.(check int) "plain cycles" a.plain_cycles b.plain_cycles;
+  Alcotest.(check int) "tls cycles" a.tls_cycles b.tls_cycles;
+  Alcotest.(check int) "violations" a.spec_stats.Hydra.Tls_sim.violations
+    b.spec_stats.Hydra.Tls_sim.violations;
+  Alcotest.(check (list string)) "outputs"
+    (List.map Ir.Value.to_string a.tls_output)
+    (List.map Ir.Value.to_string b.tls_output)
+
+(* TLS-compiled code run on the SEQUENTIAL interpreter (markers are
+   no-ops there) still computes the right answers: the globalization
+   rewrites are semantics-preserving on their own *)
+let test_tls_code_runs_sequentially () =
+  List.iter
+    (fun name ->
+      let w = Workloads.Registry.find_exn name in
+      let src = w.Workloads.Workload.source (max 4 (w.Workloads.Workload.default_size / 4)) in
+      let tac = Ir.Lower.compile src in
+      let table = Compiler.Stl_table.build tac in
+      let selected =
+        Array.to_list table.Compiler.Stl_table.stls
+        |> List.filter_map (fun (s : Compiler.Stl_table.stl) ->
+               if s.Compiler.Stl_table.traced then Some s.Compiler.Stl_table.id
+               else None)
+      in
+      let plain = Compiler.Codegen.generate ~mode:Compiler.Codegen.Plain table tac in
+      let tls =
+        Compiler.Codegen.generate ~mode:(Compiler.Codegen.Tls { selected }) table tac
+      in
+      let a = Hydra.Seq_interp.run plain in
+      let b = Hydra.Seq_interp.run tls in
+      Alcotest.(check (list string))
+        (name ^ " TLS code is sequentially correct")
+        (List.map Ir.Value.to_string a.Hydra.Seq_interp.output)
+        (List.map Ir.Value.to_string b.Hydra.Seq_interp.output))
+    [ "Huffman"; "NumHeapSort"; "fft"; "jess" ]
+
+let suites =
+  [
+    ( "shapes.suite",
+      [
+        Alcotest.test_case "figure 6 band" `Slow test_fig6_band;
+        Alcotest.test_case "figure 11 shape" `Slow test_fig11_shape;
+        Alcotest.test_case "prediction correlates" `Slow
+          test_prediction_correlates;
+        Alcotest.test_case "pipeline deterministic" `Slow
+          test_pipeline_deterministic;
+        Alcotest.test_case "tls code sequentially correct" `Slow
+          test_tls_code_runs_sequentially;
+      ] );
+  ]

@@ -1,0 +1,443 @@
+(* TEST tracer tests: the Figure 3 and Figure 4 worked examples, the
+   finite-history and aliasing imprecisions, bank allocation, and the
+   Figure 9 accuracy limitation. *)
+
+module Tracer = Test_core.Tracer
+module Stats = Test_core.Stats
+
+let small_config =
+  {
+    Tracer.default_config with
+    Tracer.ld_limit = 2;
+    st_limit = 1;
+    heap_fifo_lines = 4;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: the Huffman load-dependency worked example. Two heap
+   variables (in_p at addr 100, out_p at addr 200); three threads; the
+   paper's arc lengths 8 and 9 (thread 2) and 8 and 11 (thread 3). *)
+let test_figure3 () =
+  let t = Tracer.create () in
+  let s = Tracer.sink t in
+  let a = 100 and b = 200 in
+  s.Hydra.Trace.on_sloop ~stl:0 ~nlocals:0 ~frame:1 ~now:0;
+  (* thread 1: stores only *)
+  s.Hydra.Trace.on_heap_store ~addr:a ~now:8;
+  s.Hydra.Trace.on_heap_store ~addr:b ~now:11;
+  s.Hydra.Trace.on_eoi ~stl:0 ~now:13;
+  (* thread 2: arcs 8 (critical) and 9 *)
+  s.Hydra.Trace.on_heap_load ~addr:a ~pc:1 ~now:16;
+  s.Hydra.Trace.on_heap_store ~addr:a ~now:18;
+  s.Hydra.Trace.on_heap_load ~addr:b ~pc:2 ~now:20;
+  s.Hydra.Trace.on_heap_store ~addr:b ~now:21;
+  s.Hydra.Trace.on_eoi ~stl:0 ~now:24;
+  (* thread 3: arcs 8 (critical) and 11 *)
+  s.Hydra.Trace.on_heap_load ~addr:a ~pc:1 ~now:26;
+  s.Hydra.Trace.on_heap_load ~addr:b ~pc:2 ~now:32;
+  s.Hydra.Trace.on_eloop ~stl:0 ~now:35;
+  let st = Option.get (Tracer.find_stats t 0) in
+  Alcotest.(check int) "threads" 3 st.Stats.threads;
+  Alcotest.(check int) "entries" 1 st.Stats.entries;
+  Alcotest.(check int) "cycles" 35 st.Stats.cycles;
+  Alcotest.(check int) "critical arcs to t-1" 2 st.Stats.crit_prev_count;
+  Alcotest.(check int) "accumulated lengths to t-1" 16 st.Stats.crit_prev_len;
+  Alcotest.(check int) "critical arcs to <t-1" 0 st.Stats.crit_earlier_count;
+  (* paper's derived values: avg thread size 11.6, freq 1.0, avg len 8 *)
+  Alcotest.(check (float 0.1)) "avg thread size" 11.6 (Stats.avg_thread_size st);
+  Alcotest.(check (float 1e-6)) "arc freq to t-1" 1.0 (Stats.crit_prev_freq st);
+  Alcotest.(check (float 1e-6)) "avg arc len" 8.0 (Stats.avg_crit_prev_len st);
+  Alcotest.(check (float 1e-6)) "iters per entry" 3.0 (Stats.avg_iters_per_entry st)
+
+(* An arc to a thread before the previous one lands in the <t-1 bin. *)
+let test_earlier_bin () =
+  let t = Tracer.create () in
+  let s = Tracer.sink t in
+  s.Hydra.Trace.on_sloop ~stl:0 ~nlocals:0 ~frame:1 ~now:0;
+  s.Hydra.Trace.on_heap_store ~addr:100 ~now:5;
+  s.Hydra.Trace.on_eoi ~stl:0 ~now:10;
+  s.Hydra.Trace.on_eoi ~stl:0 ~now:20;
+  (* thread 3 loads a value stored by thread 1 *)
+  s.Hydra.Trace.on_heap_load ~addr:100 ~pc:9 ~now:25;
+  s.Hydra.Trace.on_eloop ~stl:0 ~now:30;
+  let st = Option.get (Tracer.find_stats t 0) in
+  Alcotest.(check int) "no t-1 arcs" 0 st.Stats.crit_prev_count;
+  Alcotest.(check int) "one <t-1 arc" 1 st.Stats.crit_earlier_count;
+  Alcotest.(check int) "arc length 20" 20 st.Stats.crit_earlier_len
+
+(* Stores from before the loop entry are inputs, not dependencies. *)
+let test_preloop_store_no_arc () =
+  let t = Tracer.create () in
+  let s = Tracer.sink t in
+  s.Hydra.Trace.on_heap_store ~addr:100 ~now:2;
+  s.Hydra.Trace.on_sloop ~stl:0 ~nlocals:0 ~frame:1 ~now:5;
+  s.Hydra.Trace.on_eoi ~stl:0 ~now:10;
+  s.Hydra.Trace.on_heap_load ~addr:100 ~pc:3 ~now:12;
+  s.Hydra.Trace.on_eloop ~stl:0 ~now:15;
+  let st = Option.get (Tracer.find_stats t 0) in
+  Alcotest.(check int) "no arcs" 0
+    (st.Stats.crit_prev_count + st.Stats.crit_earlier_count)
+
+(* Intra-thread store→load is not an inter-thread arc. *)
+let test_same_thread_no_arc () =
+  let t = Tracer.create () in
+  let s = Tracer.sink t in
+  s.Hydra.Trace.on_sloop ~stl:0 ~nlocals:0 ~frame:1 ~now:0;
+  s.Hydra.Trace.on_eoi ~stl:0 ~now:10;
+  s.Hydra.Trace.on_heap_store ~addr:64 ~now:12;
+  s.Hydra.Trace.on_heap_load ~addr:64 ~pc:3 ~now:14;
+  s.Hydra.Trace.on_eloop ~stl:0 ~now:20;
+  let st = Option.get (Tracer.find_stats t 0) in
+  Alcotest.(check int) "no arcs" 0
+    (st.Stats.crit_prev_count + st.Stats.crit_earlier_count)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: speculative state overflow analysis. With ld_limit = 2 and
+   st_limit = 1, a thread touching 3 load lines or 2 store lines
+   overflows; per-line dedup within a thread must not double-count. *)
+let test_figure4_overflow () =
+  let t = Tracer.create ~config:small_config () in
+  let s = Tracer.sink t in
+  s.Hydra.Trace.on_sloop ~stl:0 ~nlocals:0 ~frame:1 ~now:0;
+  (* thread 1: 2 distinct load lines (words 0,4 share line 0), 1 store
+     line -> no overflow *)
+  s.Hydra.Trace.on_heap_load ~addr:0 ~pc:1 ~now:1;
+  s.Hydra.Trace.on_heap_load ~addr:4 ~pc:1 ~now:2;
+  s.Hydra.Trace.on_heap_load ~addr:64 ~pc:1 ~now:3;
+  s.Hydra.Trace.on_heap_store ~addr:128 ~now:4;
+  s.Hydra.Trace.on_heap_store ~addr:132 ~now:5;
+  s.Hydra.Trace.on_eoi ~stl:0 ~now:10;
+  (* thread 2: 3 distinct load lines -> overflow *)
+  s.Hydra.Trace.on_heap_load ~addr:0 ~pc:1 ~now:11;
+  s.Hydra.Trace.on_heap_load ~addr:64 ~pc:1 ~now:12;
+  s.Hydra.Trace.on_heap_load ~addr:256 ~pc:1 ~now:13;
+  s.Hydra.Trace.on_eoi ~stl:0 ~now:20;
+  (* thread 3: 2 distinct store lines -> overflow (st_limit = 1) *)
+  s.Hydra.Trace.on_heap_store ~addr:0 ~now:21;
+  s.Hydra.Trace.on_heap_store ~addr:300 ~now:22;
+  s.Hydra.Trace.on_eloop ~stl:0 ~now:30;
+  let st = Option.get (Tracer.find_stats t 0) in
+  Alcotest.(check int) "threads" 3 st.Stats.threads;
+  Alcotest.(check int) "overflowing threads" 2 st.Stats.overflow_threads;
+  Alcotest.(check int) "max load lines" 3 st.Stats.max_load_lines;
+  Alcotest.(check int) "max store lines" 2 st.Stats.max_store_lines;
+  Alcotest.(check (float 1e-6)) "overflow freq" (2. /. 3.) (Stats.overflow_freq st)
+
+(* The 64-entry direct-mapped store dedup aliases: two lines 64 apart
+   share an entry, so re-touching the first line recounts it — the
+   associativity error the paper acknowledges (Sec. 5.3). *)
+let test_store_dedup_aliasing () =
+  let t = Tracer.create ~config:{ small_config with Tracer.st_limit = 64 } () in
+  let s = Tracer.sink t in
+  let line_bytes = Hydra.Cost.line_words in
+  s.Hydra.Trace.on_sloop ~stl:0 ~nlocals:0 ~frame:1 ~now:0;
+  s.Hydra.Trace.on_heap_store ~addr:0 ~now:1;
+  (* line 64 maps to the same dedup entry as line 0 *)
+  s.Hydra.Trace.on_heap_store ~addr:(64 * line_bytes) ~now:2;
+  s.Hydra.Trace.on_heap_store ~addr:0 ~now:3;
+  s.Hydra.Trace.on_eloop ~stl:0 ~now:10;
+  let st = Option.get (Tracer.find_stats t 0) in
+  (* 2 distinct lines, but the conflict recounts line 0: 3 *)
+  Alcotest.(check int) "aliased store count" 3 st.Stats.max_store_lines
+
+(* Finite store-timestamp history: after the FIFO wraps, old stores are
+   forgotten and distant dependencies are missed (Sec. 6.2). *)
+let test_history_loss () =
+  let t = Tracer.create ~config:small_config () in
+  (* heap_fifo_lines = 4 *)
+  let s = Tracer.sink t in
+  s.Hydra.Trace.on_sloop ~stl:0 ~nlocals:0 ~frame:1 ~now:0;
+  s.Hydra.Trace.on_heap_store ~addr:0 ~now:1;
+  (* stores to 4 other lines evict line 0's timestamps *)
+  for i = 1 to 4 do
+    s.Hydra.Trace.on_heap_store ~addr:(i * 8 * 4) ~now:(1 + i)
+  done;
+  s.Hydra.Trace.on_eoi ~stl:0 ~now:10;
+  s.Hydra.Trace.on_heap_load ~addr:0 ~pc:1 ~now:12;
+  s.Hydra.Trace.on_eloop ~stl:0 ~now:20;
+  let st = Option.get (Tracer.find_stats t 0) in
+  Alcotest.(check int) "dependency lost to eviction" 0
+    (st.Stats.crit_prev_count + st.Stats.crit_earlier_count)
+
+(* ------------------------------------------------------------------ *)
+(* Local-variable dependencies via lwl/swl annotations. *)
+let test_local_dependency () =
+  let t = Tracer.create () in
+  let s = Tracer.sink t in
+  s.Hydra.Trace.on_sloop ~stl:0 ~nlocals:1 ~frame:7 ~now:0;
+  s.Hydra.Trace.on_local_store ~frame:7 ~slot:2 ~now:6;
+  s.Hydra.Trace.on_eoi ~stl:0 ~now:10;
+  s.Hydra.Trace.on_local_load ~frame:7 ~slot:2 ~pc:5 ~now:13;
+  (* a different frame's same slot is a different variable *)
+  s.Hydra.Trace.on_local_load ~frame:8 ~slot:2 ~pc:5 ~now:14;
+  s.Hydra.Trace.on_eloop ~stl:0 ~now:20;
+  let st = Option.get (Tracer.find_stats t 0) in
+  Alcotest.(check int) "one local arc" 1 st.Stats.crit_prev_count;
+  Alcotest.(check int) "arc length 7" 7 st.Stats.crit_prev_len
+
+(* Nested banks: a dependency is attributed to exactly one loop — the
+   one for which it crosses iterations (paper Sec. 5.2). *)
+let test_nested_exclusivity () =
+  let t = Tracer.create () in
+  let s = Tracer.sink t in
+  s.Hydra.Trace.on_sloop ~stl:0 ~nlocals:0 ~frame:1 ~now:0 (* outer *);
+  s.Hydra.Trace.on_sloop ~stl:1 ~nlocals:0 ~frame:1 ~now:2 (* inner *);
+  s.Hydra.Trace.on_heap_store ~addr:40 ~now:4;
+  s.Hydra.Trace.on_eoi ~stl:1 ~now:6;
+  (* load in inner thread 2: arc for the inner loop only *)
+  s.Hydra.Trace.on_heap_load ~addr:40 ~pc:3 ~now:8;
+  s.Hydra.Trace.on_eloop ~stl:1 ~now:10;
+  s.Hydra.Trace.on_eoi ~stl:0 ~now:12;
+  (* second outer iteration: a fresh inner activation *)
+  s.Hydra.Trace.on_sloop ~stl:1 ~nlocals:0 ~frame:1 ~now:13;
+  (* load of the value stored in outer thread 1: arc for the OUTER loop
+     (for the new inner activation the store predates its entry) *)
+  s.Hydra.Trace.on_heap_load ~addr:40 ~pc:4 ~now:15;
+  s.Hydra.Trace.on_eloop ~stl:1 ~now:17;
+  s.Hydra.Trace.on_eloop ~stl:0 ~now:20;
+  let inner = Option.get (Tracer.find_stats t 1) in
+  let outer = Option.get (Tracer.find_stats t 0) in
+  Alcotest.(check int) "inner arcs" 1 inner.Stats.crit_prev_count;
+  Alcotest.(check int) "outer arcs" 1 outer.Stats.crit_prev_count;
+  Alcotest.(check int) "inner entries" 2 inner.Stats.entries;
+  Alcotest.(check int) "dynamic depth" 2 (Tracer.max_dynamic_depth t)
+
+(* Bank exhaustion: with 2 banks, a 3-deep activation goes untraced but
+   cycle accounting continues. *)
+let test_bank_exhaustion () =
+  let t = Tracer.create ~config:{ Tracer.default_config with Tracer.banks = 2 } () in
+  let s = Tracer.sink t in
+  s.Hydra.Trace.on_sloop ~stl:0 ~nlocals:0 ~frame:1 ~now:0;
+  s.Hydra.Trace.on_sloop ~stl:1 ~nlocals:0 ~frame:1 ~now:1;
+  s.Hydra.Trace.on_sloop ~stl:2 ~nlocals:0 ~frame:1 ~now:2;
+  s.Hydra.Trace.on_eloop ~stl:2 ~now:8;
+  s.Hydra.Trace.on_eloop ~stl:1 ~now:9;
+  s.Hydra.Trace.on_eloop ~stl:0 ~now:10;
+  Alcotest.(check int) "one untraced activation" 1 (Tracer.untraced_activations t);
+  let deepest = Option.get (Tracer.find_stats t 2) in
+  Alcotest.(check int) "cycles still counted" 6 deepest.Stats.cycles
+
+(* Local-slot reservation failure also blocks a bank (paper Table 4:
+   sloop reserves n local variable store timestamps). *)
+let test_local_reservation () =
+  let t =
+    Tracer.create ~config:{ Tracer.default_config with Tracer.local_slots = 4 } ()
+  in
+  let s = Tracer.sink t in
+  s.Hydra.Trace.on_sloop ~stl:0 ~nlocals:3 ~frame:1 ~now:0;
+  s.Hydra.Trace.on_sloop ~stl:1 ~nlocals:3 ~frame:1 ~now:1 (* 3+3 > 4 *);
+  s.Hydra.Trace.on_eloop ~stl:1 ~now:5;
+  s.Hydra.Trace.on_eloop ~stl:0 ~now:9;
+  Alcotest.(check int) "inner untraced" 1 (Tracer.untraced_activations t)
+
+(* Dynamic disabling: entries beyond the cap release banks. *)
+let test_entry_cap () =
+  let t =
+    Tracer.create
+      ~config:{ Tracer.default_config with Tracer.max_entries_per_stl = Some 2 }
+      ()
+  in
+  let s = Tracer.sink t in
+  for i = 0 to 3 do
+    s.Hydra.Trace.on_sloop ~stl:0 ~nlocals:0 ~frame:1 ~now:(i * 10);
+    s.Hydra.Trace.on_eloop ~stl:0 ~now:((i * 10) + 5)
+  done;
+  Alcotest.(check int) "2 capped activations untraced" 2
+    (Tracer.untraced_activations t);
+  let st = Option.get (Tracer.find_stats t 0) in
+  Alcotest.(check int) "entries still counted" 4 st.Stats.entries
+
+(* Bank release on persistent overflow prediction (paper Sec. 5.2):
+   after enough overflowing entries, the STL stops getting a bank, but
+   the already-measured overflow frequency survives. *)
+let test_release_overflowing () =
+  let t =
+    Tracer.create
+      ~config:
+        {
+          Tracer.default_config with
+          Tracer.st_limit = 1;
+          release_overflowing = Some (2, 0.5);
+        }
+      ()
+  in
+  let s = Tracer.sink t in
+  for entry = 0 to 5 do
+    let base = entry * 100 in
+    s.Hydra.Trace.on_sloop ~stl:0 ~nlocals:0 ~frame:1 ~now:base;
+    (* each iteration writes 2 distinct lines -> overflows st_limit 1 *)
+    s.Hydra.Trace.on_heap_store ~addr:(base * 64) ~now:(base + 1);
+    s.Hydra.Trace.on_heap_store ~addr:((base * 64) + 4096) ~now:(base + 2);
+    s.Hydra.Trace.on_eoi ~stl:0 ~now:(base + 10);
+    s.Hydra.Trace.on_eloop ~stl:0 ~now:(base + 20)
+  done;
+  (* entries 1-3 traced (entries counter is incremented before the check,
+     so release kicks in once entries > 2 AND freq >= 0.5) *)
+  Alcotest.(check bool) "some activations released" true
+    (Tracer.untraced_activations t > 0);
+  let st = Option.get (Tracer.find_stats t 0) in
+  Alcotest.(check int) "all entries counted" 6 st.Stats.entries;
+  Alcotest.(check bool) "overflow freq survives release" true
+    (Stats.overflow_freq st >= 0.5)
+
+(* Two concurrent activations of the SAME STL (recursion): both get
+   banks and the stats merge. *)
+let test_recursive_same_stl () =
+  let t = Tracer.create () in
+  let s = Tracer.sink t in
+  s.Hydra.Trace.on_sloop ~stl:0 ~nlocals:0 ~frame:1 ~now:0;
+  s.Hydra.Trace.on_sloop ~stl:0 ~nlocals:0 ~frame:2 ~now:5;
+  s.Hydra.Trace.on_eloop ~stl:0 ~now:15;
+  s.Hydra.Trace.on_eloop ~stl:0 ~now:30;
+  let st = Option.get (Tracer.find_stats t 0) in
+  Alcotest.(check int) "entries" 2 st.Stats.entries;
+  Alcotest.(check int) "cycles = 10 + 30" 40 st.Stats.cycles;
+  Alcotest.(check int) "depth 2" 2 (Tracer.max_dynamic_depth t)
+
+(* Local-timestamp buffer is finite: after 64 other locals are stored,
+   an old local's timestamp is gone. *)
+let test_local_ts_eviction () =
+  let t = Tracer.create () in
+  let s = Tracer.sink t in
+  s.Hydra.Trace.on_sloop ~stl:0 ~nlocals:1 ~frame:1 ~now:0;
+  s.Hydra.Trace.on_local_store ~frame:1 ~slot:0 ~now:2;
+  for i = 1 to Hydra.Cost.local_ts_slots do
+    s.Hydra.Trace.on_local_store ~frame:(100 + i) ~slot:0 ~now:(2 + i)
+  done;
+  s.Hydra.Trace.on_eoi ~stl:0 ~now:100;
+  s.Hydra.Trace.on_local_load ~frame:1 ~slot:0 ~pc:9 ~now:105;
+  s.Hydra.Trace.on_eloop ~stl:0 ~now:110;
+  let st = Option.get (Tracer.find_stats t 0) in
+  Alcotest.(check int) "local dependency lost to eviction" 0
+    st.Stats.crit_prev_count
+
+(* The extended-TEST per-PC bins record every detected arc. *)
+let test_pc_binning () =
+  let t = Tracer.create () in
+  let s = Tracer.sink t in
+  s.Hydra.Trace.on_sloop ~stl:0 ~nlocals:0 ~frame:1 ~now:0;
+  s.Hydra.Trace.on_heap_store ~addr:0 ~now:3;
+  s.Hydra.Trace.on_heap_store ~addr:400 ~now:5;
+  s.Hydra.Trace.on_eoi ~stl:0 ~now:10;
+  s.Hydra.Trace.on_heap_load ~addr:0 ~pc:111 ~now:12;
+  s.Hydra.Trace.on_heap_load ~addr:400 ~pc:222 ~now:14;
+  s.Hydra.Trace.on_heap_load ~addr:0 ~pc:111 ~now:16;
+  s.Hydra.Trace.on_eloop ~stl:0 ~now:20;
+  let st = Option.get (Tracer.find_stats t 0) in
+  let bin111 = Hashtbl.find st.Stats.pc_bins 111 in
+  let bin222 = Hashtbl.find st.Stats.pc_bins 222 in
+  Alcotest.(check int) "pc 111 hits" 2 bin111.Stats.hits;
+  Alcotest.(check int) "pc 111 min len" 9 bin111.Stats.min_len;
+  Alcotest.(check int) "pc 222 hits" 1 bin222.Stats.hits;
+  Alcotest.(check int) "pc 222 len" 9 bin222.Stats.total_len
+
+(* Multiple entries: frequencies exclude each activation's first thread. *)
+let test_multi_entry_denominator () =
+  let t = Tracer.create () in
+  let s = Tracer.sink t in
+  for e = 0 to 1 do
+    let base = e * 1000 in
+    s.Hydra.Trace.on_sloop ~stl:0 ~nlocals:0 ~frame:1 ~now:base;
+    s.Hydra.Trace.on_heap_store ~addr:8 ~now:(base + 5);
+    s.Hydra.Trace.on_eoi ~stl:0 ~now:(base + 10);
+    s.Hydra.Trace.on_heap_load ~addr:8 ~pc:1 ~now:(base + 12);
+    s.Hydra.Trace.on_heap_store ~addr:8 ~now:(base + 15);
+    s.Hydra.Trace.on_eloop ~stl:0 ~now:(base + 20)
+  done;
+  let st = Option.get (Tracer.find_stats t 0) in
+  Alcotest.(check int) "4 threads" 4 st.Stats.threads;
+  Alcotest.(check int) "2 entries" 2 st.Stats.entries;
+  Alcotest.(check int) "2 arcs" 2 st.Stats.crit_prev_count;
+  (* denominator is threads - entries = 2, so frequency is exactly 1 *)
+  Alcotest.(check (float 1e-9)) "freq 1.0" 1.0 (Stats.crit_prev_freq st)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9: TEST concludes the every-nth-parallel loop is serial. *)
+let test_figure9_imprecision () =
+  let src =
+    {|
+int[] a;
+def main() {
+  int n = 5;
+  a = new int[4000];
+  a[0] = 1;
+  for (int i = 1; i < 4000; i = i + 1) {
+    if (i % n != 0) {
+      // load early, store late: the arc is short relative to the
+      // thread, so the high arc count makes the loop look serial
+      int t = a[i - 1];
+      t = t * 3 + 1;
+      t = t * 5 % 997;
+      t = t * 7 % 991;
+      t = t * 11 % 983;
+      t = t * 13 % 977;
+      a[i] = t % 100 + 1;
+    }
+  }
+  print_int(a[3999]);
+}
+|}
+  in
+  let tracer, _ = Jrpm.Pipeline.profile_only src in
+  (* the big loop is the one with the most cycles *)
+  let _, st =
+    List.fold_left
+      (fun ((_, best) as acc) ((_, s) as cand) ->
+        if s.Stats.cycles > best.Stats.cycles then cand else acc)
+      (List.hd (Tracer.stats tracer))
+      (Tracer.stats tracer)
+  in
+  (* parallelism exists at every 5th iteration, but the arc count to the
+     previous thread is high, so TEST deems it dependence-bound *)
+  Alcotest.(check bool) "high prev-thread arc frequency" true
+    (Stats.crit_prev_freq st > 0.5);
+  let e = Test_core.Analyzer.estimate st in
+  Alcotest.(check bool) "estimated speedup low" true (e.est_speedup < 2.5)
+
+(* Child-cycle attribution feeds Equation 2's nesting forest. *)
+let test_child_cycles () =
+  let t = Tracer.create () in
+  let s = Tracer.sink t in
+  s.Hydra.Trace.on_sloop ~stl:0 ~nlocals:0 ~frame:1 ~now:0;
+  s.Hydra.Trace.on_sloop ~stl:1 ~nlocals:0 ~frame:1 ~now:10;
+  s.Hydra.Trace.on_eloop ~stl:1 ~now:30;
+  s.Hydra.Trace.on_eloop ~stl:0 ~now:50;
+  let cc = Tracer.child_cycles t in
+  Alcotest.(check (option int)) "child under parent" (Some 20)
+    (List.assoc_opt (0, 1) cc);
+  Alcotest.(check (option int)) "root at top" (Some 50)
+    (List.assoc_opt (-1, 0) cc)
+
+let suites =
+  [
+    ( "tracer.dependency",
+      [
+        Alcotest.test_case "figure 3 worked example" `Quick test_figure3;
+        Alcotest.test_case "<t-1 bin" `Quick test_earlier_bin;
+        Alcotest.test_case "pre-loop store" `Quick test_preloop_store_no_arc;
+        Alcotest.test_case "same-thread store" `Quick test_same_thread_no_arc;
+        Alcotest.test_case "local variable arc" `Quick test_local_dependency;
+        Alcotest.test_case "nested exclusivity" `Quick test_nested_exclusivity;
+      ] );
+    ( "tracer.overflow",
+      [
+        Alcotest.test_case "figure 4 worked example" `Quick test_figure4_overflow;
+        Alcotest.test_case "dedup aliasing error" `Quick test_store_dedup_aliasing;
+        Alcotest.test_case "history loss" `Quick test_history_loss;
+      ] );
+    ( "tracer.banks",
+      [
+        Alcotest.test_case "bank exhaustion" `Quick test_bank_exhaustion;
+        Alcotest.test_case "local reservation" `Quick test_local_reservation;
+        Alcotest.test_case "entry cap" `Quick test_entry_cap;
+        Alcotest.test_case "child cycles" `Quick test_child_cycles;
+        Alcotest.test_case "release overflowing" `Quick test_release_overflowing;
+        Alcotest.test_case "recursive same STL" `Quick test_recursive_same_stl;
+        Alcotest.test_case "local ts eviction" `Quick test_local_ts_eviction;
+        Alcotest.test_case "pc binning" `Quick test_pc_binning;
+        Alcotest.test_case "multi-entry denominator" `Quick
+          test_multi_entry_denominator;
+      ] );
+    ( "tracer.imprecision",
+      [ Alcotest.test_case "figure 9 example" `Quick test_figure9_imprecision ] );
+  ]

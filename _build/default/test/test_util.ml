@@ -1,0 +1,129 @@
+(* Unit and property tests for the util library. *)
+
+module Fifo = Util.Bounded_assoc_fifo
+
+let test_fifo_basic () =
+  let f = Fifo.create ~capacity:3 in
+  Alcotest.(check int) "empty" 0 (Fifo.length f);
+  Fifo.set f 1 "a";
+  Fifo.set f 2 "b";
+  Alcotest.(check (option string)) "find 1" (Some "a") (Fifo.find f 1);
+  Alcotest.(check (option string)) "find missing" None (Fifo.find f 9);
+  Fifo.set f 3 "c";
+  Fifo.set f 4 "d" (* evicts key 1 *);
+  Alcotest.(check (option string)) "evicted" None (Fifo.find f 1);
+  Alcotest.(check (option string)) "survives" (Some "b") (Fifo.find f 2);
+  Alcotest.(check int) "evictions" 1 (Fifo.evictions f);
+  Alcotest.(check int) "length at cap" 3 (Fifo.length f)
+
+let test_fifo_refresh () =
+  let f = Fifo.create ~capacity:2 in
+  Fifo.set f 1 "a";
+  Fifo.set f 2 "b";
+  Fifo.set f 1 "a2" (* refresh: 1 becomes newest *);
+  Fifo.set f 3 "c" (* evicts 2, not 1 *);
+  Alcotest.(check (option string)) "refreshed survives" (Some "a2") (Fifo.find f 1);
+  Alcotest.(check (option string)) "stale evicted" None (Fifo.find f 2)
+
+let test_fifo_clear () =
+  let f = Fifo.create ~capacity:2 in
+  Fifo.set f 1 "a";
+  Fifo.clear f;
+  Alcotest.(check int) "cleared" 0 (Fifo.length f);
+  Alcotest.(check bool) "mem after clear" false (Fifo.mem f 1)
+
+let test_fifo_invalid () =
+  Alcotest.check_raises "zero capacity" (Invalid_argument "Bounded_assoc_fifo.create")
+    (fun () -> ignore (Fifo.create ~capacity:0))
+
+(* Property: the fifo holds exactly the last <=capacity distinct keys. *)
+let prop_fifo_model =
+  QCheck.Test.make ~name:"fifo matches last-k-distinct-keys model" ~count:200
+    QCheck.(pair (int_range 1 8) (small_list (int_range 0 15)))
+    (fun (cap, keys) ->
+      let f = Fifo.create ~capacity:cap in
+      List.iter (fun k -> Fifo.set f k k) keys;
+      (* model: last occurrence order, most recent first *)
+      let distinct_recent =
+        List.fold_left
+          (fun acc k -> k :: List.filter (fun x -> x <> k) acc)
+          [] keys
+      in
+      let kept = List.filteri (fun i _ -> i < cap) distinct_recent in
+      List.for_all (fun k -> Fifo.find f k = Some k) kept
+      && List.for_all
+           (fun k -> not (Fifo.mem f k))
+           (List.filteri (fun i _ -> i >= cap) distinct_recent)
+      && Fifo.length f = List.length kept)
+
+let test_rng_deterministic () =
+  let a = Util.Rng.create ~seed:42 in
+  let b = Util.Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Util.Rng.next a) (Util.Rng.next b)
+  done
+
+let test_rng_bounds () =
+  let r = Util.Rng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = Util.Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "out of range"
+  done;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Rng.int") (fun () ->
+      ignore (Util.Rng.int r 0))
+
+let test_rng_zero_seed () =
+  let r = Util.Rng.create ~seed:0 in
+  (* must not be a stuck all-zeros generator *)
+  let distinct = Hashtbl.create 16 in
+  for _ = 1 to 50 do
+    Hashtbl.replace distinct (Util.Rng.next r) ()
+  done;
+  Alcotest.(check bool) "varied" true (Hashtbl.length distinct > 40)
+
+let test_running_stat () =
+  let s = Util.Running_stat.create () in
+  Alcotest.(check (float 1e-9)) "empty mean" 0. (Util.Running_stat.mean s);
+  List.iter (Util.Running_stat.add s) [ 1.; 2.; 3.; 4. ];
+  Alcotest.(check int) "count" 4 (Util.Running_stat.count s);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Util.Running_stat.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1. (Util.Running_stat.min s);
+  Alcotest.(check (float 1e-9)) "max" 4. (Util.Running_stat.max s);
+  Util.Running_stat.reset s;
+  Alcotest.(check int) "reset" 0 (Util.Running_stat.count s)
+
+let test_text_table () =
+  let out =
+    Util.Text_table.render ~aligns:[ Util.Text_table.Left; Util.Text_table.Right ]
+      ~header:[ "name"; "n" ]
+      [ [ "a"; "1" ]; [ "longer"; "22" ] ]
+  in
+  Alcotest.(check bool) "has header" true
+    (String.length out > 0 && String.sub out 0 4 = "name");
+  (* right-aligned numbers: the "1" row pads on the left *)
+  Alcotest.(check bool) "contains padded row" true
+    (let lines = String.split_on_char '\n' out in
+     List.exists (fun l -> l = "a        1") lines)
+
+let suites =
+  [
+    ( "util.fifo",
+      [
+        Alcotest.test_case "basic eviction" `Quick test_fifo_basic;
+        Alcotest.test_case "refresh order" `Quick test_fifo_refresh;
+        Alcotest.test_case "clear" `Quick test_fifo_clear;
+        Alcotest.test_case "invalid capacity" `Quick test_fifo_invalid;
+        QCheck_alcotest.to_alcotest prop_fifo_model;
+      ] );
+    ( "util.rng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+        Alcotest.test_case "bounds" `Quick test_rng_bounds;
+        Alcotest.test_case "zero seed" `Quick test_rng_zero_seed;
+      ] );
+    ( "util.stat",
+      [
+        Alcotest.test_case "running stat" `Quick test_running_stat;
+        Alcotest.test_case "text table" `Quick test_text_table;
+      ] );
+  ]

@@ -1,0 +1,85 @@
+(* Golden outputs for every bundled benchmark at a reduced dataset size.
+   These pin down (a) the determinism of the whole front end + machine,
+   (b) the workload kernels themselves, and (c) the float printing used
+   by output comparison. Any change to instruction semantics, lowering,
+   or the kernels shows up here. *)
+
+let goldens =
+  [
+    ("Assignment", 12, [ "16" ]);
+    ("BitOps", 7500, [ "3000" ]);
+    ("compress", 1500, [ "851"; "54304" ]);
+    ("db", 225, [ "105"; "10628" ]);
+    ("deltaBlue", 175, [ "280"; "0" ]);
+    ("EmFloatPnt", 55, [ "274530" ]);
+    ("Huffman", 625, [ "0"; "625" ]);
+    ("IDEA", 105, [ "729934" ]);
+    ("jess", 125, [ "144"; "269" ]);
+    ("jLex", 3000, [ "1209"; "12726" ]);
+    ("MipsSimulator", 4000, [ "4000"; "2657" ]);
+    ("monteCarlo", 1500, [ "1224" ]);
+    ("NumHeapSort", 650, [ "1"; "32440" ]);
+    ("raytrace", 27, [ "61547" ]);
+    ("euler", 30, [ "511.431" ]);
+    ("fft", 128, [ "8044.91" ]);
+    ("FourierTest", 4, [ "3.4793" ]);
+    ("LuFactor", 9, [ "86.0596" ]);
+    ("moldyn", 40, [ "2701.03" ]);
+    ("NeuralNet", 8, [ "0.349225" ]);
+    ("shallow", 12, [ "1527.8" ]);
+    ("decJpeg", 10, [ "81927" ]);
+    ("encJpeg", 7, [ "372" ]);
+    ("h263dec", 4, [ "258337" ]);
+    ("mpegVideo", 9, [ "75763" ]);
+    ("mp3", 15, [ "0" ]);
+  ]
+
+let run_plain name n =
+  let w = Workloads.Registry.find_exn name in
+  let prog, _ =
+    Compiler.Codegen.compile_source ~mode:Compiler.Codegen.Plain
+      (w.Workloads.Workload.source n)
+  in
+  let r = Hydra.Seq_interp.run prog in
+  List.map Ir.Value.to_string r.Hydra.Seq_interp.output
+
+let cases =
+  List.map
+    (fun (name, n, expected) ->
+      Alcotest.test_case name `Quick (fun () ->
+          Alcotest.(check (list string)) name expected (run_plain name n)))
+    goldens
+
+(* Huffman's correctness output must be "0 errors" at ANY size: the
+   decode inverts the encode. *)
+let test_huffman_roundtrip_sizes () =
+  List.iter
+    (fun n ->
+      match run_plain "Huffman" n with
+      | [ errs; syms ] ->
+          Alcotest.(check string) (Printf.sprintf "errors at %d" n) "0" errs;
+          Alcotest.(check string) (Printf.sprintf "symbols at %d" n)
+            (string_of_int n) syms
+      | _ -> Alcotest.fail "unexpected output arity")
+    [ 1; 2; 17; 100 ]
+
+(* NumHeapSort must actually sort at any size. *)
+let test_heapsort_sizes () =
+  List.iter
+    (fun n ->
+      match run_plain "NumHeapSort" n with
+      | sorted :: _ ->
+          Alcotest.(check string) (Printf.sprintf "sorted at %d" n) "1" sorted
+      | _ -> Alcotest.fail "no output")
+    [ 2; 3; 64; 257 ]
+
+let suites =
+  [
+    ( "workloads.golden",
+      cases
+      @ [
+          Alcotest.test_case "huffman roundtrip" `Quick
+            test_huffman_roundtrip_sizes;
+          Alcotest.test_case "heapsort sizes" `Quick test_heapsort_sizes;
+        ] );
+  ]
