@@ -2,8 +2,10 @@
    (see DESIGN.md's experiment index), then runs one Bechamel
    micro-benchmark per experiment kernel.
 
-   Usage: dune exec bench/main.exe            (everything)
-          dune exec bench/main.exe -- quick   (skip bechamel timing) *)
+   Usage: dune exec bench/main.exe             (everything)
+          dune exec bench/main.exe -- quick    (skip bechamel timing)
+          dune exec bench/main.exe -- profile  (add per-benchmark
+                                               pipeline-phase times) *)
 
 let line = String.make 72 '='
 
@@ -161,16 +163,33 @@ let figure4 () =
 (* ------------------------------------------------------------------ *)
 (* Whole-suite reports (shared by Table 3/6 and Figures 6/10/11) *)
 
-let reports : (string * Jrpm.Pipeline.report) list Lazy.t =
+(* set before [reports] is forced (by the `profile` CLI arg) to attach
+   an observability recorder to every benchmark's pipeline run *)
+let observe_phases = ref false
+
+let reports :
+    (string * (Jrpm.Pipeline.report * Obs.Recorder.t option)) list Lazy.t =
   lazy
     (List.map
        (fun (w : Workloads.Workload.t) ->
          let src = Workloads.Registry.default_source w in
-         ( w.Workloads.Workload.name,
-           Jrpm.Pipeline.run ~name:w.Workloads.Workload.name src ))
+         let recorder =
+           if !observe_phases then Some (Obs.Recorder.create ()) else None
+         in
+         let obs =
+           match recorder with
+           | Some rc -> Obs.Recorder.sink rc
+           | None -> Obs.Sink.null
+         in
+         let r = Jrpm.Pipeline.run ~obs ~name:w.Workloads.Workload.name src in
+         (match recorder with
+         | Some rc ->
+             Jrpm.Pipeline.record_report_metrics (Obs.Recorder.metrics rc) r
+         | None -> ());
+         (w.Workloads.Workload.name, (r, recorder)))
        Workloads.Registry.all)
 
-let report name = List.assoc name (Lazy.force reports)
+let report name = fst (List.assoc name (Lazy.force reports))
 
 (* Table 3: Equation 2 applied to the Huffman decode nest *)
 let table3 () =
@@ -320,7 +339,7 @@ let figure6 () =
     rows;
   let maxopt =
     List.fold_left
-      (fun acc (_, (r : Jrpm.Pipeline.report)) ->
+      (fun acc (_, ((r : Jrpm.Pipeline.report), _)) ->
         Float.max acc (r.Jrpm.Pipeline.opt.Jrpm.Pipeline.slowdown -. 1.))
       0. (Lazy.force reports)
   in
@@ -516,6 +535,35 @@ let ablation_sync () =
       ]
     rows
 
+(* Pipeline-phase wall-clock time per benchmark, from the lib/obs layer
+   (enabled by the `profile` CLI arg). *)
+let pipeline_phases () =
+  section "Pipeline phase wall-clock seconds per benchmark (lib/obs)";
+  let phases = Jrpm.Pipeline.phases in
+  let rows =
+    List.map
+      (fun (name, (_, recorder)) ->
+        match recorder with
+        | None -> [ name; "-" ]
+        | Some rc ->
+            let spans = Obs.Recorder.phase_spans rc in
+            let seconds p =
+              match List.find_opt (fun (n, _, _) -> n = p) spans with
+              | Some (_, _, s) -> Printf.sprintf "%.4f" s
+              | None -> "-"
+            in
+            let total =
+              List.fold_left (fun acc (_, _, s) -> acc +. s) 0. spans
+            in
+            (name :: List.map seconds phases)
+            @ [ Printf.sprintf "%.4f" total ])
+      (Lazy.force reports)
+  in
+  Util.Text_table.print
+    ~aligns:(Util.Text_table.Left :: List.map (fun _ -> Util.Text_table.Right) (phases @ [ "total" ]))
+    ~header:(("Benchmark" :: phases) @ [ "total" ])
+    rows
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment kernel. *)
 
@@ -617,7 +665,9 @@ let bechamel_suite () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let quick = Array.length Sys.argv > 1 && Sys.argv.(1) = "quick" in
+  let has_arg a = Array.exists (String.equal a) Sys.argv in
+  let quick = has_arg "quick" in
+  observe_phases := has_arg "profile";
   table1 ();
   table2 ();
   figure3 ();
@@ -633,5 +683,6 @@ let () =
   figure11 ();
   method_coverage ();
   ablation_sync ();
+  if !observe_phases then pipeline_phases ();
   if not quick then bechamel_suite ();
   Printf.printf "\nDone.\n"

@@ -68,8 +68,64 @@ let sync_arg =
           "enable learned synchronization in the TLS hardware (delays \
            previously-violating loads instead of restarting)")
 
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:"print a per-phase wall-clock timing table on stderr")
+
+let profile_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-json" ] ~docv:"FILE"
+        ~doc:
+          "write the full observability dump (pipeline phase spans, metrics, \
+           tracer/analyzer/TLS events) as JSON to $(docv)")
+
 let tracer_config banks =
   { Test_core.Tracer.default_config with Test_core.Tracer.banks }
+
+(* Run the full pipeline under an optional observability recorder and
+   emit the requested --profile / --profile-json outputs. *)
+let run_observed ~profile ~profile_json ~banks ~sync ~name src =
+  let recorder =
+    if profile || profile_json <> None then Some (Obs.Recorder.create ())
+    else None
+  in
+  let obs =
+    match recorder with
+    | Some rc -> Obs.Recorder.sink rc
+    | None -> Obs.Sink.null
+  in
+  let r =
+    Jrpm.Pipeline.run ~tracer_config:(tracer_config banks) ~sync ~obs ~name src
+  in
+  (match recorder with
+  | None -> ()
+  | Some rc ->
+      Jrpm.Pipeline.record_report_metrics (Obs.Recorder.metrics rc) r;
+      if profile then
+        prerr_string
+          (Util.Text_table.render
+             ~aligns:Util.Text_table.[ Left; Right; Right; Right ]
+             ~header:[ "phase"; "spans"; "seconds"; "share" ]
+             (Obs.Recorder.phase_rows rc));
+      (match profile_json with
+      | Some file -> (
+          match open_out file with
+          | oc ->
+              Fun.protect
+                ~finally:(fun () -> close_out oc)
+                (fun () ->
+                  output_string oc
+                    (Obs.Json.to_string ~pretty:true (Obs.Recorder.to_json rc));
+                  output_char oc '\n')
+          | exception Sys_error msg ->
+              Printf.eprintf "jrpm: cannot write profile JSON: %s\n" msg;
+              exit 1)
+      | None -> ()));
+  r
 
 (* ---------------- run ---------------- *)
 
@@ -293,10 +349,10 @@ let print_report verbose (r : Jrpm.Pipeline.report) =
   end
 
 let auto_cmd =
-  let auto file banks verbose sync =
+  let auto file banks verbose sync profile profile_json =
     with_frontend_errors (fun () ->
         let r =
-          Jrpm.Pipeline.run ~tracer_config:(tracer_config banks) ~sync
+          run_observed ~profile ~profile_json ~banks ~sync
             ~name:(Filename.basename file) (read_file file)
         in
         print_report verbose r)
@@ -306,10 +362,12 @@ let auto_cmd =
        ~doc:
          "full dynamic parallelization cycle: profile, select STLs, recompile, \
           run speculatively")
-    Term.(const auto $ file_arg $ banks_arg $ verbose_arg $ sync_arg)
+    Term.(
+      const auto $ file_arg $ banks_arg $ verbose_arg $ sync_arg $ profile_arg
+      $ profile_json_arg)
 
 let bench_cmd =
-  let bench name size banks verbose sync =
+  let bench name size banks verbose sync profile profile_json =
     match Workloads.Registry.find name with
     | None ->
         Printf.eprintf "unknown benchmark %s; try `jrpm list`\n" name;
@@ -318,14 +376,16 @@ let bench_cmd =
         let n = Option.value ~default:w.Workloads.Workload.default_size size in
         with_frontend_errors (fun () ->
             let r =
-              Jrpm.Pipeline.run ~tracer_config:(tracer_config banks) ~sync ~name
+              run_observed ~profile ~profile_json ~banks ~sync ~name
                 (w.Workloads.Workload.source n)
             in
             print_report verbose r)
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"run a bundled benchmark through the whole cycle")
-    Term.(const bench $ name_arg $ size_arg $ banks_arg $ verbose_arg $ sync_arg)
+    Term.(
+      const bench $ name_arg $ size_arg $ banks_arg $ verbose_arg $ sync_arg
+      $ profile_arg $ profile_json_arg)
 
 let list_cmd =
   let list () =
@@ -343,9 +403,49 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"list bundled benchmarks") Term.(const list $ const ())
 
+(* Default command: `jrpm [--profile] [--profile-json FILE] WORKLOAD`
+   where WORKLOAD is a Javelin source file or a bundled benchmark name —
+   the whole cycle, like `auto`/`bench`, without naming a subcommand. *)
+let default_term =
+  let workload_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD"
+          ~doc:"Javelin source file or bundled benchmark name")
+  in
+  let run workload banks verbose sync profile profile_json =
+    match workload with
+    | None -> `Help (`Pager, None)
+    | Some w ->
+        let name, src =
+          if Sys.file_exists w then (Filename.basename w, read_file w)
+          else
+            match Workloads.Registry.find w with
+            | Some b ->
+                ( b.Workloads.Workload.name,
+                  Workloads.Registry.default_source b )
+            | None ->
+                Printf.eprintf
+                  "no such file or bundled benchmark: %s; try `jrpm list`\n" w;
+                exit 1
+        in
+        `Ok
+          (with_frontend_errors (fun () ->
+               let r =
+                 run_observed ~profile ~profile_json ~banks ~sync ~name src
+               in
+               print_report verbose r))
+  in
+  Term.(
+    ret
+      (const run $ workload_arg $ banks_arg $ verbose_arg $ sync_arg
+     $ profile_arg $ profile_json_arg))
+
 let main =
   let doc = "Java Runtime Parallelizing Machine (TEST tracer reproduction)" in
-  Cmd.group (Cmd.info "jrpm" ~version:"1.0.0" ~doc)
+  Cmd.group ~default:default_term
+    (Cmd.info "jrpm" ~version:"1.0.0" ~doc)
     [ run_cmd; profile_cmd; deps_cmd; dump_cmd; auto_cmd; bench_cmd; list_cmd ]
 
 let () = exit (Cmd.eval main)

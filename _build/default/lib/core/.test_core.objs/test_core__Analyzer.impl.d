@@ -1,1 +1,1 @@
-lib/core/analyzer.ml: Float Hashtbl Hydra List Option Stats
+lib/core/analyzer.ml: Float Hashtbl Hydra List Obs Option Stats

@@ -1,1 +1,1 @@
-lib/core/analyzer.mli: Stats
+lib/core/analyzer.mli: Obs Stats

@@ -1,1 +1,1 @@
-lib/core/bank.ml: Stats
+lib/core/bank.ml: Obs Stats

@@ -1,1 +1,1 @@
-lib/core/bank.mli: Stats
+lib/core/bank.mli: Obs Stats

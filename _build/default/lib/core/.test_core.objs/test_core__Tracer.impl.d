@@ -1,1 +1,1 @@
-lib/core/tracer.ml: Array Bank Hashtbl Hydra List Option Stats Util
+lib/core/tracer.ml: Array Bank Hashtbl Hydra List Obs Option Stats Util

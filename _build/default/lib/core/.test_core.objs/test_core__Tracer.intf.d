@@ -1,1 +1,1 @@
-lib/core/tracer.mli: Hydra Stats
+lib/core/tracer.mli: Hydra Obs Stats

@@ -77,7 +77,8 @@ type selection = {
   serial_cycles : int;
 }
 
-let select ?(cpus = Hydra.Cost.num_cpus) ~stats ~child_cycles ~program_cycles () =
+let select ?(cpus = Hydra.Cost.num_cpus) ?(obs = Obs.Sink.null) ~stats
+    ~child_cycles ~program_cycles () =
   let est_tbl = Hashtbl.create 32 in
   List.iter
     (fun (stl, s) -> Hashtbl.replace est_tbl stl (estimate ~cpus s, s))
@@ -125,7 +126,23 @@ let select ?(cpus = Hydra.Cost.num_cpus) ~stats ~child_cycles ~program_cycles ()
     match Hashtbl.find_opt est_tbl stl with
     | None -> (nested_time, nested_chosen)
     | Some (e, _) ->
-        if e.spec_time < nested_time && e.est_speedup > 1.02 then
+        let speculate = e.spec_time < nested_time && e.est_speedup > 1.02 in
+        (* Surface the Eq. 1 / Eq. 2 inputs that justified this verdict. *)
+        if Obs.Sink.enabled obs then
+          Obs.Sink.emit obs
+            (Obs.Event.Decision
+               {
+                 stl;
+                 est_speedup = e.est_speedup;
+                 spec_time = e.spec_time;
+                 nested_time;
+                 overflow_freq = e.overflow_freq;
+                 crit_prev_freq = e.crit_prev_freq;
+                 crit_prev_len = e.crit_prev_len;
+                 avg_thread_size = e.avg_thread_size;
+                 chosen = speculate;
+               });
+        if speculate then
           ( e.spec_time,
             [
               {

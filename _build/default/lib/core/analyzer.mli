@@ -42,6 +42,7 @@ type selection = {
 
 val select :
   ?cpus:int ->
+  ?obs:Obs.Sink.t ->
   stats:(int * Stats.t) list ->
   child_cycles:((int * int) * int) list ->
   program_cycles:int ->
@@ -50,6 +51,10 @@ val select :
 (** Equation 2 as a dynamic program over the observed nesting forest:
     [best l = min (spec_time l, serial-inside-l + Σ best children)].
     An STL observed under several dynamic parents is attributed to its
-    majority parent (documented approximation, DESIGN.md). *)
+    majority parent (documented approximation, DESIGN.md). [obs]
+    (default {!Obs.Sink.null}) receives one {!Obs.Event.Decision} per
+    estimated STL carrying the Eq. 1 / Eq. 2 inputs that justified the
+    speculate-or-nest verdict. *)
 
 val estimate_of_selection : selection -> int -> choice option
+(** The {!choice} for [stl] if Equation 2 selected it, else [None]. *)

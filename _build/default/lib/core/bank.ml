@@ -11,6 +11,7 @@
 
 type t = {
   stl : int;
+  obs : Obs.Sink.t;
   entry_time : int;
   mutable start_t : int;       (** current thread start timestamp *)
   mutable start_tm1 : int;     (** previous thread start timestamp *)
@@ -31,9 +32,10 @@ type t = {
   mutable max_st : int;
 }
 
-let create ~stl ~now =
+let create ?(obs = Obs.Sink.null) ~stl ~now () =
   {
     stl;
+    obs;
     entry_time = now;
     start_t = now;
     start_tm1 = now;
@@ -76,16 +78,27 @@ let note_load_dep t ~store_ts ~now : arc =
 
 (** Overflow analysis (paper Sec. 4.2.2): [in_current_thread] is column
     (e) of Fig. 4 — the line was last touched by the current thread. *)
-let note_load_line t ~in_current_thread ~ld_limit ~st_limit =
+(* First time the current thread's footprint crosses the limits, report
+   it (with the footprint at the crossing) to the observability sink. *)
+let note_overflow t ~now =
+  if (not t.overflowed) && Obs.Sink.enabled t.obs then
+    Obs.Sink.emit t.obs
+      (Obs.Event.Overflow
+         { stl = t.stl; ld_lines = t.ld_lines; st_lines = t.st_lines; now });
+  t.overflowed <- true
+
+let note_load_line t ~in_current_thread ~ld_limit ~st_limit ~now =
   if not in_current_thread then begin
     t.ld_lines <- t.ld_lines + 1;
-    if t.ld_lines > ld_limit || t.st_lines > st_limit then t.overflowed <- true
+    if t.ld_lines > ld_limit || t.st_lines > st_limit then
+      note_overflow t ~now
   end
 
-let note_store_line t ~in_current_thread ~ld_limit ~st_limit =
+let note_store_line t ~in_current_thread ~ld_limit ~st_limit ~now =
   if not in_current_thread then begin
     t.st_lines <- t.st_lines + 1;
-    if t.ld_lines > ld_limit || t.st_lines > st_limit then t.overflowed <- true
+    if t.ld_lines > ld_limit || t.st_lines > st_limit then
+      note_overflow t ~now
   end
 
 (** Finalize the current thread: accumulate its critical arcs and

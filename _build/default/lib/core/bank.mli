@@ -9,6 +9,7 @@
 
 type t = {
   stl : int;
+  obs : Obs.Sink.t;  (** observability sink; {!Obs.Sink.null} when off *)
   entry_time : int;
   mutable start_t : int;
   mutable start_tm1 : int;
@@ -27,7 +28,10 @@ type t = {
   mutable max_st : int;
 }
 
-val create : stl:int -> now:int -> t
+val create : ?obs:Obs.Sink.t -> stl:int -> now:int -> unit -> t
+(** A fresh bank for one activation of [stl] entered at cycle [now];
+    [obs] (default {!Obs.Sink.null}) receives an {!Obs.Event.Overflow}
+    the first time each thread's footprint crosses the buffer limits. *)
 
 type arc = To_prev of int | To_earlier of int | No_arc
 
@@ -42,13 +46,14 @@ val note_load_dep : t -> store_ts:int -> now:int -> arc
 (** [classify_arc] plus per-thread critical (shortest) arc tracking. *)
 
 val note_load_line :
-  t -> in_current_thread:bool -> ld_limit:int -> st_limit:int -> unit
+  t -> in_current_thread:bool -> ld_limit:int -> st_limit:int -> now:int -> unit
 (** Overflow analysis, load side (Fig. 4 column f): count a newly
     touched speculative line unless the line was already accessed by the
     current thread; set the overflow flag past the Table 1 limits. *)
 
 val note_store_line :
-  t -> in_current_thread:bool -> ld_limit:int -> st_limit:int -> unit
+  t -> in_current_thread:bool -> ld_limit:int -> st_limit:int -> now:int -> unit
+(** Overflow analysis, store side — same counting over store lines. *)
 
 val end_thread : t -> now:int -> unit
 (** Finalize the current thread and shift thread-start timestamps. *)

@@ -30,6 +30,7 @@ type fn_stats = {
 type t
 
 val create : unit -> t
+(** A fresh profiler with an empty call-stack model. *)
 
 val wrap : t -> Hydra.Trace.sink -> Hydra.Trace.sink
 (** Observe call/return and sloop/eloop events, passing everything

@@ -52,16 +52,23 @@ val avg_thread_size : t -> float
 (** Cycles per thread; [0.] when no threads were observed. *)
 
 val avg_iters_per_entry : t -> float
+(** Threads per loop entry; [0.] when the loop was never entered. *)
 
 val crit_prev_freq : t -> float
 (** Fraction of (traced, non-first) threads with a critical arc to the
     previous thread. *)
 
 val crit_earlier_freq : t -> float
+(** Same fraction for arcs into threads earlier than t-1. *)
+
 val avg_crit_prev_len : t -> float
+(** Mean critical-arc length in the t-1 bin; [0.] with no arcs. *)
+
 val avg_crit_earlier_len : t -> float
+(** Mean critical-arc length in the <t-1 bin; [0.] with no arcs. *)
 
 val overflow_freq : t -> float
 (** Fraction of traced threads predicted to overflow the buffers. *)
 
 val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable dump of all counters and derived values. *)

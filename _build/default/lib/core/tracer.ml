@@ -35,6 +35,7 @@ type activation = {
 
 type t = {
   config : config;
+  obs : Obs.Sink.t;
   mutable banks_in_use : int;
   mutable local_reserved : int;
   mutable act_stack : activation list;
@@ -48,9 +49,10 @@ type t = {
   mutable untraced : int;
 }
 
-let create ?(config = default_config) () =
+let create ?(config = default_config) ?(obs = Obs.Sink.null) () =
   {
     config;
+    obs;
     banks_in_use = 0;
     local_reserved = 0;
     act_stack = [];
@@ -98,6 +100,9 @@ let on_sloop t ~stl ~nlocals ~frame:_ ~now =
         && Stats.overflow_freq s >= freq
     | None -> false
   in
+  if released && Obs.Sink.enabled t.obs then
+    Obs.Sink.emit t.obs
+      (Obs.Event.Bank_release { stl; now; overflow_freq = Stats.overflow_freq s });
   let capped = capped || released in
   let bank =
     if
@@ -107,10 +112,14 @@ let on_sloop t ~stl ~nlocals ~frame:_ ~now =
     then begin
       t.banks_in_use <- t.banks_in_use + 1;
       t.local_reserved <- t.local_reserved + nlocals;
-      Some (Bank.create ~stl ~now)
+      if Obs.Sink.enabled t.obs then
+        Obs.Sink.emit t.obs (Obs.Event.Bank_alloc { stl; now });
+      Some (Bank.create ~obs:t.obs ~stl ~now ())
     end
     else begin
       t.untraced <- t.untraced + 1;
+      if Obs.Sink.enabled t.obs then
+        Obs.Sink.emit t.obs (Obs.Event.Bank_starved { stl; now });
       None
     end
   in
@@ -164,6 +173,25 @@ let word_of t addr = addr mod t.config.line_words
 
 let thread_elapsed (b : Bank.t) ~now = now - b.Bank.start_t
 
+(* Record a classified arc in the per-PC profile and report it to the
+   observability sink (guarded so the disabled path allocates nothing). *)
+let note_arc t (b : Bank.t) ~pc ~now arc =
+  match arc with
+  | Bank.No_arc -> ()
+  | Bank.To_prev len ->
+      if Obs.Sink.enabled t.obs then
+        Obs.Sink.emit t.obs
+          (Obs.Event.Arc_found { stl = b.Bank.stl; bin = Obs.Event.Prev; len; pc });
+      Stats.record_pc_hit (get_stats t b.Bank.stl) ~pc ~len
+        ~thread_size:(thread_elapsed b ~now)
+  | Bank.To_earlier len ->
+      if Obs.Sink.enabled t.obs then
+        Obs.Sink.emit t.obs
+          (Obs.Event.Arc_found
+             { stl = b.Bank.stl; bin = Obs.Event.Earlier; len; pc });
+      Stats.record_pc_hit (get_stats t b.Bank.stl) ~pc ~len
+        ~thread_size:(thread_elapsed b ~now)
+
 let on_heap_load t ~addr ~pc ~now =
   let line = line_of t addr and word = word_of t addr in
   let store_ts =
@@ -176,11 +204,7 @@ let on_heap_load t ~addr ~pc ~now =
   | Some sts ->
       List.iter
         (fun (b : Bank.t) ->
-          match Bank.note_load_dep b ~store_ts:sts ~now with
-          | Bank.To_prev len | Bank.To_earlier len ->
-              Stats.record_pc_hit (get_stats t b.Bank.stl) ~pc ~len
-                ~thread_size:(thread_elapsed b ~now)
-          | Bank.No_arc -> ())
+          note_arc t b ~pc ~now (Bank.note_load_dep b ~store_ts:sts ~now))
         (active_banks t)
   | None -> ());
   (* overflow analysis: load-line dedup *)
@@ -191,7 +215,7 @@ let on_heap_load t ~addr ~pc ~now =
     (fun (b : Bank.t) ->
       let in_current = old_tag = tag && old_ts >= b.Bank.start_t in
       Bank.note_load_line b ~in_current_thread:in_current
-        ~ld_limit:t.config.ld_limit ~st_limit:t.config.st_limit)
+        ~ld_limit:t.config.ld_limit ~st_limit:t.config.st_limit ~now)
     (active_banks t);
   t.ld_dedup.(idx) <- (tag, now)
 
@@ -215,7 +239,7 @@ let on_heap_store t ~addr ~now =
     (fun (b : Bank.t) ->
       let in_current = old_tag = tag && old_ts >= b.Bank.start_t in
       Bank.note_store_line b ~in_current_thread:in_current
-        ~ld_limit:t.config.ld_limit ~st_limit:t.config.st_limit)
+        ~ld_limit:t.config.ld_limit ~st_limit:t.config.st_limit ~now)
     (active_banks t);
   t.st_dedup.(idx) <- (tag, now)
 
@@ -228,11 +252,7 @@ let on_local_load t ~frame ~slot ~pc ~now =
   | Some sts ->
       List.iter
         (fun (b : Bank.t) ->
-          match Bank.note_load_dep b ~store_ts:sts ~now with
-          | Bank.To_prev len | Bank.To_earlier len ->
-              Stats.record_pc_hit (get_stats t b.Bank.stl) ~pc ~len
-                ~thread_size:(thread_elapsed b ~now)
-          | Bank.No_arc -> ())
+          note_arc t b ~pc ~now (Bank.note_load_dep b ~store_ts:sts ~now))
         (active_banks t)
   | None -> ()
 

@@ -46,7 +46,10 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> unit -> t
+val create : ?config:config -> ?obs:Obs.Sink.t -> unit -> t
+(** A fresh tracer; [obs] (default {!Obs.Sink.null}) receives
+    bank-allocation / starvation / release, dependency-arc, and
+    buffer-overflow events as the trace is consumed. *)
 
 val sink : t -> Hydra.Trace.sink
 (** The event interface to plug into the sequential interpreter. *)
@@ -55,6 +58,7 @@ val stats : t -> (int * Stats.t) list
 (** Per-STL accumulated statistics, sorted by STL id. *)
 
 val find_stats : t -> int -> Stats.t option
+(** Statistics for one STL, if it was ever entered. *)
 
 val child_cycles : t -> ((int * int) * int) list
 (** Dynamic nesting: [((parent, child), cycles)] — cycles spent in

@@ -1,1 +1,1 @@
-lib/hydra/tls_sim.ml: Array Cost Hashtbl Ir List Machine Native Option Value
+lib/hydra/tls_sim.ml: Array Cost Hashtbl Ir List Machine Native Obs Option Value

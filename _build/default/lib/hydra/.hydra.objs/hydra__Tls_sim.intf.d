@@ -1,1 +1,1 @@
-lib/hydra/tls_sim.mli: Ir Machine Native
+lib/hydra/tls_sim.mli: Ir Machine Native Obs

@@ -53,7 +53,8 @@ type mstats = {
   mutable m_sync_stalls : int;
 }
 
-let run ?(fuel = 2_000_000_000) ?(sync = false) (p : Native.program) : result =
+let run ?(fuel = 2_000_000_000) ?(sync = false) ?(obs = Obs.Sink.null)
+    (p : Native.program) : result =
   (* With [sync], the speculation hardware learns the PCs of loads whose
      speculatively-read data was later overwritten (violations) and, on
      subsequent executions, delays those loads until the producing store
@@ -153,6 +154,8 @@ let run ?(fuel = 2_000_000_000) ?(sync = false) (p : Native.program) : result =
     in
     let restart (t : thread) ~at =
       ms.m_violations <- ms.m_violations + 1;
+      if Obs.Sink.enabled obs then
+        Obs.Sink.emit obs (Obs.Event.Tls_violation { rank = t.rank; now = at });
       Hashtbl.reset t.write_buf;
       Hashtbl.reset t.read_set;
       Hashtbl.reset t.read_lines;
@@ -277,7 +280,10 @@ let run ?(fuel = 2_000_000_000) ?(sync = false) (p : Native.program) : result =
           t.status <- Stalled;
           if not t.stalled_once then begin
             t.stalled_once <- true;
-            ms.m_stalls <- ms.m_stalls + 1
+            ms.m_stalls <- ms.m_stalls + 1;
+            if Obs.Sink.enabled obs then
+              Obs.Sink.emit obs
+                (Obs.Event.Tls_overflow_stall { rank = t.rank; now = !cycles })
           end
         end
     in
@@ -317,6 +323,9 @@ let run ?(fuel = 2_000_000_000) ?(sync = false) (p : Native.program) : result =
              let fpc = f.Native.pc_base + t.pc in
              if must_wait t addr ~pc:fpc then begin
                ms.m_sync_stalls <- ms.m_sync_stalls + 1;
+               if Obs.Sink.enabled obs then
+                 Obs.Sink.emit obs
+                   (Obs.Event.Tls_sync_stall { pc = fpc; now = n });
                t.status <- Waiting_addr addr
                (* pc unchanged: the load re-issues when the wait ends *)
              end
@@ -401,7 +410,9 @@ let run ?(fuel = 2_000_000_000) ?(sync = false) (p : Native.program) : result =
           acc := Machine.reduction_merge op !acc base_frame.Machine.slots.(slot))
         red_acc;
       output := t.pending_output @ !output;
-      ms.m_committed <- ms.m_committed + 1
+      ms.m_committed <- ms.m_committed + 1;
+      if Obs.Sink.enabled obs then
+        Obs.Sink.emit obs (Obs.Event.Tls_commit { rank = t.rank; now = !cycles })
     in
     (* main speculation loop *)
     let result = ref None in

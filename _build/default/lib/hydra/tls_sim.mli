@@ -39,9 +39,11 @@ type result = {
 
 exception Out_of_fuel of int
 
-val run : ?fuel:int -> ?sync:bool -> Native.program -> result
+val run : ?fuel:int -> ?sync:bool -> ?obs:Obs.Sink.t -> Native.program -> result
 (** @param fuel maximum dynamic instructions across all CPUs
     (default 2 billion).
+    @param obs observability sink (default {!Obs.Sink.null}): receives
+    per-thread commit / violation / overflow-stall / sync-stall events.
     @param sync enable learned synchronization (default false): the
     hardware remembers the PCs of loads whose data was later overwritten
     by a less-speculative store (a violation) and, on later executions,

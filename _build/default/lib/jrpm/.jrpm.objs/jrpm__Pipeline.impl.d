@@ -1,1 +1,1 @@
-lib/jrpm/pipeline.ml: Compiler Counting_sink Float Fun Hydra Ir List Test_core
+lib/jrpm/pipeline.ml: Compiler Counting_sink Float Fun Hydra Ir List Obs Test_core

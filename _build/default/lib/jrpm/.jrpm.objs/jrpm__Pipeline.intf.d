@@ -1,1 +1,1 @@
-lib/jrpm/pipeline.mli: Compiler Hydra Ir Test_core
+lib/jrpm/pipeline.mli: Compiler Hydra Ir Obs Test_core

@@ -32,13 +32,33 @@ type report = {
           (paper Sec. 4.1 expects this to be nearly empty) *)
 }
 
-let annotated_run ?tracer_config ?fuel ?(wrap_sink = Fun.id) ~optimized
-    ~plain_cycles table tac =
+(* Pipeline phase names, shared with ARCHITECTURE.md's JSON schema. *)
+let phase_frontend = "frontend"
+let phase_plain = "plain-run"
+let phase_profile_base = "profile-base"
+let phase_profile_opt = "profile-opt"
+let phase_analyze = "analyze"
+let phase_recompile = "recompile-tls"
+let phase_tls = "tls-run"
+
+let phases =
+  [
+    phase_frontend;
+    phase_plain;
+    phase_profile_base;
+    phase_profile_opt;
+    phase_analyze;
+    phase_recompile;
+    phase_tls;
+  ]
+
+let annotated_run ?tracer_config ?fuel ?(obs = Obs.Sink.null)
+    ?(wrap_sink = Fun.id) ~optimized ~plain_cycles table tac =
   let prog =
     Compiler.Codegen.generate ~mode:(Compiler.Codegen.Annotated { optimized })
       table tac
   in
-  let tracer = Test_core.Tracer.create ?config:tracer_config () in
+  let tracer = Test_core.Tracer.create ?config:tracer_config ~obs () in
   let counts = Counting_sink.create_counts () in
   let sink =
     wrap_sink (Counting_sink.wrap counts (Test_core.Tracer.sink tracer))
@@ -56,56 +76,94 @@ let annotated_run ?tracer_config ?fuel ?(wrap_sink = Fun.id) ~optimized
   in
   (run, tracer, prog)
 
-let profile_only ?tracer_config ?fuel ?(optimize = true) src =
-  let tac = Ir.Lower.compile src in
-  let tac = if optimize then Compiler.Opt.program tac else tac in
-  let table = Compiler.Stl_table.build tac in
-  let plain = Compiler.Codegen.generate ~mode:Compiler.Codegen.Plain table tac in
-  let pr = Hydra.Seq_interp.run ?fuel plain in
+let profile_only ?tracer_config ?fuel ?(obs = Obs.Sink.null) ?(optimize = true)
+    src =
+  let tac, table =
+    Obs.Sink.phase obs phase_frontend (fun () ->
+        let tac = Ir.Lower.compile src in
+        let tac = if optimize then Compiler.Opt.program tac else tac in
+        (tac, Compiler.Stl_table.build tac))
+  in
+  let pr =
+    Obs.Sink.phase obs phase_plain (fun () ->
+        let plain =
+          Compiler.Codegen.generate ~mode:Compiler.Codegen.Plain table tac
+        in
+        Hydra.Seq_interp.run ?fuel plain)
+  in
   let _, tracer, _ =
-    annotated_run ?tracer_config ?fuel ~optimized:true
-      ~plain_cycles:pr.Hydra.Seq_interp.cycles table tac
+    Obs.Sink.phase obs phase_profile_opt (fun () ->
+        annotated_run ?tracer_config ?fuel ~obs ~optimized:true
+          ~plain_cycles:pr.Hydra.Seq_interp.cycles table tac)
   in
   (tracer, pr.Hydra.Seq_interp.cycles)
 
-let run ?tracer_config ?cpus ?fuel ?sync ?(optimize = true) ~name src : report =
-  let tac = Ir.Lower.compile src in
-  let tac = if optimize then Compiler.Opt.program tac else tac in
-  let table = Compiler.Stl_table.build tac in
+let run ?tracer_config ?cpus ?fuel ?sync ?(obs = Obs.Sink.null)
+    ?(optimize = true) ~name src : report =
+  let tac, table =
+    Obs.Sink.phase obs phase_frontend (fun () ->
+        let tac = Ir.Lower.compile src in
+        let tac = if optimize then Compiler.Opt.program tac else tac in
+        (tac, Compiler.Stl_table.build tac))
+  in
   (* 1. plain sequential baseline *)
-  let plain = Compiler.Codegen.generate ~mode:Compiler.Codegen.Plain table tac in
-  let pr = Hydra.Seq_interp.run ?fuel plain in
+  let pr =
+    Obs.Sink.phase obs phase_plain (fun () ->
+        let plain =
+          Compiler.Codegen.generate ~mode:Compiler.Codegen.Plain table tac
+        in
+        Hydra.Seq_interp.run ?fuel plain)
+  in
   let plain_cycles = pr.Hydra.Seq_interp.cycles in
-  (* 2. profiling runs *)
+  (* 2. profiling runs — only the optimized run (the one feeding the
+     analyzer) reports tracer events to [obs], so arc/overflow counters
+     are not double-counted across the two runs. *)
   let base, _, _ =
-    annotated_run ?tracer_config ?fuel ~optimized:false ~plain_cycles table tac
+    Obs.Sink.phase obs phase_profile_base (fun () ->
+        annotated_run ?tracer_config ?fuel ~optimized:false ~plain_cycles table
+          tac)
   in
   let methods = Test_core.Method_profile.create () in
   let opt, tracer, annotated_program =
-    annotated_run ?tracer_config ?fuel
-      ~wrap_sink:(Test_core.Method_profile.wrap methods)
-      ~optimized:true ~plain_cycles table tac
+    Obs.Sink.phase obs phase_profile_opt (fun () ->
+        annotated_run ?tracer_config ?fuel ~obs
+          ~wrap_sink:(Test_core.Method_profile.wrap methods)
+          ~optimized:true ~plain_cycles table tac)
   in
   (* 3. analyze & select *)
-  let stats = Test_core.Tracer.stats tracer in
-  let estimates =
-    List.map (fun (stl, s) -> (stl, Test_core.Analyzer.estimate ?cpus s)) stats
-  in
-  (* All the analyzer's cycle counts come from the annotated run, so the
-     whole-program denominator must too (annotation overhead cancels). *)
-  let selection =
-    Test_core.Analyzer.select ?cpus ~stats
-      ~child_cycles:(Test_core.Tracer.child_cycles tracer)
-      ~program_cycles:opt.cycles ()
+  let stats, estimates, selection =
+    Obs.Sink.phase obs phase_analyze (fun () ->
+        let stats = Test_core.Tracer.stats tracer in
+        let estimates =
+          List.map
+            (fun (stl, s) -> (stl, Test_core.Analyzer.estimate ?cpus s))
+            stats
+        in
+        (* All the analyzer's cycle counts come from the annotated run, so
+           the whole-program denominator must too (annotation overhead
+           cancels). *)
+        let selection =
+          Test_core.Analyzer.select ?cpus ~obs ~stats
+            ~child_cycles:(Test_core.Tracer.child_cycles tracer)
+            ~program_cycles:opt.cycles ()
+        in
+        (stats, estimates, selection))
   in
   (* 4. recompile chosen STLs; 5. speculative run *)
-  let selected =
-    List.map (fun (c : Test_core.Analyzer.choice) -> c.chosen_stl) selection.chosen
-  in
   let tls_prog =
-    Compiler.Codegen.generate ~mode:(Compiler.Codegen.Tls { selected }) table tac
+    Obs.Sink.phase obs phase_recompile (fun () ->
+        let selected =
+          List.map
+            (fun (c : Test_core.Analyzer.choice) -> c.chosen_stl)
+            selection.chosen
+        in
+        Compiler.Codegen.generate ~mode:(Compiler.Codegen.Tls { selected })
+          table tac)
   in
-  let tr = Hydra.Tls_sim.run ?fuel ?sync tls_prog in
+  let tr =
+    Obs.Sink.phase obs phase_tls (fun () ->
+        Hydra.Tls_sim.run ?fuel ?sync ~obs tls_prog)
+  in
   {
     name;
     plain_cycles;
@@ -134,3 +192,18 @@ let run ?tracer_config ?cpus ?fuel ?sync ?(optimize = true) ~name src : report =
       Test_core.Method_profile.candidates methods ~program:annotated_program
         ~program_cycles:opt.cycles ();
   }
+
+let record_report_metrics (reg : Obs.Metrics.t) (r : report) =
+  let gauge name v = Obs.Metrics.set_gauge reg name v in
+  gauge "run.plain_cycles" (float_of_int r.plain_cycles);
+  gauge "run.base_cycles" (float_of_int r.base.cycles);
+  gauge "run.opt_cycles" (float_of_int r.opt.cycles);
+  gauge "run.tls_cycles" (float_of_int r.tls_cycles);
+  gauge "run.actual_speedup" r.actual_speedup;
+  gauge "run.predicted_speedup"
+    r.selection.Test_core.Analyzer.predicted_speedup;
+  gauge "run.selected_stls"
+    (float_of_int (List.length r.selection.Test_core.Analyzer.chosen));
+  gauge "run.loop_count" (float_of_int r.loop_count);
+  gauge "run.outputs_match" (if r.outputs_match then 1. else 0.);
+  Obs.Metrics.incr reg "run.reports" ~by:1

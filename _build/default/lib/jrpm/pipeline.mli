@@ -53,6 +53,7 @@ val run :
   ?cpus:int ->
   ?fuel:int ->
   ?sync:bool ->
+  ?obs:Obs.Sink.t ->
   ?optimize:bool ->
   name:string ->
   string ->
@@ -61,13 +62,30 @@ val run :
     enables the TLS hardware's learned synchronization (see
     {!Hydra.Tls_sim.run}); [optimize] (default true) runs the microJIT's
     {!Compiler.Opt} scalar passes before analysis and code generation.
+    [obs] (default {!Obs.Sink.null}) observes the run: every phase is
+    bracketed in [Phase_begin]/[Phase_end] events (phases [frontend],
+    [plain-run], [profile-base], [profile-opt], [analyze],
+    [recompile-tls], [tls-run]) and the sink is threaded into the
+    tracer (optimized profiling run only, so counters are not
+    double-counted), the analyzer, and the TLS simulator.
     @raise the usual front-end exceptions on bad source. *)
 
 val profile_only :
   ?tracer_config:Test_core.Tracer.config ->
   ?fuel:int ->
+  ?obs:Obs.Sink.t ->
   ?optimize:bool ->
   string ->
   Test_core.Tracer.t * int
 (** Compile with optimized annotations and trace once; returns the
-    tracer and the plain sequential cycle count. *)
+    tracer and the plain sequential cycle count. [obs] observes the
+    [frontend], [plain-run], and [profile-opt] phases and the tracer. *)
+
+val phases : string list
+(** The phase names {!run} brackets, in pipeline order — the vocabulary
+    of the [phase.*] histograms and [Phase_*] events. *)
+
+val record_report_metrics : Obs.Metrics.t -> report -> unit
+(** Export a finished {!report}'s headline numbers as [run.*] gauges
+    (plus a [run.reports] counter) into a metrics registry — the
+    machine-readable hook future perf PRs diff across commits. *)

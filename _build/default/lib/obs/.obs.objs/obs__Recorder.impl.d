@@ -1,0 +1,1 @@
+lib/obs/recorder.ml: Event Json List Metrics Printf Sink

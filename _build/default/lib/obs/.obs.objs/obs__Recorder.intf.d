@@ -1,0 +1,1 @@
+lib/obs/recorder.mli: Event Json Metrics Sink

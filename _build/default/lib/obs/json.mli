@@ -1,0 +1,43 @@
+(** Minimal self-contained JSON tree, printer, and parser.
+
+    The observability exports ({!Metrics.to_json}, {!Recorder.to_json})
+    produce values of this type; {!parse} exists so tests (and future
+    tooling) can round-trip an exported dump without an external JSON
+    dependency. Numbers are split into [Int] and [Float]; [Float]
+    printing uses a round-trippable ["%.17g"] representation and maps
+    non-finite values to [null] (JSON has no NaN/infinity). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialize; [pretty] (default [false]) adds newlines and 2-space
+    indentation. *)
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document; the error string carries a byte
+    offset. Integral number literals without exponent/fraction parse as
+    [Int], everything else as [Float]. *)
+
+val parse_exn : string -> t
+(** @raise Failure on malformed input. *)
+
+(** {2 Accessors} — conveniences for tests and report readers. *)
+
+val member : string -> t -> t option
+(** [member key json] — field lookup in an [Obj]; [None] otherwise. *)
+
+val to_int : t -> int option
+(** [Int n] and integral [Float]s. *)
+
+val to_float : t -> float option
+(** [Int] and [Float]. *)
+
+val to_list : t -> t list option
+val to_string_opt : t -> string option

@@ -1,0 +1,45 @@
+(** The standard in-memory consumer: a {!Sink.t} that aggregates every
+    event into a {!Metrics.t} registry and keeps a bounded event log.
+
+    Aggregation performed on the fly:
+    - every event bumps the counter [events.<label>] (so arc and
+      overflow totals survive even when the raw log is truncated);
+    - [Phase_end] also feeds the histogram [phase.<name>.seconds];
+    - the raw event log keeps the first [max_events] events; later ones
+      are dropped (but still counted) and reported via
+      {!dropped_events}.
+
+    Callers may also bump their own metrics through {!metrics} — the
+    pipeline uses this for run-level gauges such as cycle counts. *)
+
+type t
+
+val create : ?max_events:int -> unit -> t
+(** [max_events] bounds the raw event log (default [10_000]). *)
+
+val sink : t -> Sink.t
+(** The live sink feeding this recorder. *)
+
+val metrics : t -> Metrics.t
+(** The registry, shared with callers for run-level counters/gauges. *)
+
+val events : t -> Event.t list
+(** The retained raw log, in emission order. *)
+
+val dropped_events : t -> int
+(** Events past [max_events], counted but not retained. *)
+
+val phase_spans : t -> (string * int * float) list
+(** [(phase, spans, total_seconds)] per phase, in first-begin order;
+    nested or repeated phases accumulate. *)
+
+val phase_rows : t -> string list list
+(** [[phase; spans; seconds; share%]] rows for {!Util.Text_table};
+    share is of the summed phase time. *)
+
+val to_json : t -> Json.t
+(** The full dump:
+    [{"schema_version": 1, "metrics": {...}, "phases": [{"phase",
+    "spans", "total_s"}], "events": [...], "dropped_events": n}].
+    The schema is documented in ARCHITECTURE.md; bump [schema_version]
+    on breaking changes. *)

@@ -1,0 +1,24 @@
+type t = { on : bool; fn : Event.t -> unit }
+
+let null = { on = false; fn = ignore }
+let make fn = { on = true; fn }
+let enabled t = t.on
+let[@inline] emit t e = if t.on then t.fn e
+
+let phase t name f =
+  if not t.on then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    t.fn (Event.Phase_begin { phase = name; at_s = t0 });
+    let finish () =
+      let t1 = Unix.gettimeofday () in
+      t.fn (Event.Phase_end { phase = name; at_s = t1; span_s = t1 -. t0 })
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end

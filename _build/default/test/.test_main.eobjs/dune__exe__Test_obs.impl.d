@@ -1,0 +1,1 @@
+test/test_obs.ml: Alcotest Gc Ir Jrpm List Obs Option Printf String Util

@@ -19,3 +19,4 @@ val of_stats : Hydra.Native.program -> Stats.t -> entry list
 (** Sorted by [hits] descending. *)
 
 val pp : Format.formatter -> entry list -> unit
+(** Aligned table of entries, flagging the [limiting] ones. *)

@@ -1,0 +1,34 @@
+(** The event-consumer handle threaded through the pipeline, tracer,
+    analyzer, and TLS simulator.
+
+    Every instrumented module takes an optional sink defaulting to
+    {!null}. The hot-path discipline is
+
+    {[
+      if Obs.Sink.enabled sink then
+        Obs.Sink.emit sink (Obs.Event.Arc_found { ... })
+    ]}
+
+    so that with the null sink no event record is ever allocated — the
+    cost of disabled observability is one immutable-field load and a
+    branch (verified by an allocation test in [test/test_obs.ml]). *)
+
+type t
+
+val null : t
+(** Discards everything; [enabled null = false]. *)
+
+val make : (Event.t -> unit) -> t
+(** A live sink; [enabled (make f) = true]. *)
+
+val enabled : t -> bool
+(** Guard allocation of event payloads with this before {!emit}. *)
+
+val emit : t -> Event.t -> unit
+(** Deliver one event (a no-op on {!null}). *)
+
+val phase : t -> string -> (unit -> 'a) -> 'a
+(** [phase t name f] runs [f ()] bracketed by {!Event.Phase_begin} /
+    {!Event.Phase_end} carrying host wall-clock timestamps and the
+    elapsed span. On the null sink it is exactly [f ()] — no clock
+    reads. The end event is emitted even when [f] raises. *)

@@ -1,0 +1,245 @@
+(* The observability layer: metrics accumulate, the JSON codec
+   round-trips, the null sink costs nothing on the hot path, and a full
+   pipeline dump (the --profile-json payload) parses back with the
+   promised phase spans and tracer counters. *)
+
+let fib_src =
+  {|
+int[] a;
+def main() {
+  a = new int[400];
+  a[0] = 1; a[1] = 1;
+  for (int i = 2; i < 400; i = i + 1) { a[i] = (a[i-1] + a[i-2]) % 997; }
+  int s = 0;
+  for (int j = 0; j < 400; j = j + 1) { s = s + a[j]; }
+  print_int(s);
+}
+|}
+
+(* ---------------- metrics ---------------- *)
+
+let test_counters () =
+  let m = Obs.Metrics.create () in
+  Alcotest.(check int) "unset counter reads 0" 0 (Obs.Metrics.counter m "x");
+  Obs.Metrics.incr m "x";
+  Obs.Metrics.incr m "x" ~by:41;
+  Alcotest.(check int) "accumulates" 42 (Obs.Metrics.counter m "x");
+  Alcotest.check_raises "negative increment rejected"
+    (Invalid_argument "Obs.Metrics.incr: negative increment") (fun () ->
+      Obs.Metrics.incr m "x" ~by:(-1));
+  Obs.Metrics.set_gauge m "g" 2.5;
+  Obs.Metrics.set_gauge m "g" 7.25;
+  Alcotest.(check (option (float 0.))) "gauge is last-write-wins" (Some 7.25)
+    (Obs.Metrics.gauge m "g");
+  Alcotest.check_raises "kind clash rejected"
+    (Invalid_argument "Obs.Metrics: x is a counter, not a gauge") (fun () ->
+      Obs.Metrics.set_gauge m "x" 1.)
+
+let test_histograms () =
+  let m = Obs.Metrics.create () in
+  List.iter (Obs.Metrics.observe m "h") [ 4.; 1.; 7. ];
+  match Obs.Metrics.histogram m "h" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some rs ->
+      Alcotest.(check int) "count" 3 (Util.Running_stat.count rs);
+      Alcotest.(check (float 1e-9)) "sum" 12. (Util.Running_stat.sum rs);
+      Alcotest.(check (float 1e-9)) "mean" 4. (Util.Running_stat.mean rs);
+      Alcotest.(check (float 1e-9)) "min" 1. (Util.Running_stat.min rs);
+      Alcotest.(check (float 1e-9)) "max" 7. (Util.Running_stat.max rs)
+
+(* ---------------- JSON codec ---------------- *)
+
+let test_json_roundtrip () =
+  let v =
+    Obs.Json.(
+      Obj
+        [
+          ("s", String "a\"b\\c\n\t\r del:\x07 end");
+          ("i", Int (-42));
+          ("f", Float 3.140625);
+          ("t", Bool true);
+          ("n", Null);
+          ("l", List [ Int 1; List []; Obj []; String "" ]);
+        ])
+  in
+  List.iter
+    (fun pretty ->
+      let s = Obs.Json.to_string ~pretty v in
+      match Obs.Json.parse s with
+      | Error e -> Alcotest.fail ("reparse failed: " ^ e)
+      | Ok v' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "round-trip (pretty=%b)" pretty)
+            true (v = v'))
+    [ false; true ];
+  (* number classification *)
+  Alcotest.(check bool) "ints stay ints" true
+    (Obs.Json.parse_exn "[1, -7, 0]" = Obs.Json.(List [ Int 1; Int (-7); Int 0 ]));
+  Alcotest.(check bool) "exponents parse as floats" true
+    (Obs.Json.parse_exn "1e3" = Obs.Json.Float 1000.);
+  (* malformed inputs are rejected *)
+  List.iter
+    (fun bad ->
+      match Obs.Json.parse bad with
+      | Ok _ -> Alcotest.failf "accepted malformed %S" bad
+      | Error _ -> ())
+    [ "{"; "[1,]"; "{\"a\":}"; "\"unterminated"; "12 34"; "nul"; "" ]
+
+(* ---------------- null-sink hot path ---------------- *)
+
+(* the guarded-emit discipline used at every instrumentation site *)
+let[@inline never] guarded_emit sink stl now =
+  if Obs.Sink.enabled sink then
+    Obs.Sink.emit sink (Obs.Event.Bank_alloc { stl; now })
+
+let test_null_sink_no_alloc () =
+  let sink = Obs.Sink.null in
+  (* warm up so any one-time allocation is out of the measured window *)
+  guarded_emit sink 0 0;
+  let before = Gc.minor_words () in
+  for i = 1 to 100_000 do
+    guarded_emit sink i i
+  done;
+  let allocated = Gc.minor_words () -. before in
+  (* Gc.minor_words itself may box a float or two per call; anything
+     beyond a few words means the hot path allocates per event *)
+  Alcotest.(check bool)
+    (Printf.sprintf "disabled emit allocates nothing (saw %.0f words)"
+       allocated)
+    true
+    (allocated < 256.);
+  (* Sink.phase on the null sink is exactly the thunk *)
+  Alcotest.(check int) "null phase returns thunk result" 9
+    (Obs.Sink.phase sink "p" (fun () -> 9))
+
+(* ---------------- recorder + pipeline dump ---------------- *)
+
+let test_recorder_events () =
+  let rc = Obs.Recorder.create ~max_events:2 () in
+  let sink = Obs.Recorder.sink rc in
+  Obs.Sink.phase sink "alpha" (fun () ->
+      Obs.Sink.emit sink (Obs.Event.Bank_starved { stl = 3; now = 17 }));
+  Alcotest.(check int) "bank_starved counted" 1
+    (Obs.Metrics.counter (Obs.Recorder.metrics rc) "events.bank_starved");
+  Alcotest.(check int) "log capped at max_events" 2
+    (List.length (Obs.Recorder.events rc));
+  Alcotest.(check int) "overflowing events counted as dropped" 1
+    (Obs.Recorder.dropped_events rc);
+  match Obs.Recorder.phase_spans rc with
+  | [ ("alpha", 1, span) ] ->
+      Alcotest.(check bool) "span is non-negative" true (span >= 0.)
+  | other ->
+      Alcotest.failf "unexpected phase spans (%d entries)" (List.length other)
+
+let test_pipeline_dump_roundtrips () =
+  let rc = Obs.Recorder.create () in
+  let r =
+    Jrpm.Pipeline.run ~obs:(Obs.Recorder.sink rc) ~name:"fib" fib_src
+  in
+  Jrpm.Pipeline.record_report_metrics (Obs.Recorder.metrics rc) r;
+  (* the exact payload --profile-json writes *)
+  let dump = Obs.Json.to_string ~pretty:true (Obs.Recorder.to_json rc) in
+  let json =
+    match Obs.Json.parse dump with
+    | Ok j -> j
+    | Error e -> Alcotest.fail ("dump does not parse: " ^ e)
+  in
+  let get path =
+    List.fold_left
+      (fun acc key ->
+        match Option.bind acc (Obs.Json.member key) with
+        | Some v -> Some v
+        | None -> Alcotest.failf "missing %s" (String.concat "." path))
+      (Some json) path
+  in
+  (* per-phase wall-clock spans, one per pipeline phase *)
+  let phases =
+    Option.get (Option.bind (get [ "phases" ]) Obs.Json.to_list)
+  in
+  let phase_names =
+    List.filter_map
+      (fun p ->
+        Option.bind (Obs.Json.member "phase" p) Obs.Json.to_string_opt)
+      phases
+  in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool)
+        (Printf.sprintf "phase %s present" expected)
+        true
+        (List.mem expected phase_names))
+    Jrpm.Pipeline.phases;
+  List.iter
+    (fun p ->
+      let span =
+        Option.get (Option.bind (Obs.Json.member "total_s" p) Obs.Json.to_float)
+      in
+      Alcotest.(check bool) "phase span non-negative" true (span >= 0.))
+    phases;
+  (* tracer arc/overflow counters (pre-seeded, so always present) *)
+  let counter name =
+    match Option.bind (get [ "metrics"; "counters"; name ]) Obs.Json.to_int with
+    | Some n -> n
+    | None -> Alcotest.failf "counter %s not an int" name
+  in
+  Alcotest.(check bool)
+    "fib loop produced arcs to the previous thread" true
+    (counter "events.arc_found_prev" > 0);
+  Alcotest.(check bool)
+    "overflow counter exported" true
+    (counter "events.overflow" >= 0);
+  Alcotest.(check bool)
+    "analyzer decisions recorded" true
+    (counter "events.decision" > 0);
+  (* the raw event log agrees with the aggregate counter *)
+  let decisions =
+    List.length
+      (List.filter
+         (function Obs.Event.Decision _ -> true | _ -> false)
+         (Obs.Recorder.events rc))
+  in
+  Alcotest.(check int) "decision events retained in the log"
+    (counter "events.decision") decisions;
+  (* run-level gauges recorded for perf tracking *)
+  Alcotest.(check bool) "plain_cycles gauge exported" true
+    (Option.bind (get [ "metrics"; "gauges"; "run.plain_cycles" ])
+       Obs.Json.to_float
+    <> None)
+
+let test_disabled_observability_is_inert () =
+  (* same program, with and without a recorder: identical results *)
+  let r1 = Jrpm.Pipeline.run ~name:"fib" fib_src in
+  let rc = Obs.Recorder.create () in
+  let r2 = Jrpm.Pipeline.run ~obs:(Obs.Recorder.sink rc) ~name:"fib" fib_src in
+  Alcotest.(check int) "plain cycles unchanged" r1.Jrpm.Pipeline.plain_cycles
+    r2.Jrpm.Pipeline.plain_cycles;
+  Alcotest.(check int) "tls cycles unchanged" r1.Jrpm.Pipeline.tls_cycles
+    r2.Jrpm.Pipeline.tls_cycles;
+  Alcotest.(check bool) "outputs equal" true
+    (List.for_all2 Ir.Value.equal r1.Jrpm.Pipeline.plain_output
+       r2.Jrpm.Pipeline.plain_output)
+
+let suites =
+  [
+    ( "obs.metrics",
+      [
+        Alcotest.test_case "counters and gauges" `Quick test_counters;
+        Alcotest.test_case "histograms on Running_stat" `Quick test_histograms;
+      ] );
+    ( "obs.json",
+      [ Alcotest.test_case "round-trip and rejection" `Quick test_json_roundtrip ] );
+    ( "obs.sink",
+      [
+        Alcotest.test_case "null sink allocates nothing" `Quick
+          test_null_sink_no_alloc;
+        Alcotest.test_case "recorder aggregates and caps" `Quick
+          test_recorder_events;
+      ] );
+    ( "obs.pipeline",
+      [
+        Alcotest.test_case "profile-json dump round-trips" `Quick
+          test_pipeline_dump_roundtrips;
+        Alcotest.test_case "disabled observability is inert" `Quick
+          test_disabled_observability_is_inert;
+      ] );
+  ]
