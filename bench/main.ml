@@ -5,7 +5,12 @@
    Usage: dune exec bench/main.exe             (everything)
           dune exec bench/main.exe -- quick    (skip bechamel timing)
           dune exec bench/main.exe -- profile  (add per-benchmark
-                                               pipeline-phase times) *)
+                                               pipeline-phase times)
+          dune exec bench/main.exe -- --jobs N (fan the benchmark sweep
+                                               out over N worker
+                                               processes; default: core
+                                               count; output is byte-
+                                               identical for any N) *)
 
 let line = String.make 72 '='
 
@@ -163,31 +168,20 @@ let figure4 () =
 (* ------------------------------------------------------------------ *)
 (* Whole-suite reports (shared by Table 3/6 and Figures 6/10/11) *)
 
-(* set before [reports] is forced (by the `profile` CLI arg) to attach
-   an observability recorder to every benchmark's pipeline run *)
+(* set before [reports] is forced (by the `profile` / `--jobs` CLI
+   args): attach an observability recorder to every benchmark's
+   pipeline run, and the worker-process count for the sweep *)
 let observe_phases = ref false
+let sweep_jobs = ref 1
 
 let reports :
     (string * (Jrpm.Pipeline.report * Obs.Recorder.t option)) list Lazy.t =
   lazy
     (List.map
-       (fun (w : Workloads.Workload.t) ->
-         let src = Workloads.Registry.default_source w in
-         let recorder =
-           if !observe_phases then Some (Obs.Recorder.create ()) else None
-         in
-         let obs =
-           match recorder with
-           | Some rc -> Obs.Recorder.sink rc
-           | None -> Obs.Sink.null
-         in
-         let r = Jrpm.Pipeline.run ~obs ~name:w.Workloads.Workload.name src in
-         (match recorder with
-         | Some rc ->
-             Jrpm.Pipeline.record_report_metrics (Obs.Recorder.metrics rc) r
-         | None -> ());
-         (w.Workloads.Workload.name, (r, recorder)))
-       Workloads.Registry.all)
+       (fun (o : Jrpm.Parallel_sweep.outcome) ->
+         (o.Jrpm.Parallel_sweep.workload.Workloads.Workload.name,
+          (o.Jrpm.Parallel_sweep.report, o.Jrpm.Parallel_sweep.recorder)))
+       (Jrpm.Parallel_sweep.run ~jobs:!sweep_jobs ~observe:!observe_phases ()))
 
 let report name = fst (List.assoc name (Lazy.force reports))
 
@@ -666,8 +660,26 @@ let bechamel_suite () =
 
 let () =
   let has_arg a = Array.exists (String.equal a) Sys.argv in
+  let int_arg name default =
+    let v = ref default in
+    Array.iteri
+      (fun i a ->
+        let eq = name ^ "=" in
+        if a = name && i + 1 < Array.length Sys.argv then
+          Option.iter (fun n -> v := n) (int_of_string_opt Sys.argv.(i + 1))
+        else if String.length a > String.length eq
+                && String.sub a 0 (String.length eq) = eq then
+          Option.iter
+            (fun n -> v := n)
+            (int_of_string_opt
+               (String.sub a (String.length eq)
+                  (String.length a - String.length eq))))
+      Sys.argv;
+    !v
+  in
   let quick = has_arg "quick" in
   observe_phases := has_arg "profile";
+  sweep_jobs := int_arg "--jobs" (Jrpm.Parallel_sweep.default_jobs ());
   table1 ();
   table2 ();
   figure3 ();

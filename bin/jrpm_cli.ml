@@ -6,6 +6,7 @@
      jrpm deps FILE       extended-TEST dependency profile per STL
      jrpm auto FILE       the whole cycle: trace, select, recompile, TLS run
      jrpm bench NAME      run a bundled benchmark through the whole cycle
+     jrpm sweep           run every bundled benchmark, fanned out over cores
      jrpm list            list bundled benchmarks *)
 
 open Cmdliner
@@ -387,6 +388,84 @@ let bench_cmd =
       const bench $ name_arg $ size_arg $ banks_arg $ verbose_arg $ sync_arg
       $ profile_arg $ profile_json_arg)
 
+let sweep_cmd =
+  let jobs_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "number of worker processes for the sweep (default: core count; \
+             1 = run sequentially in-process)")
+  in
+  let sweep jobs profile profile_json =
+    let jobs = if jobs <= 0 then Jrpm.Parallel_sweep.default_jobs () else jobs in
+    let observe = profile || profile_json <> None in
+    let t0 = Unix.gettimeofday () in
+    let outcomes =
+      with_frontend_errors (fun () ->
+          Jrpm.Parallel_sweep.run ~jobs ~observe ())
+    in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    (* stdout is deterministic (registry order, simulated cycles only);
+       wall-clock timing goes to stderr *)
+    Util.Text_table.print
+      ~aligns:
+        Util.Text_table.[ Left; Right; Right; Right; Right; Right; Right; Left ]
+      ~header:
+        [
+          "Benchmark"; "Plain cycles"; "TLS cycles"; "Actual x"; "Pred x";
+          "STLs"; "Violations"; "Outputs";
+        ]
+      (List.map
+         (fun (o : Jrpm.Parallel_sweep.outcome) ->
+           let s = o.Jrpm.Parallel_sweep.summary in
+           [
+             s.Jrpm.Report_summary.name;
+             string_of_int s.Jrpm.Report_summary.plain_cycles;
+             string_of_int s.Jrpm.Report_summary.tls_cycles;
+             Printf.sprintf "%.2f" s.Jrpm.Report_summary.actual_speedup;
+             Printf.sprintf "%.2f" s.Jrpm.Report_summary.predicted_speedup;
+             string_of_int s.Jrpm.Report_summary.selected_stls;
+             string_of_int s.Jrpm.Report_summary.violations;
+             (if s.Jrpm.Report_summary.outputs_match then "match" else "MISMATCH");
+           ])
+         outcomes);
+    Printf.eprintf "sweep: %d benchmarks, %d jobs, %.2fs wall-clock\n%!"
+      (List.length outcomes) jobs wall_s;
+    match Jrpm.Parallel_sweep.merged_recorder outcomes with
+    | None -> ()
+    | Some merged ->
+        if profile then
+          prerr_string
+            (Util.Text_table.render
+               ~aligns:Util.Text_table.[ Left; Right; Right; Right ]
+               ~header:[ "phase"; "spans"; "seconds"; "share" ]
+               (Obs.Recorder.phase_rows merged));
+        (match profile_json with
+        | Some file -> (
+            match open_out file with
+            | oc ->
+                Fun.protect
+                  ~finally:(fun () -> close_out oc)
+                  (fun () ->
+                    output_string oc
+                      (Obs.Json.to_string ~pretty:true
+                         (Obs.Recorder.to_json merged));
+                    output_char oc '\n')
+            | exception Sys_error msg ->
+                Printf.eprintf "jrpm: cannot write profile JSON: %s\n" msg;
+                exit 1)
+        | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "run every bundled benchmark through the whole cycle, sharded over \
+          worker processes; per-workload recorders are merged into one \
+          deterministic aggregate")
+    Term.(const sweep $ jobs_arg $ profile_arg $ profile_json_arg)
+
 let list_cmd =
   let list () =
     Util.Text_table.print
@@ -446,6 +525,9 @@ let main =
   let doc = "Java Runtime Parallelizing Machine (TEST tracer reproduction)" in
   Cmd.group ~default:default_term
     (Cmd.info "jrpm" ~version:"1.0.0" ~doc)
-    [ run_cmd; profile_cmd; deps_cmd; dump_cmd; auto_cmd; bench_cmd; list_cmd ]
+    [
+      run_cmd; profile_cmd; deps_cmd; dump_cmd; auto_cmd; bench_cmd; sweep_cmd;
+      list_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

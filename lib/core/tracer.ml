@@ -168,8 +168,21 @@ let on_read_stats _t ~stl:_ ~now:_ = ()
 
 (* -- heap events -- *)
 
-let line_of t addr = addr / t.config.line_words
-let word_of t addr = addr mod t.config.line_words
+(* OCaml [/] and [mod] round toward zero, so a negative address would
+   produce a negative word/line index and a read outside the dedup and
+   line arrays; the simulator never emits one, so treat it as a trace
+   corruption and fail loudly. *)
+let check_addr addr =
+  if addr < 0 then
+    invalid_arg (Printf.sprintf "Tracer: negative heap address %d" addr)
+
+let line_of t addr =
+  check_addr addr;
+  addr / t.config.line_words
+
+let word_of t addr =
+  check_addr addr;
+  addr mod t.config.line_words
 
 let thread_elapsed (b : Bank.t) ~now = now - b.Bank.start_t
 
@@ -245,7 +258,21 @@ let on_heap_store t ~addr ~now =
 
 (* -- local variable events -- *)
 
-let local_key ~frame ~slot = (frame * 1024) + slot
+(* Local-variable timestamps are keyed on (frame, slot) packed into one
+   int. A multiplier no larger than a frame's real slot count aliases
+   distinct locals across frames (slot 1024 of frame f collides with
+   slot 0 of frame f+1 under the old [frame * 1024] packing) and
+   fabricates phantom RAW arcs; [local_slot_bound] is far above any
+   real frame size, and slots beyond it are rejected rather than
+   silently folded. *)
+let local_slot_bound = 1 lsl 20
+
+let local_key ~frame ~slot =
+  if slot < 0 || slot >= local_slot_bound then
+    invalid_arg
+      (Printf.sprintf "Tracer: local slot %d outside [0, %d)" slot
+         local_slot_bound);
+  (frame * local_slot_bound) + slot
 
 let on_local_load t ~frame ~slot ~pc ~now =
   match Util.Bounded_assoc_fifo.find t.local_ts (local_key ~frame ~slot) with

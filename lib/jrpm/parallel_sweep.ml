@@ -1,0 +1,164 @@
+type outcome = {
+  workload : Workloads.Workload.t;
+  report : Pipeline.report;
+  summary : Report_summary.t;
+  recorder : Obs.Recorder.t option;
+}
+
+(* One wire record per workload: the registry index (so the parent can
+   restore registry order regardless of worker scheduling), the summary
+   and recorder state serialized through the lib/obs JSON schema, and
+   the full report for in-process consumers (bench tables need the STL
+   table / tracer / tac, which have no JSON form). The tuple crosses
+   the pipe via [Marshal] with [Closures] — safe because workers are
+   forks of this very executable. *)
+type wire_item = int * string * string option * Pipeline.report
+type wire_payload = (wire_item list, string) result
+
+let default_jobs () =
+  match Sys.getenv_opt "JRPM_JOBS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 1)
+  | None -> ( try Domain.recommended_domain_count () with _ -> 1)
+
+let fork_available = not Sys.win32
+
+let run_one ~observe (w : Workloads.Workload.t) =
+  let recorder = if observe then Some (Obs.Recorder.create ()) else None in
+  let obs =
+    match recorder with
+    | Some rc -> Obs.Recorder.sink rc
+    | None -> Obs.Sink.null
+  in
+  let report =
+    Pipeline.run ~obs ~name:w.Workloads.Workload.name
+      (Workloads.Registry.default_source w)
+  in
+  (match recorder with
+  | Some rc -> Pipeline.record_report_metrics (Obs.Recorder.metrics rc) report
+  | None -> ());
+  (report, recorder)
+
+let sequential ~observe workloads =
+  List.map
+    (fun w ->
+      let report, recorder = run_one ~observe w in
+      { workload = w; report; summary = Report_summary.of_report report; recorder })
+    workloads
+
+(* ---------------- forked workers ---------------- *)
+
+let encode_item ~observe idx w : wire_item =
+  let report, recorder = run_one ~observe w in
+  let summary_json =
+    Obs.Json.to_string (Report_summary.to_json (Report_summary.of_report report))
+  in
+  let recorder_json =
+    Option.map (fun rc -> Obs.Json.to_string (Obs.Recorder.to_json rc)) recorder
+  in
+  (idx, summary_json, recorder_json, report)
+
+let worker_main ~observe shard wfd =
+  let payload : wire_payload =
+    try Ok (List.map (fun (idx, w) -> encode_item ~observe idx w) shard)
+    with e -> Error (Printexc.to_string e)
+  in
+  let oc = Unix.out_channel_of_descr wfd in
+  Marshal.to_channel oc payload [ Marshal.Closures ];
+  flush oc;
+  (* _exit: skip at_exit and inherited stdio buffers — anything the
+     parent printed before forking must not be flushed twice *)
+  Unix._exit (match payload with Ok _ -> 0 | Error _ -> 1)
+
+let decode_item (idx, summary_json, recorder_json, report) ~workloads =
+  let summary = Report_summary.of_json (Obs.Json.parse_exn summary_json) in
+  let recorder =
+    Option.map
+      (fun s -> Obs.Recorder.of_json (Obs.Json.parse_exn s))
+      recorder_json
+  in
+  (idx, { workload = List.nth workloads idx; report; summary; recorder })
+
+let parallel ~observe ~jobs workloads =
+  let indexed = List.mapi (fun i w -> (i, w)) workloads in
+  let shard k = List.filter (fun (i, _) -> i mod jobs = k) indexed in
+  let shards =
+    List.init jobs shard |> List.filter (fun s -> s <> [])
+  in
+  (* fork one worker per non-empty shard; each worker writes its whole
+     payload once, the parent drains the pipes in shard order *)
+  let children =
+    List.fold_left
+      (fun acc shard ->
+        let rfd, wfd = Unix.pipe ~cloexec:false () in
+        match Unix.fork () with
+        | 0 ->
+            Unix.close rfd;
+            (* release the read ends inherited from earlier forks so the
+               parent is the only reader left on every pipe *)
+            List.iter (fun (_, fd) -> Unix.close fd) acc;
+            worker_main ~observe shard wfd
+        | pid ->
+            Unix.close wfd;
+            (pid, rfd) :: acc)
+      [] shards
+    |> List.rev
+  in
+  let results = Array.make (List.length workloads) None in
+  let failures = ref [] in
+  List.iter
+    (fun (pid, rfd) ->
+      let ic = Unix.in_channel_of_descr rfd in
+      let payload =
+        (* read the payload BEFORE reaping: a worker with more output
+           than the pipe buffer is still blocked in write *)
+        try (Marshal.from_channel ic : wire_payload)
+        with End_of_file | Failure _ ->
+          Error "worker exited without delivering its results"
+      in
+      close_in ic;
+      (match Unix.waitpid [] pid with
+      | _, Unix.WEXITED (0 | 1) -> ()
+      | _, Unix.WEXITED code ->
+          failures := Printf.sprintf "worker exited with code %d" code :: !failures
+      | _, Unix.WSIGNALED sg ->
+          failures := Printf.sprintf "worker killed by signal %d" sg :: !failures
+      | _, Unix.WSTOPPED _ -> failures := "worker stopped" :: !failures);
+      match payload with
+      | Error msg -> failures := msg :: !failures
+      | Ok items ->
+          List.iter
+            (fun item ->
+              let idx, outcome = decode_item item ~workloads in
+              results.(idx) <- Some outcome)
+            items)
+    children;
+  (match !failures with
+  | [] -> ()
+  | msgs ->
+      failwith
+        ("Jrpm.Parallel_sweep: " ^ String.concat "; " (List.rev msgs)));
+  Array.to_list results
+  |> List.map (function
+       | Some o -> o
+       | None -> failwith "Jrpm.Parallel_sweep: missing worker result")
+
+let run ?jobs ?(observe = false) ?(workloads = Workloads.Registry.all) () =
+  let jobs =
+    match jobs with Some n -> max 1 n | None -> default_jobs ()
+  in
+  if jobs <= 1 || (not fork_available) || List.length workloads <= 1 then
+    sequential ~observe workloads
+  else parallel ~observe ~jobs:(min jobs (List.length workloads)) workloads
+
+let merged_recorder outcomes =
+  let merged = Obs.Recorder.create () in
+  let any = ref false in
+  List.iter
+    (fun o ->
+      match o.recorder with
+      | Some rc ->
+          any := true;
+          Obs.Recorder.merge merged rc
+      | None -> ())
+    outcomes;
+  if !any then Some merged else None

@@ -1,0 +1,59 @@
+(** Multi-core benchmark sweep.
+
+    Every {!Pipeline.run} over a registry workload is independent, so
+    the full Table-6 sweep fans out across worker Unix processes:
+
+    - workloads are sharded round-robin over [jobs] forked workers;
+    - each worker runs the complete pipeline for its shard with its own
+      {!Obs.Recorder} (when [observe]), then writes one payload to a
+      pipe: per workload, the registry index, the
+      {!Report_summary}/recorder state serialized through the lib/obs
+      JSON schema, and the full report (marshalled — workers are forks
+      of this executable, so closures survive);
+    - the parent drains every pipe, decodes the JSON back through
+      {!Report_summary.of_json} / {!Obs.Recorder.of_json}, reaps the
+      workers, and reassembles outcomes in registry order.
+
+    Determinism: the pipeline itself is deterministic and outcomes are
+    ordered by registry index, never by arrival, so any [jobs] value
+    produces the same outcome list (recorder wall-clock phase spans
+    excepted) — byte-stable golden output and [BENCH_*.json] dumps
+    regardless of worker scheduling. Merge per-workload recorders in
+    registry order ({!merged_recorder}) for a deterministic aggregate.
+
+    A worker that dies or reports an exception fails the whole sweep
+    with a [Failure] naming the worker error. *)
+
+type outcome = {
+  workload : Workloads.Workload.t;
+  report : Pipeline.report;
+  summary : Report_summary.t;  (** decoded from the worker's JSON *)
+  recorder : Obs.Recorder.t option;
+      (** the worker's per-workload recorder, decoded from its JSON
+          dump; [None] unless the sweep ran with [observe] *)
+}
+
+val default_jobs : unit -> int
+(** Core count ([Domain.recommended_domain_count]); the [JRPM_JOBS]
+    environment variable overrides it. *)
+
+val run :
+  ?jobs:int ->
+  ?observe:bool ->
+  ?workloads:Workloads.Workload.t list ->
+  unit ->
+  outcome list
+(** [run ()] sweeps [workloads] (default: the whole registry, in
+    Table-6 order) across [jobs] workers (default {!default_jobs}) and
+    returns outcomes in registry order. [observe] (default [false])
+    attaches a fresh {!Obs.Recorder} to every workload's pipeline run
+    and records {!Pipeline.record_report_metrics} gauges, exactly like
+    the sequential bench harness. Runs sequentially in-process when
+    [jobs <= 1], when forking is unavailable (Windows), or for a
+    single workload.
+    @raise Failure when a worker fails. *)
+
+val merged_recorder : outcome list -> Obs.Recorder.t option
+(** Fold every per-workload recorder into one fresh recorder (in list
+    order, so registry order for {!run} output); [None] when the sweep
+    ran unobserved. *)

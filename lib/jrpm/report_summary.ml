@@ -1,0 +1,138 @@
+type anno_summary = {
+  cycles : int;
+  slowdown : float;
+  locals_cycles : int;
+  read_stats_cycles : int;
+  loop_anno_cycles : int;
+}
+
+type t = {
+  name : string;
+  plain_cycles : int;
+  base : anno_summary;
+  opt : anno_summary;
+  tls_cycles : int;
+  actual_speedup : float;
+  predicted_speedup : float;
+  selected_stls : int;
+  outputs_match : bool;
+  loop_count : int;
+  max_static_depth : int;
+  max_dynamic_depth : int;
+  threads_committed : int;
+  violations : int;
+  overflow_stalls : int;
+  forwarded_loads : int;
+}
+
+let of_anno (a : Pipeline.anno_run) =
+  {
+    cycles = a.Pipeline.cycles;
+    slowdown = a.Pipeline.slowdown;
+    locals_cycles = a.Pipeline.locals_cycles;
+    read_stats_cycles = a.Pipeline.read_stats_cycles;
+    loop_anno_cycles = a.Pipeline.loop_anno_cycles;
+  }
+
+let of_report (r : Pipeline.report) =
+  {
+    name = r.Pipeline.name;
+    plain_cycles = r.Pipeline.plain_cycles;
+    base = of_anno r.Pipeline.base;
+    opt = of_anno r.Pipeline.opt;
+    tls_cycles = r.Pipeline.tls_cycles;
+    actual_speedup = r.Pipeline.actual_speedup;
+    predicted_speedup =
+      r.Pipeline.selection.Test_core.Analyzer.predicted_speedup;
+    selected_stls = List.length r.Pipeline.selection.Test_core.Analyzer.chosen;
+    outputs_match = r.Pipeline.outputs_match;
+    loop_count = r.Pipeline.loop_count;
+    max_static_depth = r.Pipeline.max_static_depth;
+    max_dynamic_depth = r.Pipeline.max_dynamic_depth;
+    threads_committed = r.Pipeline.spec_stats.Hydra.Tls_sim.threads_committed;
+    violations = r.Pipeline.spec_stats.Hydra.Tls_sim.violations;
+    overflow_stalls = r.Pipeline.spec_stats.Hydra.Tls_sim.overflow_stalls;
+    forwarded_loads = r.Pipeline.spec_stats.Hydra.Tls_sim.forwarded_loads;
+  }
+
+(* ---------------- JSON codec ---------------- *)
+
+let anno_to_json (a : anno_summary) =
+  Obs.Json.Obj
+    [
+      ("cycles", Obs.Json.Int a.cycles);
+      ("slowdown", Obs.Json.Float a.slowdown);
+      ("locals_cycles", Obs.Json.Int a.locals_cycles);
+      ("read_stats_cycles", Obs.Json.Int a.read_stats_cycles);
+      ("loop_anno_cycles", Obs.Json.Int a.loop_anno_cycles);
+    ]
+
+let to_json (t : t) =
+  Obs.Json.Obj
+    [
+      ("name", Obs.Json.String t.name);
+      ("plain_cycles", Obs.Json.Int t.plain_cycles);
+      ("base", anno_to_json t.base);
+      ("opt", anno_to_json t.opt);
+      ("tls_cycles", Obs.Json.Int t.tls_cycles);
+      ("actual_speedup", Obs.Json.Float t.actual_speedup);
+      ("predicted_speedup", Obs.Json.Float t.predicted_speedup);
+      ("selected_stls", Obs.Json.Int t.selected_stls);
+      ("outputs_match", Obs.Json.Bool t.outputs_match);
+      ("loop_count", Obs.Json.Int t.loop_count);
+      ("max_static_depth", Obs.Json.Int t.max_static_depth);
+      ("max_dynamic_depth", Obs.Json.Int t.max_dynamic_depth);
+      ("threads_committed", Obs.Json.Int t.threads_committed);
+      ("violations", Obs.Json.Int t.violations);
+      ("overflow_stalls", Obs.Json.Int t.overflow_stalls);
+      ("forwarded_loads", Obs.Json.Int t.forwarded_loads);
+    ]
+
+let fail what = failwith ("Jrpm.Report_summary.of_json: " ^ what)
+
+let field conv json key =
+  match Option.bind (Obs.Json.member key json) conv with
+  | Some v -> v
+  | None -> fail ("missing or mistyped field " ^ key)
+
+let anno_of_json json =
+  let int = field Obs.Json.to_int json in
+  {
+    cycles = int "cycles";
+    slowdown = field Obs.Json.to_float json "slowdown";
+    locals_cycles = int "locals_cycles";
+    read_stats_cycles = int "read_stats_cycles";
+    loop_anno_cycles = int "loop_anno_cycles";
+  }
+
+let of_json json =
+  let int = field Obs.Json.to_int json in
+  let float = field Obs.Json.to_float json in
+  let bool key =
+    match Obs.Json.member key json with
+    | Some (Obs.Json.Bool b) -> b
+    | _ -> fail ("missing or mistyped field " ^ key)
+  in
+  let anno key =
+    match Obs.Json.member key json with
+    | Some a -> anno_of_json a
+    | None -> fail ("missing field " ^ key)
+  in
+  {
+    name = field Obs.Json.to_string_opt json "name";
+    plain_cycles = int "plain_cycles";
+    base = anno "base";
+    opt = anno "opt";
+    tls_cycles = int "tls_cycles";
+    actual_speedup = float "actual_speedup";
+    predicted_speedup = float "predicted_speedup";
+    selected_stls = int "selected_stls";
+    outputs_match = bool "outputs_match";
+    loop_count = int "loop_count";
+    max_static_depth = int "max_static_depth";
+    max_dynamic_depth = int "max_dynamic_depth";
+    threads_committed = int "threads_committed";
+    violations = int "violations";
+    overflow_stalls = int "overflow_stalls";
+    forwarded_loads = int "forwarded_loads";
+  }

@@ -1,0 +1,44 @@
+(** A plain-data digest of a {!Pipeline.report} — the headline numbers
+    the paper's whole-suite tables (6, 7, Figures 6/10/11) and the
+    sweep CLI need, with a JSON codec over {!Obs.Json}.
+
+    This is the report half of the parallel-sweep worker protocol:
+    workers cannot hand rich in-memory structures (STL tables, tracers)
+    across a process boundary as JSON, so they ship this summary (plus
+    recorder state) through {!Obs.Json} and the parent re-decodes it.
+    [of_json (to_json s) = s] exactly: every float is printed with
+    {!Obs.Json}'s round-trippable representation. *)
+
+type anno_summary = {
+  cycles : int;
+  slowdown : float;  (** vs. plain sequential *)
+  locals_cycles : int;
+  read_stats_cycles : int;
+  loop_anno_cycles : int;
+}
+
+type t = {
+  name : string;
+  plain_cycles : int;
+  base : anno_summary;
+  opt : anno_summary;
+  tls_cycles : int;
+  actual_speedup : float;
+  predicted_speedup : float;
+  selected_stls : int;  (** number of Eq.-2-chosen decompositions *)
+  outputs_match : bool;
+  loop_count : int;
+  max_static_depth : int;
+  max_dynamic_depth : int;
+  threads_committed : int;
+  violations : int;
+  overflow_stalls : int;
+  forwarded_loads : int;
+}
+
+val of_report : Pipeline.report -> t
+
+val to_json : t -> Obs.Json.t
+
+val of_json : Obs.Json.t -> t
+(** @raise Failure on a malformed document. *)

@@ -32,9 +32,22 @@ val gauge : t -> string -> float option
 val histogram : t -> string -> Util.Running_stat.t option
 (** The underlying accumulator; [None] if never observed. *)
 
+val merge : t -> t -> unit
+(** [merge t other] folds [other] into [t]: counters add, histograms
+    merge their {!Util.Running_stat} state, and gauges take [other]'s
+    value (last-merged-wins — merge registries in a deterministic order
+    when gauge values matter). [other] is unchanged.
+    @raise Invalid_argument when a name is bound to different kinds. *)
+
 val to_json : t -> Json.t
 (** [{"counters": {..}, "gauges": {..}, "histograms": {name: {count,
     sum, mean, min, max}}}] with names sorted for stable output. *)
+
+val of_json : Json.t -> t
+(** Rebuild a registry from {!to_json} output; histograms are restored
+    from their count/sum/min/max summary (the full accumulator state).
+    Missing sections are treated as empty.
+    @raise Failure on a malformed dump. *)
 
 val rows : t -> string list list
 (** [[name; kind; value]] rows for {!Util.Text_table}, sorted by name.

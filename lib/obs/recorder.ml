@@ -73,6 +73,40 @@ let phase_rows t =
       ])
     spans
 
+(* Splice already-recorded events into the bounded log WITHOUT feeding
+   them through [record]: their counter/phase aggregates travel
+   separately (in a merged registry or a parsed dump), so re-recording
+   would double-count. *)
+let append_raw t events =
+  List.iter
+    (fun e ->
+      if t.kept < t.max_events then begin
+        t.log <- e :: t.log;
+        t.kept <- t.kept + 1
+      end
+      else t.dropped <- t.dropped + 1)
+    events
+
+let add_phase_total t name ~spans:n ~total_s =
+  let spans, total =
+    match List.find_opt (fun (nm, _, _) -> nm = name) t.phases with
+    | Some (_, spans, total) -> (spans, total)
+    | None ->
+        let spans = ref 0 and total = ref 0. in
+        t.phases <- (name, spans, total) :: t.phases;
+        (spans, total)
+  in
+  spans := !spans + n;
+  total := !total +. total_s
+
+let merge t other =
+  Metrics.merge t.reg (metrics other);
+  List.iter
+    (fun (name, spans, total_s) -> add_phase_total t name ~spans ~total_s)
+    (phase_spans other);
+  t.dropped <- t.dropped + other.dropped;
+  append_raw t (events other)
+
 let to_json t =
   Json.Obj
     [
@@ -92,3 +126,44 @@ let to_json t =
       ("events", Json.List (List.map Event.to_json (events t)));
       ("dropped_events", Json.Int t.dropped);
     ]
+
+let of_json ?(max_events = 10_000) json =
+  let fail what = failwith ("Obs.Recorder.of_json: " ^ what) in
+  (match Option.bind (Json.member "schema_version" json) Json.to_int with
+  | Some v when v <> schema_version ->
+      fail (Printf.sprintf "unsupported schema_version %d" v)
+  | Some _ -> ()
+  | None -> fail "missing schema_version");
+  let reg =
+    match Json.member "metrics" json with
+    | Some m -> Metrics.of_json m
+    | None -> fail "missing metrics"
+  in
+  let t = { max_events; log = []; kept = 0; dropped = 0; reg; phases = [] } in
+  (match Option.bind (Json.member "phases" json) Json.to_list with
+  | None -> fail "missing phases"
+  | Some phases ->
+      List.iter
+        (fun p ->
+          let name =
+            match Option.bind (Json.member "phase" p) Json.to_string_opt with
+            | Some n -> n
+            | None -> fail "phase entry without name"
+          in
+          let spans =
+            Option.value ~default:0
+              (Option.bind (Json.member "spans" p) Json.to_int)
+          in
+          let total_s =
+            Option.value ~default:0.
+              (Option.bind (Json.member "total_s" p) Json.to_float)
+          in
+          add_phase_total t name ~spans ~total_s)
+        phases);
+  (match Option.bind (Json.member "events" json) Json.to_list with
+  | None -> fail "missing events"
+  | Some events -> append_raw t (List.map Event.of_json events));
+  (match Option.bind (Json.member "dropped_events" json) Json.to_int with
+  | Some d -> t.dropped <- t.dropped + d
+  | None -> ());
+  t

@@ -37,9 +37,25 @@ val phase_rows : t -> string list list
 (** [[phase; spans; seconds; share%]] rows for {!Util.Text_table};
     share is of the summed phase time. *)
 
+val merge : t -> t -> unit
+(** [merge t other] folds [other]'s recorded state into [t]: the metric
+    registries merge per {!Metrics.merge}, per-phase span counts and
+    totals add, dropped counts add, and [other]'s retained events are
+    appended to [t]'s log (subject to [t]'s [max_events] bound; extras
+    count as dropped). [other] is unchanged. Counters are NOT re-bumped
+    for the appended events — they already arrive via the registry
+    merge. Merging the per-worker recorders of a parallel sweep in a
+    fixed order yields a deterministic aggregate. *)
+
 val to_json : t -> Json.t
 (** The full dump:
     [{"schema_version": 1, "metrics": {...}, "phases": [{"phase",
     "spans", "total_s"}], "events": [...], "dropped_events": n}].
     The schema is documented in ARCHITECTURE.md; bump [schema_version]
     on breaking changes. *)
+
+val of_json : ?max_events:int -> Json.t -> t
+(** Rebuild a recorder from a {!to_json} dump — the read side of the
+    parallel-sweep worker protocol (workers ship recorder state as JSON;
+    the parent {!merge}s the decoded recorders in registry order).
+    @raise Failure on a malformed dump or schema-version mismatch. *)

@@ -1,0 +1,281 @@
+(* The parallel benchmark sweep: the report-summary and recorder JSON
+   codecs the worker protocol rides on, Metrics/Recorder merge
+   semantics, and the headline guarantee — an N-worker forked sweep
+   produces exactly the sequential sweep's results and metrics. *)
+
+let tiny name body =
+  Workloads.Workload.v name Workloads.Workload.Integer
+    ("sweep-test workload " ^ name)
+    1
+    (fun _ -> body)
+
+(* small but non-trivial: each exercises the tracer and TLS sim *)
+let w_fib =
+  tiny "t-fib"
+    {|
+int[] a;
+def main() {
+  a = new int[300];
+  a[0] = 1; a[1] = 1;
+  for (int i = 2; i < 300; i = i + 1) { a[i] = (a[i-1] + a[i-2]) % 997; }
+  print_int(a[299]);
+}
+|}
+
+let w_sum =
+  tiny "t-sum"
+    {|
+int[] a;
+def main() {
+  a = new int[400];
+  int s = 0;
+  for (int i = 0; i < 400; i = i + 1) { a[i] = i * 3 % 101; }
+  for (int j = 0; j < 400; j = j + 1) { s = s + a[j]; }
+  print_int(s);
+}
+|}
+
+let w_scale =
+  tiny "t-scale"
+    {|
+int[] a;
+def main() {
+  a = new int[350];
+  for (int i = 0; i < 350; i = i + 1) { a[i] = (i * 7 + 3) % 97; }
+  for (int j = 0; j < 350; j = j + 1) { a[j] = a[j] * 2 + 1; }
+  print_int(a[349]);
+}
+|}
+
+let workloads = [ w_fib; w_sum; w_scale ]
+
+(* ---------------- report-summary codec ---------------- *)
+
+let test_summary_roundtrip () =
+  let outcomes = Jrpm.Parallel_sweep.run ~jobs:1 ~workloads ~observe:false () in
+  List.iter
+    (fun (o : Jrpm.Parallel_sweep.outcome) ->
+      let s = o.Jrpm.Parallel_sweep.summary in
+      Alcotest.(check bool)
+        ("summary derives from report: " ^ s.Jrpm.Report_summary.name)
+        true
+        (s = Jrpm.Report_summary.of_report o.Jrpm.Parallel_sweep.report);
+      let json = Jrpm.Report_summary.to_json s in
+      let reparsed =
+        Jrpm.Report_summary.of_json
+          (Obs.Json.parse_exn (Obs.Json.to_string json))
+      in
+      Alcotest.(check bool)
+        ("summary JSON round-trips exactly: " ^ s.Jrpm.Report_summary.name)
+        true (s = reparsed))
+    outcomes
+
+(* ---------------- metrics merge + codec ---------------- *)
+
+let test_metrics_merge () =
+  let a = Obs.Metrics.create () and b = Obs.Metrics.create () in
+  Obs.Metrics.incr a "c" ~by:3;
+  Obs.Metrics.incr b "c" ~by:4;
+  Obs.Metrics.incr b "only_b";
+  Obs.Metrics.set_gauge a "g" 1.5;
+  Obs.Metrics.set_gauge b "g" 2.5;
+  Obs.Metrics.observe a "h" 10.;
+  Obs.Metrics.observe b "h" 2.;
+  Obs.Metrics.observe b "h" 30.;
+  Obs.Metrics.merge a b;
+  Alcotest.(check int) "counters add" 7 (Obs.Metrics.counter a "c");
+  Alcotest.(check int) "new counters appear" 1 (Obs.Metrics.counter a "only_b");
+  Alcotest.(check (option (float 0.))) "gauge takes merged-in value"
+    (Some 2.5) (Obs.Metrics.gauge a "g");
+  (match Obs.Metrics.histogram a "h" with
+  | None -> Alcotest.fail "histogram lost in merge"
+  | Some rs ->
+      Alcotest.(check int) "histogram count" 3 (Util.Running_stat.count rs);
+      Alcotest.(check (float 1e-9)) "histogram sum" 42.
+        (Util.Running_stat.sum rs);
+      Alcotest.(check (float 1e-9)) "histogram max" 30.
+        (Util.Running_stat.max rs));
+  (* b is unchanged *)
+  Alcotest.(check int) "source untouched" 4 (Obs.Metrics.counter b "c");
+  (* kind clashes are rejected *)
+  let c = Obs.Metrics.create () in
+  Obs.Metrics.set_gauge c "c" 9.;
+  Alcotest.check_raises "kind clash on merge"
+    (Invalid_argument "Obs.Metrics: c is a gauge, not a counter") (fun () ->
+      Obs.Metrics.merge c a)
+
+let test_metrics_json_roundtrip () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.incr m "events.x" ~by:17;
+  Obs.Metrics.set_gauge m "run.speedup" 3.25;
+  Obs.Metrics.observe m "phase.s" 0.125;
+  Obs.Metrics.observe m "phase.s" 4.5;
+  Obs.Metrics.incr m "zero" ~by:0;
+  let json = Obs.Metrics.to_json m in
+  let m' = Obs.Metrics.of_json (Obs.Json.parse_exn (Obs.Json.to_string json)) in
+  Alcotest.(check bool) "metrics JSON round-trips" true
+    (Obs.Metrics.to_json m' = json)
+
+(* ---------------- recorder merge + codec ---------------- *)
+
+let feed rc events =
+  let sink = Obs.Recorder.sink rc in
+  List.iter (Obs.Sink.emit sink) events
+
+let test_recorder_merge () =
+  let a = Obs.Recorder.create ~max_events:3 () in
+  let b = Obs.Recorder.create () in
+  feed a [ Obs.Event.Bank_alloc { stl = 0; now = 1 } ];
+  Obs.Sink.phase (Obs.Recorder.sink a) "p" (fun () -> ());
+  feed b
+    [
+      Obs.Event.Bank_starved { stl = 1; now = 2 };
+      Obs.Event.Tls_commit { rank = 0; now = 9 };
+    ];
+  Obs.Sink.phase (Obs.Recorder.sink b) "p" (fun () -> ());
+  Obs.Recorder.merge a b;
+  let m = Obs.Recorder.metrics a in
+  Alcotest.(check int) "event counters add" 1
+    (Obs.Metrics.counter m "events.bank_alloc");
+  Alcotest.(check int) "merged event counters add" 1
+    (Obs.Metrics.counter m "events.bank_starved");
+  (* a held 3 of its own events (alloc + phase pair); b's 4 arrive but
+     only the log bound's worth are kept, the rest count as dropped *)
+  Alcotest.(check int) "log still capped" 3
+    (List.length (Obs.Recorder.events a));
+  Alcotest.(check int) "overflow counted as dropped" 4
+    (Obs.Recorder.dropped_events a);
+  (* phase spans accumulate across recorders *)
+  (match Obs.Recorder.phase_spans a with
+  | [ ("p", 2, _) ] -> ()
+  | other ->
+      Alcotest.failf "unexpected phase spans (%d entries)" (List.length other));
+  (* counters were NOT double-bumped by the appended raw events *)
+  Alcotest.(check int) "phase_end counted once per recorder" 2
+    (Obs.Metrics.counter m "events.phase_end")
+
+let test_recorder_json_roundtrip () =
+  let rc = Obs.Recorder.create () in
+  feed rc
+    [
+      Obs.Event.Bank_alloc { stl = 2; now = 5 };
+      Obs.Event.Arc_found { stl = 2; bin = Obs.Event.Prev; len = 8; pc = 3 };
+      Obs.Event.Arc_found { stl = 2; bin = Obs.Event.Earlier; len = 20; pc = 4 };
+      Obs.Event.Overflow { stl = 2; ld_lines = 5; st_lines = 1; now = 30 };
+      Obs.Event.Decision
+        {
+          stl = 2;
+          est_speedup = 1.5;
+          spec_time = 100.;
+          nested_time = 140.;
+          overflow_freq = 0.;
+          crit_prev_freq = 0.5;
+          crit_prev_len = 8.;
+          avg_thread_size = 16.;
+          chosen = true;
+        };
+      Obs.Event.Tls_violation { rank = 1; now = 44 };
+      Obs.Event.Tls_sync_stall { pc = 9; now = 45 };
+    ];
+  Obs.Sink.phase (Obs.Recorder.sink rc) "alpha" (fun () -> ());
+  Obs.Metrics.set_gauge (Obs.Recorder.metrics rc) "run.x" 2.5;
+  let json = Obs.Recorder.to_json rc in
+  let rc' = Obs.Recorder.of_json (Obs.Json.parse_exn (Obs.Json.to_string json)) in
+  Alcotest.(check bool) "recorder JSON round-trips exactly" true
+    (Obs.Recorder.to_json rc' = json);
+  (* malformed dumps are rejected *)
+  Alcotest.(check bool) "schema version checked" true
+    (match Obs.Recorder.of_json (Obs.Json.Obj [ ("schema_version", Obs.Json.Int 99) ]) with
+    | exception Failure _ -> true
+    | _ -> false)
+
+(* ---------------- the headline guarantee ---------------- *)
+
+let event_labels rc = List.map Obs.Event.label (Obs.Recorder.events rc)
+
+let histogram_shape m =
+  match Obs.Json.member "histograms" (Obs.Metrics.to_json m) with
+  | Some (Obs.Json.Obj fields) ->
+      List.map
+        (fun (name, h) ->
+          (name, Option.bind (Obs.Json.member "count" h) Obs.Json.to_int))
+        fields
+  | _ -> []
+
+let section m name = Obs.Json.member name (Obs.Metrics.to_json m)
+
+let test_parallel_equals_sequential () =
+  let seq = Jrpm.Parallel_sweep.run ~jobs:1 ~workloads ~observe:true () in
+  let par = Jrpm.Parallel_sweep.run ~jobs:2 ~workloads ~observe:true () in
+  Alcotest.(check int) "same workload count" (List.length seq)
+    (List.length par);
+  List.iter2
+    (fun (s : Jrpm.Parallel_sweep.outcome) (p : Jrpm.Parallel_sweep.outcome) ->
+      let name = s.Jrpm.Parallel_sweep.summary.Jrpm.Report_summary.name in
+      Alcotest.(check bool) ("registry order preserved: " ^ name) true
+        (name = p.Jrpm.Parallel_sweep.summary.Jrpm.Report_summary.name);
+      Alcotest.(check bool) ("summaries identical: " ^ name) true
+        (s.Jrpm.Parallel_sweep.summary = p.Jrpm.Parallel_sweep.summary);
+      (* the full report crossed the process boundary intact *)
+      Alcotest.(check bool) ("report outputs identical: " ^ name) true
+        (List.for_all2 Ir.Value.equal
+           s.Jrpm.Parallel_sweep.report.Jrpm.Pipeline.plain_output
+           p.Jrpm.Parallel_sweep.report.Jrpm.Pipeline.plain_output);
+      Alcotest.(check int) ("report stats identical: " ^ name)
+        (List.length s.Jrpm.Parallel_sweep.report.Jrpm.Pipeline.stats)
+        (List.length p.Jrpm.Parallel_sweep.report.Jrpm.Pipeline.stats))
+    seq par;
+  let rc_seq = Option.get (Jrpm.Parallel_sweep.merged_recorder seq) in
+  let rc_par = Option.get (Jrpm.Parallel_sweep.merged_recorder par) in
+  let ms = Obs.Recorder.metrics rc_seq and mp = Obs.Recorder.metrics rc_par in
+  (* every deterministic metric agrees; only wall-clock histogram sums
+     may differ between the two runs *)
+  Alcotest.(check bool) "merged counters identical" true
+    (section ms "counters" = section mp "counters");
+  Alcotest.(check bool) "merged gauges identical" true
+    (section ms "gauges" = section mp "gauges");
+  Alcotest.(check bool) "merged histogram shapes identical" true
+    (histogram_shape ms = histogram_shape mp);
+  Alcotest.(check bool) "merged phase span counts identical" true
+    (List.map (fun (n, c, _) -> (n, c)) (Obs.Recorder.phase_spans rc_seq)
+    = List.map (fun (n, c, _) -> (n, c)) (Obs.Recorder.phase_spans rc_par));
+  Alcotest.(check bool) "merged event sequences identical" true
+    (event_labels rc_seq = event_labels rc_par);
+  Alcotest.(check int) "no drops in either merge"
+    (Obs.Recorder.dropped_events rc_seq)
+    (Obs.Recorder.dropped_events rc_par)
+
+let test_worker_failure_surfaces () =
+  let bad = tiny "t-bad" "def main( { this does not parse" in
+  match
+    Jrpm.Parallel_sweep.run ~jobs:2 ~workloads:[ w_sum; bad ] ~observe:false ()
+  with
+  | _ -> Alcotest.fail "sweep over a broken workload should fail"
+  | exception Failure msg ->
+      Alcotest.(check bool) "failure names the worker error" true
+        (String.length msg > 0)
+
+let suites =
+  [
+    ( "sweep.codec",
+      [
+        Alcotest.test_case "report summary JSON round-trip" `Quick
+          test_summary_roundtrip;
+        Alcotest.test_case "metrics JSON round-trip" `Quick
+          test_metrics_json_roundtrip;
+        Alcotest.test_case "recorder JSON round-trip" `Quick
+          test_recorder_json_roundtrip;
+      ] );
+    ( "sweep.merge",
+      [
+        Alcotest.test_case "metrics merge" `Quick test_metrics_merge;
+        Alcotest.test_case "recorder merge" `Quick test_recorder_merge;
+      ] );
+    ( "sweep.parallel",
+      [
+        Alcotest.test_case "forked sweep equals sequential" `Quick
+          test_parallel_equals_sequential;
+        Alcotest.test_case "worker failure surfaces" `Quick
+          test_worker_failure_surfaces;
+      ] );
+  ]

@@ -175,6 +175,65 @@ let test_local_dependency () =
   Alcotest.(check int) "one local arc" 1 st.Stats.crit_prev_count;
   Alcotest.(check int) "arc length 7" 7 st.Stats.crit_prev_len
 
+(* Regression: the local-timestamp key used to be frame*1024+slot, so
+   (frame, slot) pairs with slot >= 1024 aliased a *different* frame's
+   slot — here (1, 1500) and (2, 476) both packed to 2524, and the load
+   below fabricated a phantom RAW arc. The widened packing keeps the
+   pairs distinct. *)
+let test_local_key_no_frame_aliasing () =
+  let t = Tracer.create () in
+  let s = Tracer.sink t in
+  (* store to (frame 1, slot 1500); load (frame 2, slot 476) — a
+     DIFFERENT variable, but 2*1024 + 476 = 1*1024 + 1500, so the old
+     packing aliased them and this loop reported a phantom arc *)
+  s.Hydra.Trace.on_sloop ~stl:0 ~nlocals:1 ~frame:1 ~now:0;
+  s.Hydra.Trace.on_local_store ~frame:1 ~slot:1500 ~now:6;
+  s.Hydra.Trace.on_eoi ~stl:0 ~now:10;
+  s.Hydra.Trace.on_local_load ~frame:2 ~slot:476 ~pc:5 ~now:13;
+  s.Hydra.Trace.on_eloop ~stl:0 ~now:20;
+  let st = Option.get (Tracer.find_stats t 0) in
+  Alcotest.(check int) "no phantom arc from frame/slot aliasing" 0
+    (st.Stats.crit_prev_count + st.Stats.crit_earlier_count);
+  (* a genuine dependency through a slot >= 1024 is still detected *)
+  s.Hydra.Trace.on_sloop ~stl:1 ~nlocals:1 ~frame:1 ~now:25;
+  s.Hydra.Trace.on_local_store ~frame:1 ~slot:1500 ~now:26;
+  s.Hydra.Trace.on_eoi ~stl:1 ~now:30;
+  s.Hydra.Trace.on_local_load ~frame:1 ~slot:1500 ~pc:6 ~now:33;
+  s.Hydra.Trace.on_eloop ~stl:1 ~now:40;
+  let st1 = Option.get (Tracer.find_stats t 1) in
+  Alcotest.(check int) "genuine high-slot arc kept" 1
+    st1.Stats.crit_prev_count;
+  Alcotest.(check int) "arc length 7 (store at 26, load at 33)" 7
+    st1.Stats.crit_prev_len
+
+(* An absurd slot (beyond any real frame size) is rejected rather than
+   silently folded into another frame's key space. *)
+let test_local_slot_bound_rejected () =
+  let t = Tracer.create () in
+  let s = Tracer.sink t in
+  s.Hydra.Trace.on_sloop ~stl:0 ~nlocals:0 ~frame:1 ~now:0;
+  Alcotest.check_raises "oversized slot"
+    (Invalid_argument
+       (Printf.sprintf "Tracer: local slot %d outside [0, %d)" (1 lsl 20)
+          (1 lsl 20)))
+    (fun () -> s.Hydra.Trace.on_local_store ~frame:1 ~slot:(1 lsl 20) ~now:1)
+
+(* Negative heap addresses would turn into negative array indices via
+   OCaml's truncating mod; the tracer must fail loudly instead. *)
+let test_negative_address_rejected () =
+  let t = Tracer.create () in
+  let s = Tracer.sink t in
+  s.Hydra.Trace.on_sloop ~stl:0 ~nlocals:0 ~frame:1 ~now:0;
+  Alcotest.check_raises "negative load address"
+    (Invalid_argument "Tracer: negative heap address -4") (fun () ->
+      s.Hydra.Trace.on_heap_load ~addr:(-4) ~pc:1 ~now:1);
+  Alcotest.check_raises "negative store address"
+    (Invalid_argument "Tracer: negative heap address -1") (fun () ->
+      s.Hydra.Trace.on_heap_store ~addr:(-1) ~now:2);
+  (* a benign address still works after the rejected ones *)
+  s.Hydra.Trace.on_heap_store ~addr:8 ~now:3;
+  s.Hydra.Trace.on_eloop ~stl:0 ~now:5
+
 (* Nested banks: a dependency is attributed to exactly one loop — the
    one for which it crosses iterations (paper Sec. 5.2). *)
 let test_nested_exclusivity () =
@@ -417,6 +476,12 @@ let suites =
         Alcotest.test_case "pre-loop store" `Quick test_preloop_store_no_arc;
         Alcotest.test_case "same-thread store" `Quick test_same_thread_no_arc;
         Alcotest.test_case "local variable arc" `Quick test_local_dependency;
+        Alcotest.test_case "local key frame aliasing (slot >= 1024)" `Quick
+          test_local_key_no_frame_aliasing;
+        Alcotest.test_case "local slot bound rejected" `Quick
+          test_local_slot_bound_rejected;
+        Alcotest.test_case "negative heap address rejected" `Quick
+          test_negative_address_rejected;
         Alcotest.test_case "nested exclusivity" `Quick test_nested_exclusivity;
       ] );
     ( "tracer.overflow",

@@ -56,6 +56,77 @@ let prop_fifo_model =
            (List.filteri (fun i _ -> i >= cap) distinct_recent)
       && Fifo.length f = List.length kept)
 
+(* Force the stale-order compaction path: each refresh of a live key
+   leaves a stale pair in the order queue, and once the queue exceeds
+   4*cap it is rebuilt from the live table. Behaviour before and after
+   the rebuild must be indistinguishable. *)
+let test_fifo_compaction () =
+  let f = Fifo.create ~capacity:2 in
+  Fifo.set f 1 "a";
+  Fifo.set f 2 "b";
+  (* 20 refreshes of key 1 push the queue well past 4*cap = 8 *)
+  for i = 1 to 20 do
+    Fifo.set f 1 (Printf.sprintf "a%d" i)
+  done;
+  Alcotest.(check int) "no eviction from refreshes" 0 (Fifo.evictions f);
+  Alcotest.(check int) "still two live entries" 2 (Fifo.length f);
+  (* after compaction, key 2 is still the oldest and evicts first *)
+  Fifo.set f 3 "c";
+  Alcotest.(check (option string)) "refreshed key survives" (Some "a20")
+    (Fifo.find f 1);
+  Alcotest.(check (option string)) "stale key evicted" None (Fifo.find f 2);
+  Alcotest.(check int) "one eviction" 1 (Fifo.evictions f)
+
+(* Property under churn: interleaved inserts and refreshes (enough
+   traffic to cross the 4*cap rebuild threshold many times) agree with
+   a naive most-recently-set model on membership, values, length, AND
+   total eviction count. *)
+let prop_fifo_churn =
+  QCheck.Test.make ~name:"fifo churn: compaction preserves order and evictions"
+    ~count:100
+    QCheck.(pair (int_range 1 6) (list_of_size (QCheck.Gen.return 400) (int_range 0 9)))
+    (fun (cap, keys) ->
+      let f = Fifo.create ~capacity:cap in
+      (* model: (key, value) list, oldest first; count evictions *)
+      let model = ref [] and evicted = ref 0 in
+      List.iteri
+        (fun step k ->
+          Fifo.set f k step;
+          if List.mem_assoc k !model then
+            model := List.remove_assoc k !model @ [ (k, step) ]
+          else begin
+            if List.length !model >= cap then begin
+              model := List.tl !model;
+              incr evicted
+            end;
+            model := !model @ [ (k, step) ]
+          end)
+        keys;
+      Fifo.length f = List.length !model
+      && Fifo.evictions f = !evicted
+      && List.for_all (fun (k, v) -> Fifo.find f k = Some v) !model
+      && List.for_all
+           (fun k -> List.mem_assoc k !model || not (Fifo.mem f k))
+           keys)
+
+let test_running_stat_merge () =
+  let a = Util.Running_stat.create () and b = Util.Running_stat.create () in
+  List.iter (Util.Running_stat.add a) [ 2.; 8. ];
+  List.iter (Util.Running_stat.add b) [ 1.; 5.; 6. ];
+  Util.Running_stat.merge a b;
+  Alcotest.(check int) "merged count" 5 (Util.Running_stat.count a);
+  Alcotest.(check (float 1e-9)) "merged sum" 22. (Util.Running_stat.sum a);
+  Alcotest.(check (float 1e-9)) "merged min" 1. (Util.Running_stat.min a);
+  Alcotest.(check (float 1e-9)) "merged max" 8. (Util.Running_stat.max a);
+  (* merging an empty accumulator is the identity *)
+  Util.Running_stat.merge a (Util.Running_stat.create ());
+  Alcotest.(check int) "empty merge keeps count" 5 (Util.Running_stat.count a);
+  let rebuilt =
+    Util.Running_stat.of_parts ~count:5 ~sum:22. ~min:1. ~max:8.
+  in
+  Alcotest.(check (float 1e-9)) "of_parts mean" (22. /. 5.)
+    (Util.Running_stat.mean rebuilt)
+
 let test_rng_deterministic () =
   let a = Util.Rng.create ~seed:42 in
   let b = Util.Rng.create ~seed:42 in
@@ -113,7 +184,9 @@ let suites =
         Alcotest.test_case "refresh order" `Quick test_fifo_refresh;
         Alcotest.test_case "clear" `Quick test_fifo_clear;
         Alcotest.test_case "invalid capacity" `Quick test_fifo_invalid;
+        Alcotest.test_case "stale-order compaction" `Quick test_fifo_compaction;
         QCheck_alcotest.to_alcotest prop_fifo_model;
+        QCheck_alcotest.to_alcotest prop_fifo_churn;
       ] );
     ( "util.rng",
       [
@@ -124,6 +197,7 @@ let suites =
     ( "util.stat",
       [
         Alcotest.test_case "running stat" `Quick test_running_stat;
+        Alcotest.test_case "merge and of_parts" `Quick test_running_stat_merge;
         Alcotest.test_case "text table" `Quick test_text_table;
       ] );
   ]
