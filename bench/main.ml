@@ -10,7 +10,15 @@
                                                out over N worker
                                                processes; default: core
                                                count; output is byte-
-                                               identical for any N) *)
+                                               identical for any N)
+          dune exec bench/main.exe -- tracer   (tracer hot-path micro-
+                                               benchmark: events/sec and
+                                               minor words/event per
+                                               synthetic stream; add
+                                               --smoke for the quick CI
+                                               variant that fails if an
+                                               allocation budget is
+                                               exceeded) *)
 
 let line = String.make 72 '='
 
@@ -559,6 +567,148 @@ let pipeline_phases () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* Tracer micro-benchmark (`bench -- tracer [--smoke]`): drive the
+   per-event hot paths with synthetic streams and report events/sec and
+   minor-heap words allocated per event ([Gc.minor_words] delta). *)
+
+(* Checked-in allocation budgets (minor words per event, obs disabled).
+   The heap and local per-event paths are allocation-free in steady
+   state, so their budgets only leave room for the measurement itself;
+   deep-nest crosses sloop/eloop boundaries, which allocate (bank and
+   child-cycle bookkeeping), so its budget is the amortized boundary
+   cost. CI's `tracer --smoke` fails when a budget is exceeded. *)
+let tracer_budgets =
+  [ ("heap-heavy", 0.01); ("local-heavy", 0.01); ("deep-nest", 4.0) ]
+
+(* Each stream builds a tracer once and returns a runner so that
+   construction and cache warm-up stay outside the measured region.
+   Working sets deliberately exceed the FIFO / slot capacities so the
+   measurement includes steady-state eviction, not just fills. *)
+
+let heap_stream () =
+  let t = Test_core.Tracer.create () in
+  let s = Test_core.Tracer.sink t in
+  let now = ref 0 in
+  s.Hydra.Trace.on_sloop ~stl:0 ~nlocals:0 ~frame:1 ~now:0;
+  fun n ->
+    for i = 1 to n do
+      (* 8192 words = 1024 lines: > the 192-line FIFO, constant churn *)
+      let addr = i * 7 mod 8192 in
+      incr now;
+      s.Hydra.Trace.on_heap_store ~addr ~now:!now;
+      incr now;
+      s.Hydra.Trace.on_heap_load ~addr ~pc:3 ~now:!now;
+      if i land 63 = 0 then begin
+        incr now;
+        s.Hydra.Trace.on_eoi ~stl:0 ~now:!now
+      end
+    done;
+    (2 * n) + (n / 64)
+
+let local_stream () =
+  let t = Test_core.Tracer.create () in
+  let s = Test_core.Tracer.sink t in
+  let now = ref 0 in
+  s.Hydra.Trace.on_sloop ~stl:0 ~nlocals:8 ~frame:1 ~now:0;
+  fun n ->
+    for i = 1 to n do
+      (* 8 frames x 16 slots = 128 live keys > the 64 local slots *)
+      let frame = 1 + (i land 7) and slot = (i lsr 3) land 15 in
+      incr now;
+      s.Hydra.Trace.on_local_store ~frame ~slot ~now:!now;
+      incr now;
+      s.Hydra.Trace.on_local_load ~frame ~slot ~pc:5 ~now:!now;
+      if i land 63 = 0 then begin
+        incr now;
+        s.Hydra.Trace.on_eoi ~stl:0 ~now:!now
+      end
+    done;
+    (2 * n) + (n / 64)
+
+let nest_stream () =
+  let t = Test_core.Tracer.create () in
+  let s = Test_core.Tracer.sink t in
+  let now = ref 0 in
+  fun n ->
+    let events = ref 0 in
+    (* one repetition = a full depth-8 nest (all 8 banks live) around a
+       heap-event body; ~247 events per repetition *)
+    for _ = 1 to max 1 (n / 247) do
+      for d = 0 to 7 do
+        incr now;
+        s.Hydra.Trace.on_sloop ~stl:d ~nlocals:2 ~frame:(d + 1) ~now:!now;
+        incr events
+      done;
+      for i = 1 to 112 do
+        let addr = i * 3 mod 4096 in
+        incr now;
+        s.Hydra.Trace.on_heap_store ~addr ~now:!now;
+        incr now;
+        s.Hydra.Trace.on_heap_load ~addr ~pc:9 ~now:!now;
+        events := !events + 2;
+        if i land 15 = 0 then begin
+          incr now;
+          s.Hydra.Trace.on_eoi ~stl:7 ~now:!now;
+          incr events
+        end
+      done;
+      for d = 7 downto 0 do
+        incr now;
+        s.Hydra.Trace.on_eloop ~stl:d ~now:!now;
+        incr events
+      done
+    done;
+    !events
+
+let tracer_bench ~smoke () =
+  section
+    (if smoke then "Tracer micro-benchmark (smoke: allocation budgets)"
+     else "Tracer micro-benchmark (per-event hot path)");
+  let n = if smoke then 200_000 else 2_000_000 in
+  let streams =
+    [
+      ("heap-heavy", heap_stream);
+      ("local-heavy", local_stream);
+      ("deep-nest", nest_stream);
+    ]
+  in
+  let failed = ref false in
+  let rows =
+    List.map
+      (fun (name, setup) ->
+        let run = setup () in
+        ignore (run (n / 10) : int);
+        (* warm-up: fill caches, grow tables *)
+        let w0 = Gc.minor_words () in
+        let t0 = Unix.gettimeofday () in
+        let events = run n in
+        let t1 = Unix.gettimeofday () in
+        let w1 = Gc.minor_words () in
+        let words_per_event = (w1 -. w0) /. float_of_int events in
+        let budget = List.assoc name tracer_budgets in
+        let ok = words_per_event <= budget in
+        if not ok then failed := true;
+        [
+          name;
+          string_of_int events;
+          Printf.sprintf "%.1fM" (float_of_int events /. (t1 -. t0) /. 1e6);
+          Printf.sprintf "%.4f" words_per_event;
+          Printf.sprintf "%.2f" budget;
+          (if ok then "ok" else "OVER BUDGET");
+        ])
+      streams
+  in
+  Util.Text_table.print
+    ~aligns:Util.Text_table.[ Left; Right; Right; Right; Right; Left ]
+    ~header:
+      [ "stream"; "events"; "events/s"; "words/event"; "budget"; "status" ]
+    rows;
+  if !failed then begin
+    prerr_endline "tracer bench: allocation budget exceeded";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment kernel. *)
 
 let bechamel_suite () =
@@ -677,6 +827,10 @@ let () =
       Sys.argv;
     !v
   in
+  if has_arg "tracer" then begin
+    tracer_bench ~smoke:(has_arg "--smoke") ();
+    exit 0
+  end;
   let quick = has_arg "quick" in
   observe_phases := has_arg "profile";
   sweep_jobs := int_arg "--jobs" (Jrpm.Parallel_sweep.default_jobs ());

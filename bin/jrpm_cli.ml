@@ -106,12 +106,31 @@ let run_observed ~profile ~profile_json ~banks ~sync ~name src =
   | None -> ()
   | Some rc ->
       Jrpm.Pipeline.record_report_metrics (Obs.Recorder.metrics rc) r;
-      if profile then
+      if profile then begin
         prerr_string
           (Util.Text_table.render
              ~aligns:Util.Text_table.[ Left; Right; Right; Right ]
              ~header:[ "phase"; "spans"; "seconds"; "share" ]
              (Obs.Recorder.phase_rows rc));
+        (* tracer cache health: history lost to the finite buffers *)
+        let m = Obs.Recorder.metrics rc in
+        prerr_string
+          (Util.Text_table.render
+             ~aligns:Util.Text_table.[ Left; Right ]
+             ~header:[ "tracer cache health"; "count" ]
+             (List.map
+                (fun g ->
+                  [
+                    g;
+                    (match Obs.Metrics.gauge m g with
+                    | Some v -> Printf.sprintf "%.0f" v
+                    | None -> "-");
+                  ])
+                [
+                  "tracer.heap_fifo_evictions"; "tracer.local_ts_evictions";
+                  "tracer.ld_dedup_conflicts"; "tracer.st_dedup_conflicts";
+                ]))
+      end;
       (match profile_json with
       | Some file -> (
           match open_out file with
@@ -398,7 +417,16 @@ let sweep_cmd =
             "number of worker processes for the sweep (default: core count; \
              1 = run sequentially in-process)")
   in
-  let sweep jobs profile profile_json =
+  let summary_json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "summary-json" ] ~docv:"FILE"
+          ~doc:
+            "write every workload's $(b,Report_summary) as a JSON array to \
+             $(docv) (the baseline format for benchmark-regression diffing)")
+  in
+  let sweep jobs profile profile_json summary_json =
     let jobs = if jobs <= 0 then Jrpm.Parallel_sweep.default_jobs () else jobs in
     let observe = profile || profile_json <> None in
     let t0 = Unix.gettimeofday () in
@@ -433,6 +461,26 @@ let sweep_cmd =
          outcomes);
     Printf.eprintf "sweep: %d benchmarks, %d jobs, %.2fs wall-clock\n%!"
       (List.length outcomes) jobs wall_s;
+    (match summary_json with
+    | Some file -> (
+        let doc =
+          Obs.Json.List
+            (List.map
+               (fun (o : Jrpm.Parallel_sweep.outcome) ->
+                 Jrpm.Report_summary.to_json o.Jrpm.Parallel_sweep.summary)
+               outcomes)
+        in
+        match open_out file with
+        | oc ->
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () ->
+                output_string oc (Obs.Json.to_string ~pretty:true doc);
+                output_char oc '\n')
+        | exception Sys_error msg ->
+            Printf.eprintf "jrpm: cannot write summary JSON: %s\n" msg;
+            exit 1)
+    | None -> ());
     match Jrpm.Parallel_sweep.merged_recorder outcomes with
     | None -> ()
     | Some merged ->
@@ -464,7 +512,8 @@ let sweep_cmd =
          "run every bundled benchmark through the whole cycle, sharded over \
           worker processes; per-workload recorders are merged into one \
           deterministic aggregate")
-    Term.(const sweep $ jobs_arg $ profile_arg $ profile_json_arg)
+    Term.(
+      const sweep $ jobs_arg $ profile_arg $ profile_json_arg $ summary_json_arg)
 
 let list_cmd =
   let list () =

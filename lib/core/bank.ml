@@ -11,6 +11,7 @@
 
 type t = {
   stl : int;
+  stats : Stats.t;
   obs : Obs.Sink.t;
   entry_time : int;
   mutable start_t : int;       (** current thread start timestamp *)
@@ -32,9 +33,10 @@ type t = {
   mutable max_st : int;
 }
 
-let create ?(obs = Obs.Sink.null) ~stl ~now () =
+let create ?(obs = Obs.Sink.null) ?stats ~stl ~now () =
   {
     stl;
+    stats = (match stats with Some s -> s | None -> Stats.create stl);
     obs;
     entry_time = now;
     start_t = now;
@@ -56,25 +58,46 @@ let create ?(obs = Obs.Sink.null) ~stl ~now () =
 
 type arc = To_prev of int | To_earlier of int | No_arc
 
-(** Dependency-arc identification (paper Sec. 4.2.1): compare a retrieved
-    store timestamp against the thread-start timestamps. Stores from
-    before the loop entry are inputs, not inter-thread dependencies. *)
+let arc_none = 0
+let arc_prev = 1
+let arc_earlier = 2
+
+(** Dependency-arc identification (paper Sec. 4.2.1) as an unboxed int
+    code: compare a retrieved store timestamp against the thread-start
+    timestamps. Stores from before the loop entry are inputs, not
+    inter-thread dependencies. *)
+let classify_code t ~store_ts =
+  if store_ts >= t.start_t then arc_none (* same thread *)
+  else if store_ts >= t.start_tm1 && t.start_tm1 < t.start_t then arc_prev
+  else if store_ts >= t.entry_time && t.start_t > t.entry_time then arc_earlier
+  else arc_none
+
+(* The arc length for any classified arc is [now - store_ts]; the code
+   carries no payload so the tracer's per-event path allocates no
+   variant block. *)
+let note_load_dep_code t ~store_ts ~now =
+  let code = classify_code t ~store_ts in
+  (if code = arc_prev then begin
+     let len = now - store_ts in
+     if len < t.cur_min_prev then t.cur_min_prev <- len
+   end
+   else if code = arc_earlier then begin
+     let len = now - store_ts in
+     if len < t.cur_min_earlier then t.cur_min_earlier <- len
+   end);
+  code
+
 let classify_arc t ~store_ts ~now : arc =
-  if store_ts >= t.start_t then No_arc (* same thread *)
-  else if store_ts >= t.start_tm1 && t.start_tm1 < t.start_t then
-    To_prev (now - store_ts)
-  else if store_ts >= t.entry_time && t.start_t > t.entry_time then
-    To_earlier (now - store_ts)
+  let code = classify_code t ~store_ts in
+  if code = arc_prev then To_prev (now - store_ts)
+  else if code = arc_earlier then To_earlier (now - store_ts)
   else No_arc
 
 let note_load_dep t ~store_ts ~now : arc =
-  let arc = classify_arc t ~store_ts ~now in
-  (match arc with
-  | To_prev len -> if len < t.cur_min_prev then t.cur_min_prev <- len
-  | To_earlier len ->
-      if len < t.cur_min_earlier then t.cur_min_earlier <- len
-  | No_arc -> ());
-  arc
+  let code = note_load_dep_code t ~store_ts ~now in
+  if code = arc_prev then To_prev (now - store_ts)
+  else if code = arc_earlier then To_earlier (now - store_ts)
+  else No_arc
 
 (** Overflow analysis (paper Sec. 4.2.2): [in_current_thread] is column
     (e) of Fig. 4 — the line was last touched by the current thread. *)

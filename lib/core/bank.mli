@@ -9,6 +9,9 @@
 
 type t = {
   stl : int;
+  stats : Stats.t;
+      (** the per-STL statistics this bank merges into — cached here so
+          the per-arc hot path never does a hashtable lookup *)
   obs : Obs.Sink.t;  (** observability sink; {!Obs.Sink.null} when off *)
   entry_time : int;
   mutable start_t : int;
@@ -28,12 +31,27 @@ type t = {
   mutable max_st : int;
 }
 
-val create : ?obs:Obs.Sink.t -> stl:int -> now:int -> unit -> t
+val create : ?obs:Obs.Sink.t -> ?stats:Stats.t -> stl:int -> now:int -> unit -> t
 (** A fresh bank for one activation of [stl] entered at cycle [now];
     [obs] (default {!Obs.Sink.null}) receives an {!Obs.Event.Overflow}
-    the first time each thread's footprint crosses the buffer limits. *)
+    the first time each thread's footprint crosses the buffer limits.
+    [stats] (default a fresh {!Stats.create}) is the per-STL record the
+    bank will merge into — pass the tracer's table entry. *)
 
 type arc = To_prev of int | To_earlier of int | No_arc
+
+(** {2 Unboxed arc codes} — the per-event path uses these instead of
+    the [arc] variant so that classifying a dependency allocates
+    nothing; the arc length is always [now - store_ts]. *)
+
+val arc_none : int
+val arc_prev : int
+val arc_earlier : int
+
+val note_load_dep_code : t -> store_ts:int -> now:int -> int
+(** Arc classification plus per-thread critical (shortest) arc
+    tracking, returning {!arc_none} / {!arc_prev} / {!arc_earlier}.
+    Allocation-free. *)
 
 val classify_arc : t -> store_ts:int -> now:int -> arc
 (** Dependency-arc identification (paper Sec. 4.2.1): a store timestamp

@@ -55,10 +55,12 @@ let create stl =
   }
 
 let record_pc_hit t ~pc ~len ~thread_size =
+  (* [Hashtbl.find] rather than [find_opt]: the steady-state hit (bin
+     already present) must not allocate an option on the per-arc path *)
   let bin =
-    match Hashtbl.find_opt t.pc_bins pc with
-    | Some b -> b
-    | None ->
+    match Hashtbl.find t.pc_bins pc with
+    | b -> b
+    | exception Not_found ->
         let b = { hits = 0; total_len = 0; min_len = max_int; thread_size_sum = 0 } in
         Hashtbl.replace t.pc_bins pc b;
         b

@@ -25,24 +25,49 @@ let default_config =
     release_overflowing = Some (4, 0.9);
   }
 
-type activation = {
-  act_stl : int;
-  bank : Bank.t option;
-  entry_now : int;
-  parent_stl : int; (* -1 = top level *)
-  nlocals : int;
-}
+(* The per-event hot path (heap/local load/store, eoi) is written to be
+   allocation-free in steady state — see ARCHITECTURE.md "Tracer hot
+   path". The activation stack and the active-bank set are flat arrays
+   updated incrementally at sloop/eloop (loop boundaries may allocate;
+   per-event code must not): no list rebuilds, no closures, no option
+   or tuple traffic per event. *)
 
 type t = {
   config : config;
   obs : Obs.Sink.t;
   mutable banks_in_use : int;
   mutable local_reserved : int;
-  mutable act_stack : activation list;
-  heap_ts : int array Util.Bounded_assoc_fifo.t;
-  ld_dedup : (int * int) array; (* (tag, ts); tag = -1 empty *)
-  st_dedup : (int * int) array;
-  local_ts : int Util.Bounded_assoc_fifo.t;
+  (* activation stack as parallel arrays, [depth] entries live;
+     act_bank.(d) is the index of the activation's bank in [abanks],
+     or -1 when the activation went untraced *)
+  mutable act_stl : int array;
+  mutable act_entry : int array;
+  mutable act_parent : int array; (* -1 = top level *)
+  mutable act_nlocals : int array;
+  mutable act_bank : int array;
+  mutable depth : int;
+  (* the active comparator banks, innermost at [n_abanks - 1] —
+     maintained incrementally instead of filtering the activation
+     stack on every load/store *)
+  mutable abanks : Bank.t array;
+  mutable n_abanks : int;
+  dummy_bank : Bank.t; (* filler for unoccupied [abanks] slots *)
+  (* heap store-timestamp history: line -> index of a pooled row of
+     [line_words] per-word timestamps; rows are recycled through a
+     free-list so eviction never reallocates *)
+  heap_ts : Util.Timestamp_cache.t;
+  heap_pool : int array; (* heap_fifo_lines * line_words, -1 = no store *)
+  heap_free : int array;
+  mutable heap_free_sp : int;
+  (* direct-mapped dedup tables as paired unboxed arrays (tag = -1
+     empty) instead of boxed (tag, ts) tuples rewritten per event *)
+  ld_tags : int array;
+  ld_tss : int array;
+  st_tags : int array;
+  st_tss : int array;
+  mutable ld_conflicts : int; (* live tag replaced by a different one *)
+  mutable st_conflicts : int;
+  local_ts : Util.Timestamp_cache.t;
   stats_tbl : (int, Stats.t) Hashtbl.t;
   child_tbl : (int * int, int) Hashtbl.t;
   mutable max_depth : int;
@@ -50,16 +75,32 @@ type t = {
 }
 
 let create ?(config = default_config) ?(obs = Obs.Sink.null) () =
+  let heap_free = Array.init config.heap_fifo_lines (fun i -> i) in
   {
     config;
     obs;
     banks_in_use = 0;
     local_reserved = 0;
-    act_stack = [];
-    heap_ts = Util.Bounded_assoc_fifo.create ~capacity:config.heap_fifo_lines;
-    ld_dedup = Array.make config.ld_dedup_entries (-1, 0);
-    st_dedup = Array.make config.st_dedup_entries (-1, 0);
-    local_ts = Util.Bounded_assoc_fifo.create ~capacity:config.local_slots;
+    act_stl = Array.make 16 0;
+    act_entry = Array.make 16 0;
+    act_parent = Array.make 16 (-1);
+    act_nlocals = Array.make 16 0;
+    act_bank = Array.make 16 (-1);
+    depth = 0;
+    abanks = Array.make 16 (Bank.create ~stl:(-1) ~now:0 ());
+    n_abanks = 0;
+    dummy_bank = Bank.create ~stl:(-1) ~now:0 ();
+    heap_ts = Util.Timestamp_cache.create ~capacity:config.heap_fifo_lines;
+    heap_pool = Array.make (config.heap_fifo_lines * config.line_words) (-1);
+    heap_free;
+    heap_free_sp = config.heap_fifo_lines;
+    ld_tags = Array.make config.ld_dedup_entries (-1);
+    ld_tss = Array.make config.ld_dedup_entries 0;
+    st_tags = Array.make config.st_dedup_entries (-1);
+    st_tss = Array.make config.st_dedup_entries 0;
+    ld_conflicts = 0;
+    st_conflicts = 0;
+    local_ts = Util.Timestamp_cache.create ~capacity:config.local_slots;
     stats_tbl = Hashtbl.create 32;
     child_tbl = Hashtbl.create 32;
     max_depth = 0;
@@ -67,18 +108,32 @@ let create ?(config = default_config) ?(obs = Obs.Sink.null) () =
   }
 
 let get_stats t stl =
-  match Hashtbl.find_opt t.stats_tbl stl with
-  | Some s -> s
-  | None ->
+  (* [Hashtbl.find] + Not_found rather than [find_opt]: the hit path
+     runs per eoi and must not allocate an option *)
+  match Hashtbl.find t.stats_tbl stl with
+  | s -> s
+  | exception Not_found ->
       let s = Stats.create stl in
       Hashtbl.replace t.stats_tbl stl s;
       s
 
-let active_banks t =
-  List.filter_map (fun a -> a.bank) t.act_stack
-
 (* ------------------------------------------------------------------ *)
 (* Event handlers *)
+
+let grow a fill =
+  let n = Array.length a in
+  let b = Array.make (2 * n) fill in
+  Array.blit a 0 b 0 n;
+  b
+
+let ensure_act_room t =
+  if t.depth = Array.length t.act_stl then begin
+    t.act_stl <- grow t.act_stl 0;
+    t.act_entry <- grow t.act_entry 0;
+    t.act_parent <- grow t.act_parent (-1);
+    t.act_nlocals <- grow t.act_nlocals 0;
+    t.act_bank <- grow t.act_bank (-1)
+  end
 
 let on_sloop t ~stl ~nlocals ~frame:_ ~now =
   let s = get_stats t stl in
@@ -104,7 +159,7 @@ let on_sloop t ~stl ~nlocals ~frame:_ ~now =
     Obs.Sink.emit t.obs
       (Obs.Event.Bank_release { stl; now; overflow_freq = Stats.overflow_freq s });
   let capped = capped || released in
-  let bank =
+  let bank_idx =
     if
       (not capped)
       && t.banks_in_use < t.config.banks
@@ -114,55 +169,75 @@ let on_sloop t ~stl ~nlocals ~frame:_ ~now =
       t.local_reserved <- t.local_reserved + nlocals;
       if Obs.Sink.enabled t.obs then
         Obs.Sink.emit t.obs (Obs.Event.Bank_alloc { stl; now });
-      Some (Bank.create ~obs:t.obs ~stl ~now ())
+      if t.n_abanks = Array.length t.abanks then
+        t.abanks <- grow t.abanks t.dummy_bank;
+      t.abanks.(t.n_abanks) <- Bank.create ~obs:t.obs ~stats:s ~stl ~now ();
+      t.n_abanks <- t.n_abanks + 1;
+      t.n_abanks - 1
     end
     else begin
       t.untraced <- t.untraced + 1;
       if Obs.Sink.enabled t.obs then
         Obs.Sink.emit t.obs (Obs.Event.Bank_starved { stl; now });
-      None
+      -1
     end
   in
-  let parent_stl =
-    match t.act_stack with [] -> -1 | a :: _ -> a.act_stl
-  in
-  t.act_stack <-
-    { act_stl = stl; bank; entry_now = now; parent_stl; nlocals } :: t.act_stack;
-  let depth = List.length t.act_stack in
-  if depth > t.max_depth then t.max_depth <- depth
+  ensure_act_room t;
+  let d = t.depth in
+  t.act_stl.(d) <- stl;
+  t.act_entry.(d) <- now;
+  t.act_parent.(d) <- (if d = 0 then -1 else t.act_stl.(d - 1));
+  t.act_nlocals.(d) <- nlocals;
+  t.act_bank.(d) <- bank_idx;
+  t.depth <- d + 1;
+  if t.depth > t.max_depth then t.max_depth <- t.depth
+
+(* Innermost active bank for [stl], or -1. Top-level recursion (not a
+   closure, not a ref) so the per-iteration eoi path allocates
+   nothing. *)
+let rec bank_index_for abanks stl i =
+  if i < 0 then -1
+  else if (abanks.(i) : Bank.t).Bank.stl = stl then i
+  else bank_index_for abanks stl (i - 1)
+
+let rec act_index_for act_stl stl i =
+  if i < 0 then -1
+  else if act_stl.(i) = stl then i
+  else act_index_for act_stl stl (i - 1)
 
 let on_eoi t ~stl ~now =
-  match
-    List.find_opt (fun a -> a.act_stl = stl && a.bank <> None) t.act_stack
-  with
-  | Some { bank = Some b; _ } -> Bank.end_thread b ~now
-  | _ -> (
-      (* no bank: still count the thread for the cycle accounting *)
-      match List.find_opt (fun a -> a.act_stl = stl) t.act_stack with
-      | Some _ -> (get_stats t stl).Stats.threads <- (get_stats t stl).Stats.threads + 1
-      | None -> ())
+  let bi = bank_index_for t.abanks stl (t.n_abanks - 1) in
+  if bi >= 0 then Bank.end_thread t.abanks.(bi) ~now
+  else if act_index_for t.act_stl stl (t.depth - 1) >= 0 then begin
+    (* no bank: still count the thread for the cycle accounting *)
+    let s = get_stats t stl in
+    s.Stats.threads <- s.Stats.threads + 1
+  end
 
 let rec on_eloop t ~stl ~now =
-  match t.act_stack with
-  | [] -> () (* unbalanced; ignore defensively *)
-  | a :: rest ->
-      t.act_stack <- rest;
-      let s = get_stats t a.act_stl in
-      let dur = now - a.entry_now in
-      s.Stats.cycles <- s.Stats.cycles + dur;
-      let key = (a.parent_stl, a.act_stl) in
-      Hashtbl.replace t.child_tbl key
-        (dur + Option.value ~default:0 (Hashtbl.find_opt t.child_tbl key));
-      (match a.bank with
-      | Some b ->
-          Bank.merge_into b s ~now;
-          t.banks_in_use <- t.banks_in_use - 1;
-          t.local_reserved <- t.local_reserved - a.nlocals
-      | None -> ());
-      (* if the annotations were unbalanced (returns out of loops are
-         compiled with explicit eloops, so this should not happen), keep
-         popping until we close the right STL *)
-      if a.act_stl <> stl then on_eloop t ~stl ~now
+  if t.depth > 0 then begin
+    (* unbalanced stacks are handled defensively: keep popping until we
+       close the right STL (returns out of loops are compiled with
+       explicit eloops, so this should not happen) *)
+    t.depth <- t.depth - 1;
+    let d = t.depth in
+    let a_stl = t.act_stl.(d) in
+    let s = get_stats t a_stl in
+    let dur = now - t.act_entry.(d) in
+    s.Stats.cycles <- s.Stats.cycles + dur;
+    let key = (t.act_parent.(d), a_stl) in
+    Hashtbl.replace t.child_tbl key
+      (dur + Option.value ~default:0 (Hashtbl.find_opt t.child_tbl key));
+    let bi = t.act_bank.(d) in
+    if bi >= 0 then begin
+      Bank.merge_into t.abanks.(bi) s ~now;
+      t.abanks.(bi) <- t.dummy_bank;
+      t.n_abanks <- bi;
+      t.banks_in_use <- t.banks_in_use - 1;
+      t.local_reserved <- t.local_reserved - t.act_nlocals.(d)
+    end;
+    if a_stl <> stl then on_eloop t ~stl ~now
+  end
 
 let on_read_stats _t ~stl:_ ~now:_ = ()
 
@@ -186,75 +261,93 @@ let word_of t addr =
 
 let thread_elapsed (b : Bank.t) ~now = now - b.Bank.start_t
 
-(* Record a classified arc in the per-PC profile and report it to the
+(* Record a classified arc (an unboxed {!Bank.arc_prev} /
+   {!Bank.arc_earlier} code) in the per-PC profile and report it to the
    observability sink (guarded so the disabled path allocates nothing). *)
-let note_arc t (b : Bank.t) ~pc ~now arc =
-  match arc with
-  | Bank.No_arc -> ()
-  | Bank.To_prev len ->
-      if Obs.Sink.enabled t.obs then
-        Obs.Sink.emit t.obs
-          (Obs.Event.Arc_found { stl = b.Bank.stl; bin = Obs.Event.Prev; len; pc });
-      Stats.record_pc_hit (get_stats t b.Bank.stl) ~pc ~len
-        ~thread_size:(thread_elapsed b ~now)
-  | Bank.To_earlier len ->
-      if Obs.Sink.enabled t.obs then
-        Obs.Sink.emit t.obs
-          (Obs.Event.Arc_found
-             { stl = b.Bank.stl; bin = Obs.Event.Earlier; len; pc });
-      Stats.record_pc_hit (get_stats t b.Bank.stl) ~pc ~len
-        ~thread_size:(thread_elapsed b ~now)
+let note_arc t (b : Bank.t) ~pc ~store_ts ~now code =
+  if code <> Bank.arc_none then begin
+    let len = now - store_ts in
+    if Obs.Sink.enabled t.obs then
+      Obs.Sink.emit t.obs
+        (Obs.Event.Arc_found
+           {
+             stl = b.Bank.stl;
+             bin =
+               (if code = Bank.arc_prev then Obs.Event.Prev
+                else Obs.Event.Earlier);
+             len;
+             pc;
+           });
+    Stats.record_pc_hit b.Bank.stats ~pc ~len
+      ~thread_size:(thread_elapsed b ~now)
+  end
 
 let on_heap_load t ~addr ~pc ~now =
   let line = line_of t addr and word = word_of t addr in
+  let pool_idx = Util.Timestamp_cache.get t.heap_ts line in
   let store_ts =
-    match Util.Bounded_assoc_fifo.find t.heap_ts line with
-    | Some arr when arr.(word) >= 0 -> Some arr.(word)
-    | _ -> None
+    if pool_idx >= 0 then t.heap_pool.((pool_idx * t.config.line_words) + word)
+    else -1
   in
-  (* dependency analysis *)
-  (match store_ts with
-  | Some sts ->
-      List.iter
-        (fun (b : Bank.t) ->
-          note_arc t b ~pc ~now (Bank.note_load_dep b ~store_ts:sts ~now))
-        (active_banks t)
-  | None -> ());
+  (* dependency analysis; -1 = no recorded store for that word *)
+  if store_ts >= 0 then
+    for i = t.n_abanks - 1 downto 0 do
+      let b = t.abanks.(i) in
+      note_arc t b ~pc ~store_ts ~now (Bank.note_load_dep_code b ~store_ts ~now)
+    done;
   (* overflow analysis: load-line dedup *)
   let idx = line mod t.config.ld_dedup_entries in
   let tag = line / t.config.ld_dedup_entries in
-  let old_tag, old_ts = t.ld_dedup.(idx) in
-  List.iter
-    (fun (b : Bank.t) ->
-      let in_current = old_tag = tag && old_ts >= b.Bank.start_t in
-      Bank.note_load_line b ~in_current_thread:in_current
-        ~ld_limit:t.config.ld_limit ~st_limit:t.config.st_limit ~now)
-    (active_banks t);
-  t.ld_dedup.(idx) <- (tag, now)
+  let old_tag = t.ld_tags.(idx) and old_ts = t.ld_tss.(idx) in
+  for i = t.n_abanks - 1 downto 0 do
+    let b = t.abanks.(i) in
+    let in_current = old_tag = tag && old_ts >= b.Bank.start_t in
+    Bank.note_load_line b ~in_current_thread:in_current
+      ~ld_limit:t.config.ld_limit ~st_limit:t.config.st_limit ~now
+  done;
+  if old_tag >= 0 && old_tag <> tag then t.ld_conflicts <- t.ld_conflicts + 1;
+  t.ld_tags.(idx) <- tag;
+  t.ld_tss.(idx) <- now
 
 let on_heap_store t ~addr ~now =
   let line = line_of t addr and word = word_of t addr in
-  (* record the word store timestamp in the FIFO history *)
-  (match Util.Bounded_assoc_fifo.find t.heap_ts line with
-  | Some arr ->
-      arr.(word) <- now;
-      (* refresh FIFO position *)
-      Util.Bounded_assoc_fifo.set t.heap_ts line arr
-  | None ->
-      let arr = Array.make t.config.line_words (-1) in
-      arr.(word) <- now;
-      Util.Bounded_assoc_fifo.set t.heap_ts line arr);
+  let lw = t.config.line_words in
+  (* record the word store timestamp in the pooled FIFO history *)
+  let pool_idx = Util.Timestamp_cache.get t.heap_ts line in
+  if pool_idx >= 0 then begin
+    t.heap_pool.((pool_idx * lw) + word) <- now;
+    (* refresh FIFO position *)
+    Util.Timestamp_cache.set t.heap_ts line pool_idx
+  end
+  else begin
+    (* recycle a pooled row: from the free-list, or by evicting the
+       oldest line (free-list empty <=> cache full, so the eviction
+       always yields a row) *)
+    let idx =
+      if t.heap_free_sp = 0 then Util.Timestamp_cache.evict_oldest t.heap_ts
+      else begin
+        t.heap_free_sp <- t.heap_free_sp - 1;
+        t.heap_free.(t.heap_free_sp)
+      end
+    in
+    let base = idx * lw in
+    Array.fill t.heap_pool base lw (-1);
+    t.heap_pool.(base + word) <- now;
+    Util.Timestamp_cache.set t.heap_ts line idx
+  end;
   (* overflow analysis: store-line dedup *)
   let idx = line mod t.config.st_dedup_entries in
   let tag = line / t.config.st_dedup_entries in
-  let old_tag, old_ts = t.st_dedup.(idx) in
-  List.iter
-    (fun (b : Bank.t) ->
-      let in_current = old_tag = tag && old_ts >= b.Bank.start_t in
-      Bank.note_store_line b ~in_current_thread:in_current
-        ~ld_limit:t.config.ld_limit ~st_limit:t.config.st_limit ~now)
-    (active_banks t);
-  t.st_dedup.(idx) <- (tag, now)
+  let old_tag = t.st_tags.(idx) and old_ts = t.st_tss.(idx) in
+  for i = t.n_abanks - 1 downto 0 do
+    let b = t.abanks.(i) in
+    let in_current = old_tag = tag && old_ts >= b.Bank.start_t in
+    Bank.note_store_line b ~in_current_thread:in_current
+      ~ld_limit:t.config.ld_limit ~st_limit:t.config.st_limit ~now
+  done;
+  if old_tag >= 0 && old_tag <> tag then t.st_conflicts <- t.st_conflicts + 1;
+  t.st_tags.(idx) <- tag;
+  t.st_tss.(idx) <- now
 
 (* -- local variable events -- *)
 
@@ -275,16 +368,16 @@ let local_key ~frame ~slot =
   (frame * local_slot_bound) + slot
 
 let on_local_load t ~frame ~slot ~pc ~now =
-  match Util.Bounded_assoc_fifo.find t.local_ts (local_key ~frame ~slot) with
-  | Some sts ->
-      List.iter
-        (fun (b : Bank.t) ->
-          note_arc t b ~pc ~now (Bank.note_load_dep b ~store_ts:sts ~now))
-        (active_banks t)
-  | None -> ()
+  let sts = Util.Timestamp_cache.get t.local_ts (local_key ~frame ~slot) in
+  if sts >= 0 then
+    for i = t.n_abanks - 1 downto 0 do
+      let b = t.abanks.(i) in
+      note_arc t b ~pc ~store_ts:sts ~now
+        (Bank.note_load_dep_code b ~store_ts:sts ~now)
+    done
 
 let on_local_store t ~frame ~slot ~now =
-  Util.Bounded_assoc_fifo.set t.local_ts (local_key ~frame ~slot) now
+  Util.Timestamp_cache.set t.local_ts (local_key ~frame ~slot) now
 
 (* ------------------------------------------------------------------ *)
 
@@ -315,3 +408,10 @@ let child_cycles t =
 
 let max_dynamic_depth t = t.max_depth
 let untraced_activations t = t.untraced
+
+(* -- cache-health counters (exported as tracer.* obs gauges) -- *)
+
+let heap_fifo_evictions t = Util.Timestamp_cache.evictions t.heap_ts
+let local_ts_evictions t = Util.Timestamp_cache.evictions t.local_ts
+let ld_dedup_conflicts t = t.ld_conflicts
+let st_dedup_conflicts t = t.st_conflicts

@@ -70,3 +70,22 @@ val max_dynamic_depth : t -> int
 
 val untraced_activations : t -> int
 (** Activations that could not get a comparator bank (or local slots). *)
+
+(** {2 Cache-health counters}
+
+    Exported as [tracer.*] gauges by the pipeline (visible under
+    [--profile]): how often the finite timestamp buffers lost history.
+    High eviction counts mean distant dependencies were forgotten; high
+    dedup-conflict counts mean the direct-mapped line tables aliased. *)
+
+val heap_fifo_evictions : t -> int
+(** Lines pushed out of the heap store-timestamp FIFO by capacity. *)
+
+val local_ts_evictions : t -> int
+(** Local-variable timestamps evicted by capacity. *)
+
+val ld_dedup_conflicts : t -> int
+(** Load-dedup entries overwritten by a line with a different tag. *)
+
+val st_dedup_conflicts : t -> int
+(** Store-dedup entries overwritten by a line with a different tag. *)

@@ -206,4 +206,14 @@ let record_report_metrics (reg : Obs.Metrics.t) (r : report) =
     (float_of_int (List.length r.selection.Test_core.Analyzer.chosen));
   gauge "run.loop_count" (float_of_int r.loop_count);
   gauge "run.outputs_match" (if r.outputs_match then 1. else 0.);
+  (* tracer cache health: how much history the finite timestamp buffers
+     lost on this run (high values explain missing distant arcs) *)
+  gauge "tracer.heap_fifo_evictions"
+    (float_of_int (Test_core.Tracer.heap_fifo_evictions r.tracer));
+  gauge "tracer.local_ts_evictions"
+    (float_of_int (Test_core.Tracer.local_ts_evictions r.tracer));
+  gauge "tracer.ld_dedup_conflicts"
+    (float_of_int (Test_core.Tracer.ld_dedup_conflicts r.tracer));
+  gauge "tracer.st_dedup_conflicts"
+    (float_of_int (Test_core.Tracer.st_dedup_conflicts r.tracer));
   Obs.Metrics.incr reg "run.reports" ~by:1

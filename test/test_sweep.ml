@@ -245,6 +245,48 @@ let test_parallel_equals_sequential () =
     (Obs.Recorder.dropped_events rc_seq)
     (Obs.Recorder.dropped_events rc_par)
 
+(* ---------------- golden summaries ---------------- *)
+
+(* Regression pin for the tracer hot-path rewrite: a real-workload
+   sweep must produce Report_summary JSON identical to the checked-in
+   golden (generated with `jrpm sweep --summary-json` before the
+   rewrite). A subset of the registry keeps the test fast while
+   covering integer, float, and media kernels. *)
+let golden_subset = [ "BitOps"; "Huffman"; "compress"; "fft"; "NeuralNet" ]
+
+let test_golden_summaries () =
+  let golden =
+    let ic = open_in "golden_sweep_summaries.json" in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Obs.Json.parse_exn s
+  in
+  let golden_of name =
+    match Obs.Json.to_list golden with
+    | Some entries ->
+        List.find
+          (fun e ->
+            Obs.Json.member "name" e
+            |> Option.map Obs.Json.to_string_opt
+            |> Option.join = Some name)
+          entries
+    | None -> Alcotest.fail "golden file is not a JSON list"
+  in
+  let workloads =
+    List.map Workloads.Registry.find_exn golden_subset
+  in
+  let outcomes = Jrpm.Parallel_sweep.run ~jobs:1 ~workloads ~observe:false () in
+  List.iter
+    (fun (o : Jrpm.Parallel_sweep.outcome) ->
+      let s = o.Jrpm.Parallel_sweep.summary in
+      let name = s.Jrpm.Report_summary.name in
+      Alcotest.(check string)
+        ("summary JSON matches golden: " ^ name)
+        (Obs.Json.to_string (golden_of name))
+        (Obs.Json.to_string (Jrpm.Report_summary.to_json s)))
+    outcomes
+
 let test_worker_failure_surfaces () =
   let bad = tiny "t-bad" "def main( { this does not parse" in
   match
@@ -277,5 +319,10 @@ let suites =
           test_parallel_equals_sequential;
         Alcotest.test_case "worker failure surfaces" `Quick
           test_worker_failure_surfaces;
+      ] );
+    ( "sweep.golden",
+      [
+        Alcotest.test_case "summaries match pre-rewrite golden" `Quick
+          test_golden_summaries;
       ] );
   ]

@@ -467,6 +467,38 @@ let test_child_cycles () =
   Alcotest.(check (option int)) "root at top" (Some 50)
     (List.assoc_opt (-1, 0) cc)
 
+(* ---------------- hot-path allocation ---------------- *)
+
+(* The tentpole invariant of the flat-cache rewrite: with observability
+   disabled, heap and local load/store events (and eoi) allocate
+   nothing on the minor heap in steady state. Mirrors the null-sink
+   test in test_obs.ml; the budget leaves room for the [Gc.minor_words]
+   boxing itself. *)
+let test_hot_path_no_alloc () =
+  let t = Test_core.Tracer.create () in
+  let s = Test_core.Tracer.sink t in
+  s.Hydra.Trace.on_sloop ~stl:0 ~nlocals:4 ~frame:1 ~now:0;
+  (* warm up: fill the FIFO past capacity so the measured window runs
+     in steady state (evictions, dedup hits, bank arcs all exercised) *)
+  for i = 1 to 10_000 do
+    s.Hydra.Trace.on_heap_store ~addr:(i * 7 mod 8192) ~now:i
+  done;
+  let before = Gc.minor_words () in
+  for i = 1 to 100_000 do
+    let addr = i * 7 mod 8192 in
+    let now = 10_000 + (4 * i) in
+    s.Hydra.Trace.on_heap_store ~addr ~now;
+    s.Hydra.Trace.on_heap_load ~addr ~pc:3 ~now:(now + 1);
+    s.Hydra.Trace.on_local_store ~frame:1 ~slot:(i land 3) ~now:(now + 2);
+    s.Hydra.Trace.on_local_load ~frame:1 ~slot:(i land 3) ~pc:5 ~now:(now + 3);
+    if i land 63 = 0 then s.Hydra.Trace.on_eoi ~stl:0 ~now:(now + 3)
+  done;
+  let allocated = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "per-event path allocates nothing (saw %.0f words)"
+       allocated)
+    true (allocated < 256.)
+
 let suites =
   [
     ( "tracer.dependency",
@@ -505,4 +537,9 @@ let suites =
       ] );
     ( "tracer.imprecision",
       [ Alcotest.test_case "figure 9 example" `Quick test_figure9_imprecision ] );
+    ( "tracer.hot_path",
+      [
+        Alcotest.test_case "per-event path allocation-free" `Quick
+          test_hot_path_no_alloc;
+      ] );
   ]

@@ -109,6 +109,138 @@ let prop_fifo_churn =
            (fun k -> List.mem_assoc k !model || not (Fifo.mem f k))
            keys)
 
+(* ---- Timestamp_cache: the flat int-only replacement used on the
+   tracer hot path. Must be observationally equivalent to
+   Bounded_assoc_fifo (the reference implementation above). ---- *)
+
+module Tc = Util.Timestamp_cache
+
+let test_tc_basic () =
+  let c = Tc.create ~capacity:3 in
+  Alcotest.(check int) "empty" 0 (Tc.length c);
+  Alcotest.(check int) "miss is -1" (-1) (Tc.get c 1);
+  Tc.set c 1 10;
+  Tc.set c 2 20;
+  Alcotest.(check int) "get 1" 10 (Tc.get c 1);
+  Tc.set c 3 30;
+  Tc.set c 4 40 (* evicts key 1 *);
+  Alcotest.(check int) "evicted" (-1) (Tc.get c 1);
+  Alcotest.(check int) "survives" 20 (Tc.get c 2);
+  Alcotest.(check bool) "mem" true (Tc.mem c 2);
+  Alcotest.(check int) "evictions" 1 (Tc.evictions c);
+  Alcotest.(check int) "length at cap" 3 (Tc.length c);
+  (* refresh moves to the back of the eviction order *)
+  Tc.set c 2 21;
+  Tc.set c 5 50 (* evicts 3, not the refreshed 2 *);
+  Alcotest.(check int) "refreshed survives" 21 (Tc.get c 2);
+  Alcotest.(check int) "stale evicted" (-1) (Tc.get c 3);
+  Tc.clear c;
+  Alcotest.(check int) "cleared" 0 (Tc.length c);
+  Alcotest.(check bool) "mem after clear" false (Tc.mem c 2)
+
+let test_tc_evict_oldest () =
+  let c = Tc.create ~capacity:4 in
+  Alcotest.(check int) "evict empty" (-1) (Tc.evict_oldest c);
+  for k = 0 to 3 do
+    Tc.set c k (100 + k)
+  done;
+  Tc.set c 0 200 (* refresh: 0 is now the newest *);
+  Alcotest.(check int) "oldest is 1" 101 (Tc.evict_oldest c);
+  Alcotest.(check int) "then 2" 102 (Tc.evict_oldest c);
+  Alcotest.(check int) "then 3" 103 (Tc.evict_oldest c);
+  Alcotest.(check int) "then refreshed 0" 200 (Tc.evict_oldest c);
+  Alcotest.(check int) "empty again" 0 (Tc.length c);
+  Alcotest.(check int) "explicit evictions counted" 4 (Tc.evictions c)
+
+let test_tc_invalid () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Timestamp_cache.create") (fun () ->
+      ignore (Tc.create ~capacity:0));
+  let c = Tc.create ~capacity:2 in
+  Alcotest.check_raises "negative key"
+    (Invalid_argument "Timestamp_cache.set: negative key") (fun () ->
+      Tc.set c (-1) 0);
+  Alcotest.check_raises "negative value"
+    (Invalid_argument "Timestamp_cache.set: negative value") (fun () ->
+      Tc.set c 0 (-1))
+
+(* Property: on any random stream of sets, Timestamp_cache agrees with
+   Bounded_assoc_fifo on every lookup, the length, and the eviction
+   count. Two key ranges: a dense one (0..9, heavy refresh traffic) and
+   a sparse one (multiples of a large stride, forcing probe collisions
+   and the backward-shift deletion path). *)
+let tc_matches_fifo cap keys =
+  let c = Tc.create ~capacity:cap in
+  let f = Fifo.create ~capacity:cap in
+  List.iter
+    (fun (k, v) ->
+      Tc.set c k v;
+      Fifo.set f k v)
+    keys;
+  Tc.length c = Fifo.length f
+  && Tc.evictions c = Fifo.evictions f
+  && List.for_all
+       (fun (k, _) ->
+         Tc.mem c k = Fifo.mem f k
+         && Tc.get c k = Option.value ~default:(-1) (Fifo.find f k))
+       keys
+
+let prop_tc_equiv_dense =
+  QCheck.Test.make ~name:"timestamp cache = bounded fifo (dense keys)"
+    ~count:200
+    QCheck.(
+      pair (int_range 1 6)
+        (list_of_size (Gen.return 400) (pair (int_range 0 9) (int_range 0 1000))))
+    (fun (cap, keys) -> tc_matches_fifo cap keys)
+
+let prop_tc_equiv_sparse =
+  QCheck.Test.make ~name:"timestamp cache = bounded fifo (sparse keys)"
+    ~count:200
+    QCheck.(
+      pair (int_range 1 8)
+        (small_list
+           (pair
+              (map (fun k -> k * 1_048_573) (int_range 0 30))
+              (int_range 0 1000))))
+    (fun (cap, keys) -> tc_matches_fifo cap keys)
+
+(* Churn including explicit evict_oldest, against a naive list model
+   (oldest first) — exercises hole-shifting with live FIFO links. *)
+let prop_tc_churn_evict =
+  QCheck.Test.make ~name:"timestamp cache churn with explicit eviction"
+    ~count:200
+    QCheck.(
+      pair (int_range 1 6)
+        (list_of_size (Gen.return 300)
+           (pair (int_range 0 11) (int_range 0 2))))
+    (fun (cap, ops) ->
+      let c = Tc.create ~capacity:cap in
+      let model = ref [] in
+      (* (key, value) pairs, oldest first *)
+      let ok = ref true in
+      List.iteri
+        (fun step (k, op) ->
+          match op with
+          | 0 | 1 ->
+              Tc.set c k step;
+              if List.mem_assoc k !model then
+                model := List.remove_assoc k !model @ [ (k, step) ]
+              else begin
+                if List.length !model >= cap then model := List.tl !model;
+                model := !model @ [ (k, step) ]
+              end
+          | _ -> (
+              let v = Tc.evict_oldest c in
+              match !model with
+              | [] -> if v <> -1 then ok := false
+              | (_, mv) :: rest ->
+                  if v <> mv then ok := false;
+                  model := rest))
+        ops;
+      !ok
+      && Tc.length c = List.length !model
+      && List.for_all (fun (k, v) -> Tc.get c k = v) !model)
+
 let test_running_stat_merge () =
   let a = Util.Running_stat.create () and b = Util.Running_stat.create () in
   List.iter (Util.Running_stat.add a) [ 2.; 8. ];
@@ -187,6 +319,15 @@ let suites =
         Alcotest.test_case "stale-order compaction" `Quick test_fifo_compaction;
         QCheck_alcotest.to_alcotest prop_fifo_model;
         QCheck_alcotest.to_alcotest prop_fifo_churn;
+      ] );
+    ( "util.timestamp_cache",
+      [
+        Alcotest.test_case "basic eviction and refresh" `Quick test_tc_basic;
+        Alcotest.test_case "evict_oldest order" `Quick test_tc_evict_oldest;
+        Alcotest.test_case "invalid arguments" `Quick test_tc_invalid;
+        QCheck_alcotest.to_alcotest prop_tc_equiv_dense;
+        QCheck_alcotest.to_alcotest prop_tc_equiv_sparse;
+        QCheck_alcotest.to_alcotest prop_tc_churn_evict;
       ] );
     ( "util.rng",
       [
