@@ -18,7 +18,15 @@
                                                --smoke for the quick CI
                                                variant that fails if an
                                                allocation budget is
-                                               exceeded) *)
+                                               exceeded)
+          dune exec bench/main.exe -- regress  (benchmark-regression gate:
+                                               sweep every workload and
+                                               diff the summaries against
+                                               test/baseline_sweep_
+                                               summaries.json — override
+                                               with --baseline FILE; exits
+                                               non-zero on any field past
+                                               the fail tolerance) *)
 
 let line = String.make 72 '='
 
@@ -709,6 +717,38 @@ let tracer_bench ~smoke () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Benchmark-regression gate (`bench -- regress`): sweep the whole
+   registry and diff the Report_summary records against the checked-in
+   baseline. The same gate as `jrpm sweep --baseline`, packaged for CI
+   and for a quick local "did my change move any benchmark?" check. *)
+
+let regress ~jobs ~baseline () =
+  section
+    (Printf.sprintf "Benchmark-regression gate (baseline: %s)" baseline);
+  let base =
+    try Jrpm.Regression.load_baseline baseline
+    with Failure msg ->
+      Printf.eprintf
+        "bench regress: %s\n\
+         (generate it with `jrpm sweep --jobs 1 --baseline %s \
+         --update-baseline`)\n"
+        msg baseline;
+      exit 1
+  in
+  let outcomes = Jrpm.Parallel_sweep.run ~jobs ~observe:false () in
+  let current =
+    List.map
+      (fun (o : Jrpm.Parallel_sweep.outcome) -> o.Jrpm.Parallel_sweep.summary)
+      outcomes
+  in
+  let d = Jrpm.Regression.diff ~baseline:base ~current () in
+  print_string (Jrpm.Regression.render d);
+  if Jrpm.Regression.failed d then begin
+    prerr_endline "bench regress: benchmark regression past tolerance";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment kernel. *)
 
 let bechamel_suite () =
@@ -810,30 +850,45 @@ let bechamel_suite () =
 
 let () =
   let has_arg a = Array.exists (String.equal a) Sys.argv in
-  let int_arg name default =
+  let string_arg name default =
     let v = ref default in
     Array.iteri
       (fun i a ->
         let eq = name ^ "=" in
-        if a = name && i + 1 < Array.length Sys.argv then
-          Option.iter (fun n -> v := n) (int_of_string_opt Sys.argv.(i + 1))
+        if a = name && i + 1 < Array.length Sys.argv then v := Sys.argv.(i + 1)
         else if String.length a > String.length eq
                 && String.sub a 0 (String.length eq) = eq then
-          Option.iter
-            (fun n -> v := n)
-            (int_of_string_opt
-               (String.sub a (String.length eq)
-                  (String.length a - String.length eq))))
+          v :=
+            String.sub a (String.length eq) (String.length a - String.length eq))
       Sys.argv;
     !v
+  in
+  (* a worker count must be a positive integer: `--jobs 0`, negatives,
+     and non-numbers are user errors, not requests for the default *)
+  let jobs_arg () =
+    match string_arg "--jobs" "" with
+    | "" -> Jrpm.Parallel_sweep.default_jobs ()
+    | s -> (
+        match int_of_string_opt s with
+        | Some n when n > 0 -> n
+        | _ ->
+            Printf.eprintf
+              "bench: invalid --jobs %S (expected a positive integer)\n" s;
+            exit 2)
   in
   if has_arg "tracer" then begin
     tracer_bench ~smoke:(has_arg "--smoke") ();
     exit 0
   end;
+  if has_arg "regress" then begin
+    regress ~jobs:(jobs_arg ())
+      ~baseline:(string_arg "--baseline" "test/baseline_sweep_summaries.json")
+      ();
+    exit 0
+  end;
   let quick = has_arg "quick" in
   observe_phases := has_arg "profile";
-  sweep_jobs := int_arg "--jobs" (Jrpm.Parallel_sweep.default_jobs ());
+  sweep_jobs := jobs_arg ();
   table1 ();
   table2 ();
   figure3 ();

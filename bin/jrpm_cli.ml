@@ -408,14 +408,26 @@ let bench_cmd =
       $ profile_arg $ profile_json_arg)
 
 let sweep_cmd =
+  (* a worker count must be a positive integer: `--jobs 0` is a user
+     error, not a request for the default *)
+  let positive_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n > 0 -> Ok n
+      | Some n ->
+          Error (`Msg (Printf.sprintf "%d is not a positive worker count" n))
+      | None -> Error (`Msg (Printf.sprintf "%S is not an integer" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
   let jobs_arg =
     Arg.(
       value
-      & opt int 0
+      & opt (some positive_int) None
       & info [ "jobs"; "j" ] ~docv:"N"
           ~doc:
             "number of worker processes for the sweep (default: core count; \
-             1 = run sequentially in-process)")
+             1 = run sequentially in-process; must be positive)")
   in
   let summary_json_arg =
     Arg.(
@@ -426,8 +438,79 @@ let sweep_cmd =
             "write every workload's $(b,Report_summary) as a JSON array to \
              $(docv) (the baseline format for benchmark-regression diffing)")
   in
-  let sweep jobs profile profile_json summary_json =
-    let jobs = if jobs <= 0 then Jrpm.Parallel_sweep.default_jobs () else jobs in
+  let baseline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "diff this sweep's per-workload summaries against the baseline \
+             JSON array in $(docv) (the $(b,--summary-json) format) and exit \
+             non-zero if any field regresses past the fail tolerance")
+  in
+  let update_baseline_arg =
+    Arg.(
+      value & flag
+      & info [ "update-baseline" ]
+          ~doc:
+            "rewrite the $(b,--baseline) file with this sweep's summaries \
+             instead of diffing against it (the deliberate golden-refresh \
+             path; call out the diff in the PR)")
+  in
+  let tolerance_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "tolerance" ] ~docv:"PCT"
+          ~doc:
+            "fail threshold for relative fields as a percentage (default 5; \
+             the warn threshold scales with it at the default 2:5 ratio)")
+  in
+  let diff_json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "diff-json" ] ~docv:"FILE"
+          ~doc:
+            "write the machine-readable baseline diff (per-workload field \
+             verdicts) as JSON to $(docv); requires $(b,--baseline)")
+  in
+  let sweep jobs profile profile_json summary_json baseline update_baseline
+      tolerance diff_json =
+    let jobs =
+      match jobs with
+      | Some n -> n
+      | None -> Jrpm.Parallel_sweep.default_jobs ()
+    in
+    (match (baseline, update_baseline, diff_json) with
+    | None, true, _ ->
+        Printf.eprintf "jrpm: --update-baseline requires --baseline FILE\n";
+        exit 2
+    | None, _, Some _ ->
+        Printf.eprintf "jrpm: --diff-json requires --baseline FILE\n";
+        exit 2
+    | _ -> ());
+    let tolerance =
+      match tolerance with
+      | None -> Jrpm.Regression.default_tolerance
+      | Some pct -> (
+          try Jrpm.Regression.tolerance_of_fail_pct pct
+          with Invalid_argument _ ->
+            Printf.eprintf
+              "jrpm: --tolerance must be a non-negative percentage\n";
+            exit 2)
+    in
+    (* read the baseline before the (multi-second) sweep so a missing
+       or malformed file is diagnosed immediately *)
+    let baseline_records =
+      match baseline with
+      | Some file when not update_baseline -> (
+          try Some (Jrpm.Regression.load_baseline file)
+          with Failure msg ->
+            Printf.eprintf "jrpm: %s\n" msg;
+            exit 1)
+      | _ -> None
+    in
     let observe = profile || profile_json <> None in
     let t0 = Unix.gettimeofday () in
     let outcomes =
@@ -481,7 +564,7 @@ let sweep_cmd =
             Printf.eprintf "jrpm: cannot write summary JSON: %s\n" msg;
             exit 1)
     | None -> ());
-    match Jrpm.Parallel_sweep.merged_recorder outcomes with
+    (match Jrpm.Parallel_sweep.merged_recorder outcomes with
     | None -> ()
     | Some merged ->
         if profile then
@@ -504,7 +587,48 @@ let sweep_cmd =
             | exception Sys_error msg ->
                 Printf.eprintf "jrpm: cannot write profile JSON: %s\n" msg;
                 exit 1)
-        | None -> ())
+        | None -> ()));
+    (* ----- benchmark-regression gate ----- *)
+    match baseline with
+    | None -> ()
+    | Some file ->
+        let summaries =
+          List.map
+            (fun (o : Jrpm.Parallel_sweep.outcome) ->
+              o.Jrpm.Parallel_sweep.summary)
+            outcomes
+        in
+        if update_baseline then begin
+          (try Jrpm.Regression.save_baseline file summaries
+           with Failure msg ->
+             Printf.eprintf "jrpm: %s\n" msg;
+             exit 1);
+          Printf.eprintf "jrpm: baseline %s updated (%d workloads)\n" file
+            (List.length summaries)
+        end
+        else begin
+          let base = Option.get baseline_records in
+          let d =
+            Jrpm.Regression.diff ~tolerance ~baseline:base ~current:summaries ()
+          in
+          print_string (Jrpm.Regression.render d);
+          (match diff_json with
+          | Some out -> (
+              match open_out out with
+              | oc ->
+                  Fun.protect
+                    ~finally:(fun () -> close_out oc)
+                    (fun () ->
+                      output_string oc
+                        (Obs.Json.to_string ~pretty:true
+                           (Jrpm.Regression.to_json d));
+                      output_char oc '\n')
+              | exception Sys_error msg ->
+                  Printf.eprintf "jrpm: cannot write diff JSON: %s\n" msg;
+                  exit 1)
+          | None -> ());
+          if Jrpm.Regression.failed d then exit 1
+        end
   in
   Cmd.v
     (Cmd.info "sweep"
@@ -513,7 +637,8 @@ let sweep_cmd =
           worker processes; per-workload recorders are merged into one \
           deterministic aggregate")
     Term.(
-      const sweep $ jobs_arg $ profile_arg $ profile_json_arg $ summary_json_arg)
+      const sweep $ jobs_arg $ profile_arg $ profile_json_arg $ summary_json_arg
+      $ baseline_arg $ update_baseline_arg $ tolerance_arg $ diff_json_arg)
 
 let list_cmd =
   let list () =

@@ -15,10 +15,22 @@ type outcome = {
 type wire_item = int * string * string option * Pipeline.report
 type wire_payload = (wire_item list, string) result
 
+let core_count () = try Domain.recommended_domain_count () with _ -> 1
+
 let default_jobs () =
   match Sys.getenv_opt "JRPM_JOBS" with
-  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 1)
-  | None -> ( try Domain.recommended_domain_count () with _ -> 1)
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n > 0 -> n
+      | Some _ | None ->
+          (* an invalid override must not silently change the worker
+             count — behave as if unset, but say so *)
+          Printf.eprintf
+            "jrpm: ignoring invalid JRPM_JOBS=%S (expected a positive \
+             integer); using the core count\n%!"
+            s;
+          core_count ())
+  | None -> core_count ()
 
 let fork_available = not Sys.win32
 

@@ -1,0 +1,101 @@
+(** Benchmark-regression gate: diff a fresh sweep's
+    {!Report_summary.t} records against a checked-in baseline.
+
+    The paper's headline claim (Fig. 8) is that TEST's {e predicted}
+    speedup tracks the {e actual} TLS speedup; this module is what
+    keeps both from drifting silently while hot paths are rewritten.
+    A baseline is the JSON array written by
+    [jrpm sweep --summary-json] (one {!Report_summary.t} per
+    workload); {!diff} pairs baseline and current records by workload
+    name and classifies every field:
+
+    - {b exact} fields ([outputs_match], [selected_stls],
+      [loop_count], depth / thread / violation / stall / forward
+      counts) must be identical — any change is a {!Fail};
+    - {b relative} fields (cycle counts, speedups, profiling
+      slowdowns) compare by percentage delta against the baseline
+      value under a {!tolerance}: within [warn_pct] is a {!Pass},
+      within [fail_pct] a {!Warn}, beyond it a {!Fail}. Both bounds
+      are inclusive — a delta of exactly [warn_pct] still passes. A
+      zero or non-finite baseline has no meaningful relative delta,
+      so those degrade to exact comparison (NaN matches NaN).
+
+    Workloads present on only one side are reported as {!Added} /
+    {!Removed} and count as failures: the baseline must be refreshed
+    deliberately ([--update-baseline]), never implicitly. *)
+
+type verdict = Pass | Warn | Fail
+
+type tolerance = {
+  warn_pct : float;  (** relative delta (%) above which a field warns *)
+  fail_pct : float;  (** relative delta (%) above which a field fails *)
+}
+
+val default_tolerance : tolerance
+(** [{ warn_pct = 2.0; fail_pct = 5.0 }]. *)
+
+val tolerance_of_fail_pct : float -> tolerance
+(** Tolerance with the given fail threshold and the warn threshold
+    scaled by the default 2:5 ratio — the [--tolerance PCT] CLI
+    mapping.
+    @raise Invalid_argument on a negative or non-finite percentage. *)
+
+type field_diff = {
+  field : string;  (** e.g. ["tls_cycles"], ["opt.slowdown"] *)
+  baseline : string;  (** rendered baseline value *)
+  current : string;  (** rendered current value *)
+  delta_pct : float option;
+      (** signed relative delta in percent (verdicts use its
+          magnitude); [None] for exact fields and for zero /
+          non-finite baselines *)
+  field_verdict : verdict;
+}
+
+type workload_diff =
+  | Matched of field_diff list
+      (** present on both sides; one entry per compared field *)
+  | Added  (** in the current sweep but not the baseline *)
+  | Removed  (** in the baseline but not the current sweep *)
+
+type t = {
+  workloads : (string * workload_diff) list;
+      (** baseline order, then added workloads in sweep order *)
+  tol : tolerance;
+  worst : verdict;  (** [Fail] ≻ [Warn] ≻ [Pass] over every field *)
+}
+
+val diff :
+  ?tolerance:tolerance ->
+  baseline:Report_summary.t list ->
+  current:Report_summary.t list ->
+  unit ->
+  t
+
+val failed : t -> bool
+(** [worst = Fail] — the CLI's exit-status predicate. *)
+
+val table_rows : ?all:bool -> t -> string list list
+(** Rows for {!Util.Text_table} — [workload; field; baseline;
+    current; delta; verdict]. By default only non-[Pass] fields (plus
+    added/removed workloads) appear; [all] includes every compared
+    field. *)
+
+val render : ?all:bool -> t -> string
+(** The per-workload diff table plus a one-line summary; degenerates
+    to the summary line alone when everything passes and [all] is
+    unset. *)
+
+val to_json : t -> Obs.Json.t
+(** Machine-readable diff document ([schema_version] 1): tolerance,
+    worst verdict, and per-workload field diffs. *)
+
+val load_baseline : string -> Report_summary.t list
+(** Read a baseline file (the [--summary-json] array format).
+    @raise Failure on unreadable files or malformed documents, with
+    the file name in the message. *)
+
+val save_baseline : string -> Report_summary.t list -> unit
+(** Write summaries as a pretty-printed JSON array — the
+    [--update-baseline] writer; byte-identical to
+    [sweep --summary-json] output for the same records.
+    @raise Failure when the file cannot be written. *)

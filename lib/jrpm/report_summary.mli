@@ -7,7 +7,11 @@
     across a process boundary as JSON, so they ship this summary (plus
     recorder state) through {!Obs.Json} and the parent re-decodes it.
     [of_json (to_json s) = s] exactly: every float is printed with
-    {!Obs.Json}'s round-trippable representation. *)
+    {!Obs.Json}'s round-trippable representation, including non-finite
+    values (modulo [=]'s IEEE NaN semantics — a NaN field reloads as
+    NaN, which [=] never calls equal; {!Regression} compares with
+    NaN-matches-NaN). This also makes the summary array the benchmark
+    regression baseline format ({!Regression}, [sweep --baseline]). *)
 
 type anno_summary = {
   cycles : int;

@@ -43,7 +43,9 @@ let to_string ?(pretty = false) t =
     | Int n -> Buffer.add_string buf (string_of_int n)
     | Float f ->
         if Float.is_finite f then Buffer.add_string buf (float_repr f)
-        else Buffer.add_string buf "null"
+        else if Float.is_nan f then Buffer.add_string buf "\"NaN\""
+        else if f > 0. then Buffer.add_string buf "\"Infinity\""
+        else Buffer.add_string buf "\"-Infinity\""
     | String s -> escape buf s
     | List [] -> Buffer.add_string buf "[]"
     | List xs ->
@@ -267,14 +269,29 @@ let member key = function
   | Obj fields -> List.assoc_opt key fields
   | _ -> None
 
+(* [int_of_float] is unspecified outside [min_int, max_int], so only
+   convert integral floats whose value provably fits. [max_int] itself
+   (2^62 - 1 on 64-bit) is not representable as a float — the usable
+   upper bound is the largest float strictly below 2^62; symmetrically
+   [min_int] = -2^62 is exact and admissible. *)
+let int_float_bound = Float.ldexp 1. 62 (* 2^62 *)
+
 let to_int = function
   | Int n -> Some n
-  | Float f when Float.is_integer f -> Some (int_of_float f)
+  | Float f
+    when Float.is_integer f && f >= -.int_float_bound && f < int_float_bound ->
+      Some (int_of_float f)
   | _ -> None
 
 let to_float = function
   | Int n -> Some (float_of_int n)
   | Float f -> Some f
+  (* the printer's encodings of non-finite floats (JSON itself has no
+     NaN/infinity); [Null] for dumps written before that encoding *)
+  | String "NaN" -> Some Float.nan
+  | String "Infinity" -> Some Float.infinity
+  | String "-Infinity" -> Some Float.neg_infinity
+  | Null -> Some Float.nan
   | _ -> None
 
 let to_list = function List xs -> Some xs | _ -> None

@@ -4,8 +4,10 @@
     produce values of this type; {!parse} exists so tests (and future
     tooling) can round-trip an exported dump without an external JSON
     dependency. Numbers are split into [Int] and [Float]; [Float]
-    printing uses a round-trippable ["%.17g"] representation and maps
-    non-finite values to [null] (JSON has no NaN/infinity). *)
+    printing uses a round-trippable ["%.17g"] representation. JSON has
+    no NaN/infinity, so non-finite floats print as the strings
+    ["NaN"] / ["Infinity"] / ["-Infinity"], which {!to_float} maps
+    back — non-finite values survive a dump/reload round trip. *)
 
 type t =
   | Null
@@ -34,10 +36,14 @@ val member : string -> t -> t option
 (** [member key json] — field lookup in an [Obj]; [None] otherwise. *)
 
 val to_int : t -> int option
-(** [Int n] and integral [Float]s. *)
+(** [Int n], and integral [Float]s that provably fit in [int] — a
+    [Float] beyond the native range (e.g. [1e300]) is [None], never an
+    unspecified [int_of_float]. *)
 
 val to_float : t -> float option
-(** [Int] and [Float]. *)
+(** [Int] and [Float], plus the printer's non-finite encodings
+    ([String "NaN"|"Infinity"|"-Infinity"] and, for dumps written
+    before that encoding existed, [Null] → [nan]). *)
 
 val to_list : t -> t list option
 val to_string_opt : t -> string option

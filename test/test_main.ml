@@ -5,4 +5,5 @@ let () =
    @ Test_analyzer.suites @ Test_codegen.suites @ Test_opt.suites
    @ Test_tls.suites @ Test_hardware.suites @ Test_pipeline.suites
    @ Test_workload_golden.suites @ Test_methods.suites @ Test_fuzz.suites
-   @ Test_shapes.suites @ Test_obs.suites @ Test_sweep.suites)
+   @ Test_shapes.suites @ Test_obs.suites @ Test_sweep.suites
+   @ Test_regression.suites)
