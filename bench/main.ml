@@ -26,7 +26,15 @@
                                                summaries.json — override
                                                with --baseline FILE; exits
                                                non-zero on any field past
-                                               the fail tolerance) *)
+                                               the fail tolerance)
+          dune exec bench/main.exe -- replay   (trace-store benchmark:
+                                               capture real workloads, then
+                                               time replaying the trace
+                                               into a fresh tracer against
+                                               re-interpreting the program;
+                                               add --smoke for the CI
+                                               variant that fails if replay
+                                               is not >= 5x faster) *)
 
 let line = String.make 72 '='
 
@@ -717,6 +725,109 @@ let tracer_bench ~smoke () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Trace-store benchmark (`bench -- replay [--smoke]`): capture real
+   workloads into an in-memory container once, then time the two ways
+   of producing a workload's Report_summary — the full interpretation
+   pipeline ({!Jrpm.Pipeline.run}: frontend, plain + annotated + base
+   runs, analysis, codegen, TLS simulation) vs replaying the recorded
+   stream into a fresh tracer + analyzer ({!Jrpm.Replay.replay_string}),
+   which yields the byte-identical summary. Replay must win by a wide
+   margin; the checked-in floor below is the CI gate, far under the
+   typical measured ratio.
+
+   Two informational columns decompose the replay side at stream level:
+   decode-only throughput (container -> null sink) and profile-only
+   interpretation time ({!Jrpm.Pipeline.profile_only}, the cheapest way
+   to re-derive just the tracer statistics). The profile-only ratio is
+   deliberately NOT gated: both paths end in the same tracer, whose
+   per-event cost is the shared floor, so the decode advantage shows up
+   there as roughly 2-4x rather than the pipeline-level 15-30x. *)
+
+let replay_speedup_floor = 5.0
+
+let replay_bench ~smoke () =
+  section
+    (if smoke then "Trace replay benchmark (smoke: speedup floor)"
+     else "Trace replay benchmark (replay vs re-interpretation)");
+  let names =
+    if smoke then [ "BitOps"; "fft" ]
+    else [ "BitOps"; "Huffman"; "compress"; "fft"; "NeuralNet" ]
+  in
+  let repeats = if smoke then 1 else 3 in
+  let time_min f =
+    let best = ref infinity in
+    for _ = 1 to repeats do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let failed = ref false in
+  let rows =
+    List.map
+      (fun name ->
+        let w = Workloads.Registry.find_exn name in
+        let src = Workloads.Registry.default_source w in
+        (* capture once, untimed; both timed paths below produce the
+           same Report_summary from scratch *)
+        let _report, record = Jrpm.Replay.capture_run ~name src in
+        let container = Trace_store.Writer.container [ record ] in
+        let interp_s = time_min (fun () -> ignore (Jrpm.Pipeline.run ~name src)) in
+        let outcomes = ref [] in
+        let replay_s =
+          time_min (fun () -> outcomes := Jrpm.Replay.replay_string container)
+        in
+        let profile_s =
+          time_min (fun () -> ignore (Jrpm.Pipeline.profile_only src))
+        in
+        let decode_s =
+          time_min (fun () ->
+              let rd = Trace_store.Reader.of_string container in
+              ignore (Trace_store.Reader.next_record rd);
+              ignore
+                (Trace_store.Reader.replay rd Hydra.Trace.null_sink
+                  : Trace_store.Reader.replay_stats))
+        in
+        let o = List.hd !outcomes in
+        if not o.Jrpm.Replay.matches then begin
+          failed := true;
+          Printf.eprintf "replay bench: %s diverged from interpretation\n" name
+        end;
+        let speedup = interp_s /. replay_s in
+        let ok = speedup >= replay_speedup_floor in
+        if not ok then failed := true;
+        [
+          name;
+          string_of_int o.Jrpm.Replay.events;
+          Printf.sprintf "%.1fM"
+            (float_of_int o.Jrpm.Replay.events /. decode_s /. 1e6);
+          Printf.sprintf "%.3f" interp_s;
+          Printf.sprintf "%.3f" replay_s;
+          Printf.sprintf "%.1fx" speedup;
+          Printf.sprintf "%.1fx" (profile_s /. replay_s);
+          (if ok then "ok" else "UNDER FLOOR");
+        ])
+      names
+  in
+  Util.Text_table.print
+    ~aligns:
+      Util.Text_table.[ Left; Right; Right; Right; Right; Right; Right; Left ]
+    ~header:
+      [
+        "benchmark"; "events"; "decode ev/s"; "pipeline s"; "replay s";
+        "speedup"; "vs profile"; "status";
+      ]
+    rows;
+  if !failed then begin
+    prerr_endline
+      (Printf.sprintf "replay bench: below the %.0fx replay speedup floor"
+         replay_speedup_floor);
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Benchmark-regression gate (`bench -- regress`): sweep the whole
    registry and diff the Report_summary records against the checked-in
    baseline. The same gate as `jrpm sweep --baseline`, packaged for CI
@@ -878,6 +989,10 @@ let () =
   in
   if has_arg "tracer" then begin
     tracer_bench ~smoke:(has_arg "--smoke") ();
+    exit 0
+  end;
+  if has_arg "replay" then begin
+    replay_bench ~smoke:(has_arg "--smoke") ();
     exit 0
   end;
   if has_arg "regress" then begin

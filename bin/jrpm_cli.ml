@@ -7,6 +7,9 @@
      jrpm auto FILE       the whole cycle: trace, select, recompile, TLS run
      jrpm bench NAME      run a bundled benchmark through the whole cycle
      jrpm sweep           run every bundled benchmark, fanned out over cores
+     jrpm trace record    capture profiling event streams into a container file
+     jrpm trace replay    re-derive analysis results from a capture, no re-run
+     jrpm trace info      describe a container without replaying the analysis
      jrpm list            list bundled benchmarks *)
 
 open Cmdliner
@@ -86,6 +89,39 @@ let profile_json_arg =
 
 let tracer_config banks =
   { Test_core.Tracer.default_config with Test_core.Tracer.banks }
+
+(* a worker count must be a positive integer: `--jobs 0` is a user
+   error, not a request for the default *)
+let positive_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok n
+    | Some n ->
+        Error (`Msg (Printf.sprintf "%d is not a positive worker count" n))
+    | None -> Error (`Msg (Printf.sprintf "%S is not an integer" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some positive_int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "number of worker processes (default: core count; 1 = run \
+           sequentially in-process; must be positive)")
+
+let write_text_file ~what file contents =
+  match open_out file with
+  | oc ->
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc contents;
+          output_char oc '\n')
+  | exception Sys_error msg ->
+      Printf.eprintf "jrpm: cannot write %s: %s\n" what msg;
+      exit 1
 
 (* Run the full pipeline under an optional observability recorder and
    emit the requested --profile / --profile-json outputs. *)
@@ -407,37 +443,16 @@ let bench_cmd =
       const bench $ name_arg $ size_arg $ banks_arg $ verbose_arg $ sync_arg
       $ profile_arg $ profile_json_arg)
 
+let summary_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "summary-json" ] ~docv:"FILE"
+        ~doc:
+          "write every workload's $(b,Report_summary) as a JSON array to \
+           $(docv) (the baseline format for benchmark-regression diffing)")
+
 let sweep_cmd =
-  (* a worker count must be a positive integer: `--jobs 0` is a user
-     error, not a request for the default *)
-  let positive_int =
-    let parse s =
-      match int_of_string_opt s with
-      | Some n when n > 0 -> Ok n
-      | Some n ->
-          Error (`Msg (Printf.sprintf "%d is not a positive worker count" n))
-      | None -> Error (`Msg (Printf.sprintf "%S is not an integer" s))
-    in
-    Arg.conv (parse, Format.pp_print_int)
-  in
-  let jobs_arg =
-    Arg.(
-      value
-      & opt (some positive_int) None
-      & info [ "jobs"; "j" ] ~docv:"N"
-          ~doc:
-            "number of worker processes for the sweep (default: core count; \
-             1 = run sequentially in-process; must be positive)")
-  in
-  let summary_json_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "summary-json" ] ~docv:"FILE"
-          ~doc:
-            "write every workload's $(b,Report_summary) as a JSON array to \
-             $(docv) (the baseline format for benchmark-regression diffing)")
-  in
   let baseline_arg =
     Arg.(
       value
@@ -475,8 +490,18 @@ let sweep_cmd =
             "write the machine-readable baseline diff (per-workload field \
              verdicts) as JSON to $(docv); requires $(b,--baseline)")
   in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "capture every workload's optimized profiling event stream and \
+             write one trace-store container to $(docv) (replay it with \
+             $(b,jrpm trace replay))")
+  in
   let sweep jobs profile profile_json summary_json baseline update_baseline
-      tolerance diff_json =
+      tolerance diff_json trace =
     let jobs =
       match jobs with
       | Some n -> n
@@ -515,9 +540,22 @@ let sweep_cmd =
     let t0 = Unix.gettimeofday () in
     let outcomes =
       with_frontend_errors (fun () ->
-          Jrpm.Parallel_sweep.run ~jobs ~observe ())
+          Jrpm.Parallel_sweep.run ~jobs ~observe ~capture:(trace <> None) ())
     in
     let wall_s = Unix.gettimeofday () -. t0 in
+    (match (trace, Jrpm.Parallel_sweep.container outcomes) with
+    | Some file, Some bytes -> (
+        match open_out_bin file with
+        | oc ->
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> output_string oc bytes);
+            Printf.eprintf "jrpm: trace container %s: %d workloads, %d bytes\n"
+              file (List.length outcomes) (String.length bytes)
+        | exception Sys_error msg ->
+            Printf.eprintf "jrpm: cannot write trace container: %s\n" msg;
+            exit 1)
+    | _ -> ());
     (* stdout is deterministic (registry order, simulated cycles only);
        wall-clock timing goes to stderr *)
     Util.Text_table.print
@@ -638,7 +676,228 @@ let sweep_cmd =
           deterministic aggregate")
     Term.(
       const sweep $ jobs_arg $ profile_arg $ profile_json_arg $ summary_json_arg
-      $ baseline_arg $ update_baseline_arg $ tolerance_arg $ diff_json_arg)
+      $ baseline_arg $ update_baseline_arg $ tolerance_arg $ diff_json_arg
+      $ trace_arg)
+
+(* ---------------- trace: capture once, replay many ---------------- *)
+
+let trace_file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"trace container file")
+
+let fail_trace_errors f =
+  try f () with
+  | Trace_store.Reader.Corrupt msg ->
+      Printf.eprintf "jrpm: corrupt trace container: %s\n" msg;
+      exit 1
+  | Failure msg ->
+      Printf.eprintf "jrpm: %s\n" msg;
+      exit 1
+  | Sys_error msg ->
+      Printf.eprintf "jrpm: %s\n" msg;
+      exit 1
+
+let trace_record_cmd =
+  let workloads_arg =
+    Arg.(
+      value & pos_right 0 string []
+      & info [] ~docv:"WORKLOAD"
+          ~doc:"bundled benchmark names to capture (default: all of them)")
+  in
+  let record file names jobs =
+    let workloads =
+      match names with
+      | [] -> Workloads.Registry.all
+      | names ->
+          List.map
+            (fun n ->
+              match Workloads.Registry.find n with
+              | Some w -> w
+              | None ->
+                  Printf.eprintf "unknown benchmark %s; try `jrpm list`\n" n;
+                  exit 1)
+            names
+    in
+    let jobs =
+      match jobs with
+      | Some n -> n
+      | None -> Jrpm.Parallel_sweep.default_jobs ()
+    in
+    let outcomes =
+      with_frontend_errors (fun () ->
+          Jrpm.Parallel_sweep.run ~jobs ~capture:true ~workloads ())
+    in
+    match Jrpm.Parallel_sweep.container outcomes with
+    | None ->
+        Printf.eprintf "jrpm: capture produced no records\n";
+        exit 1
+    | Some bytes -> (
+        match open_out_bin file with
+        | oc ->
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> output_string oc bytes);
+            Printf.eprintf "jrpm: recorded %d workloads, %d bytes -> %s\n"
+              (List.length outcomes) (String.length bytes) file
+        | exception Sys_error msg ->
+            Printf.eprintf "jrpm: cannot write trace container: %s\n" msg;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:
+         "run the pipeline over bundled benchmarks and capture each optimized \
+          profiling event stream into one trace-store container")
+    Term.(const record $ trace_file_arg $ workloads_arg $ jobs_arg)
+
+let trace_replay_cmd =
+  let replay file summary_json profile profile_json =
+    let outcomes = fail_trace_errors (fun () -> Jrpm.Replay.replay_file file) in
+    (* stdout is deterministic: encoded sizes and re-derived analysis
+       results only; wall-clock throughput goes to stderr via --profile *)
+    Util.Text_table.print
+      ~aligns:
+        Util.Text_table.[ Left; Right; Right; Right; Right; Right; Right; Left ]
+      ~header:
+        [
+          "Benchmark"; "Events"; "Bytes"; "B/event"; "Ratio"; "Pred x"; "STLs";
+          "Replay";
+        ]
+      (List.map
+         (fun (o : Jrpm.Replay.outcome) ->
+           [
+             o.Jrpm.Replay.name;
+             string_of_int o.Jrpm.Replay.events;
+             string_of_int o.Jrpm.Replay.record_bytes;
+             Printf.sprintf "%.2f"
+               (float_of_int o.Jrpm.Replay.record_bytes
+               /. float_of_int (max 1 o.Jrpm.Replay.events));
+             Printf.sprintf "%.1f"
+               (float_of_int o.Jrpm.Replay.reference_bytes
+               /. float_of_int (max 1 o.Jrpm.Replay.record_bytes));
+             Printf.sprintf "%.2f"
+               o.Jrpm.Replay.replayed.Jrpm.Report_summary.predicted_speedup;
+             string_of_int
+               o.Jrpm.Replay.replayed.Jrpm.Report_summary.selected_stls;
+             (if o.Jrpm.Replay.matches then "match" else "DIVERGED");
+           ])
+         outcomes);
+    (match summary_json with
+    | Some out ->
+        let doc =
+          Obs.Json.List
+            (List.map
+               (fun (o : Jrpm.Replay.outcome) ->
+                 Jrpm.Report_summary.to_json o.Jrpm.Replay.replayed)
+               outcomes)
+        in
+        write_text_file ~what:"summary JSON" out
+          (Obs.Json.to_string ~pretty:true doc)
+    | None -> ());
+    (if profile || profile_json <> None then begin
+       let rc = Obs.Recorder.create () in
+       Jrpm.Replay.record_metrics (Obs.Recorder.metrics rc) outcomes;
+       if profile then
+         prerr_string
+           (Util.Text_table.render
+              ~aligns:Util.Text_table.[ Left; Right ]
+              ~header:[ "replay metric"; "value" ]
+              (List.map
+                 (fun g ->
+                   [
+                     g;
+                     (match Obs.Metrics.gauge (Obs.Recorder.metrics rc) g with
+                     | Some v -> Printf.sprintf "%.2f" v
+                     | None -> "-");
+                   ])
+                 [
+                   "trace.records"; "trace.events"; "trace.bytes";
+                   "trace.bytes_per_event"; "trace.compression_ratio";
+                   "trace.replay_events_per_sec"; "trace.replay_matches";
+                 ]));
+       match profile_json with
+       | Some out ->
+           write_text_file ~what:"profile JSON" out
+             (Obs.Json.to_string ~pretty:true (Obs.Recorder.to_json rc))
+       | None -> ()
+     end);
+    if List.exists (fun (o : Jrpm.Replay.outcome) -> not o.Jrpm.Replay.matches)
+         outcomes
+    then begin
+      Printf.eprintf
+        "jrpm: replayed analysis DIVERGED from the recorded summaries\n";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "stream a recorded container back through a fresh tracer + analyzer \
+          (no re-interpretation) and check the re-derived results against the \
+          recorded summaries")
+    Term.(
+      const replay $ trace_file_arg $ summary_json_arg $ profile_arg
+      $ profile_json_arg)
+
+let trace_info_cmd =
+  let info_ file =
+    fail_trace_errors (fun () ->
+        let reader = Trace_store.Reader.open_file file in
+        let rec go acc =
+          match Trace_store.Reader.next_record reader with
+          | None -> List.rev acc
+          | Some record ->
+              (* a null-sink replay decodes and checksums the record
+                 without paying for a tracer *)
+              let stats =
+                Trace_store.Reader.replay reader Hydra.Trace.null_sink
+              in
+              go ((record, stats) :: acc)
+        in
+        let records = go [] in
+        Trace_store.Reader.close reader;
+        Util.Text_table.print
+          ~aligns:Util.Text_table.[ Left; Right; Right; Right; Right ]
+          ~header:[ "Record"; "Events"; "Bytes"; "B/event"; "Ratio" ]
+          (List.map
+             (fun ((r : Trace_store.Reader.record),
+                   (s : Trace_store.Reader.replay_stats)) ->
+               let ref_bytes =
+                 Obs.Json.member "reference_bytes" r.Trace_store.Reader.meta
+                 |> Fun.flip Option.bind Obs.Json.to_int
+                 |> Option.value ~default:0
+               in
+               [
+                 r.Trace_store.Reader.name;
+                 string_of_int s.Trace_store.Reader.events;
+                 string_of_int s.Trace_store.Reader.record_bytes;
+                 Printf.sprintf "%.2f"
+                   (float_of_int s.Trace_store.Reader.record_bytes
+                   /. float_of_int (max 1 s.Trace_store.Reader.events));
+                 Printf.sprintf "%.1f"
+                   (float_of_int ref_bytes
+                   /. float_of_int (max 1 s.Trace_store.Reader.record_bytes));
+               ])
+             records);
+        Printf.printf "%d records, all checksums verified\n"
+          (List.length records))
+  in
+  Cmd.v
+    (Cmd.info "info"
+       ~doc:
+         "list a trace container's records, sizes, and compression, verifying \
+          every checksum, without replaying the analysis")
+    Term.(const info_ $ trace_file_arg)
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace"
+       ~doc:
+         "capture pipeline profiling event streams to a compact on-disk \
+          container and replay them (see ARCHITECTURE.md §7 for the format)")
+    [ trace_record_cmd; trace_replay_cmd; trace_info_cmd ]
 
 let list_cmd =
   let list () =
@@ -701,7 +960,7 @@ let main =
     (Cmd.info "jrpm" ~version:"1.0.0" ~doc)
     [
       run_cmd; profile_cmd; deps_cmd; dump_cmd; auto_cmd; bench_cmd; sweep_cmd;
-      list_cmd;
+      trace_cmd; list_cmd;
     ]
 
 let () = exit (Cmd.eval main)

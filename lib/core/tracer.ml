@@ -72,6 +72,7 @@ type t = {
   child_tbl : (int * int, int) Hashtbl.t;
   mutable max_depth : int;
   mutable untraced : int;
+  mutable events_seen : int; (* sink callbacks consumed, incl. ignored ones *)
 }
 
 let create ?(config = default_config) ?(obs = Obs.Sink.null) () =
@@ -105,6 +106,7 @@ let create ?(config = default_config) ?(obs = Obs.Sink.null) () =
     child_tbl = Hashtbl.create 32;
     max_depth = 0;
     untraced = 0;
+    events_seen = 0;
   }
 
 let get_stats t stl =
@@ -382,18 +384,44 @@ let on_local_store t ~frame ~slot ~now =
 (* ------------------------------------------------------------------ *)
 
 let sink t : Hydra.Trace.sink =
+  (* the event tap: one int increment per callback keeps the per-event
+     path allocation-free while letting capture/replay plumbing assert
+     stream-length agreement *)
   {
-    Hydra.Trace.on_sloop = (fun ~stl ~nlocals ~frame ~now -> on_sloop t ~stl ~nlocals ~frame ~now);
-    on_eoi = (fun ~stl ~now -> on_eoi t ~stl ~now);
-    on_eloop = (fun ~stl ~now -> on_eloop t ~stl ~now);
-    on_read_stats = (fun ~stl ~now -> on_read_stats t ~stl ~now);
-    on_heap_load = (fun ~addr ~pc ~now -> on_heap_load t ~addr ~pc ~now);
-    on_heap_store = (fun ~addr ~now -> on_heap_store t ~addr ~now);
+    Hydra.Trace.on_sloop =
+      (fun ~stl ~nlocals ~frame ~now ->
+        t.events_seen <- t.events_seen + 1;
+        on_sloop t ~stl ~nlocals ~frame ~now);
+    on_eoi =
+      (fun ~stl ~now ->
+        t.events_seen <- t.events_seen + 1;
+        on_eoi t ~stl ~now);
+    on_eloop =
+      (fun ~stl ~now ->
+        t.events_seen <- t.events_seen + 1;
+        on_eloop t ~stl ~now);
+    on_read_stats =
+      (fun ~stl ~now ->
+        t.events_seen <- t.events_seen + 1;
+        on_read_stats t ~stl ~now);
+    on_heap_load =
+      (fun ~addr ~pc ~now ->
+        t.events_seen <- t.events_seen + 1;
+        on_heap_load t ~addr ~pc ~now);
+    on_heap_store =
+      (fun ~addr ~now ->
+        t.events_seen <- t.events_seen + 1;
+        on_heap_store t ~addr ~now);
     on_local_load =
-      (fun ~frame ~slot ~pc ~now -> on_local_load t ~frame ~slot ~pc ~now);
-    on_local_store = (fun ~frame ~slot ~now -> on_local_store t ~frame ~slot ~now);
-    on_call = (fun ~callee:_ ~now:_ -> ());
-    on_return = (fun ~now:_ -> ());
+      (fun ~frame ~slot ~pc ~now ->
+        t.events_seen <- t.events_seen + 1;
+        on_local_load t ~frame ~slot ~pc ~now);
+    on_local_store =
+      (fun ~frame ~slot ~now ->
+        t.events_seen <- t.events_seen + 1;
+        on_local_store t ~frame ~slot ~now);
+    on_call = (fun ~callee:_ ~now:_ -> t.events_seen <- t.events_seen + 1);
+    on_return = (fun ~now:_ -> t.events_seen <- t.events_seen + 1);
   }
 
 let stats t =
@@ -408,6 +436,7 @@ let child_cycles t =
 
 let max_dynamic_depth t = t.max_depth
 let untraced_activations t = t.untraced
+let events_consumed t = t.events_seen
 
 (* -- cache-health counters (exported as tracer.* obs gauges) -- *)
 

@@ -71,6 +71,13 @@ val max_dynamic_depth : t -> int
 val untraced_activations : t -> int
 (** Activations that could not get a comparator bank (or local slots). *)
 
+val events_consumed : t -> int
+(** Total {!sink} callbacks this tracer has consumed, including the
+    call/return events it ignores. Capture and replay use it to assert
+    that a replayed tracer saw exactly as many events as the recorded
+    interpretation delivered; the counter is a single int increment, so
+    the per-event hot path stays allocation-free. *)
+
 (** {2 Cache-health counters}
 
     Exported as [tracer.*] gauges by the pipeline (visible under

@@ -22,6 +22,53 @@ type sink = {
   on_return : now:int -> unit;
 }
 
+(* Fan one event stream out to two sinks, [a] first. The capture point
+   for the trace store: teeing a writer sink next to the live tracer
+   records exactly the stream the tracer consumed. *)
+let tee (a : sink) (b : sink) : sink =
+  {
+    on_sloop =
+      (fun ~stl ~nlocals ~frame ~now ->
+        a.on_sloop ~stl ~nlocals ~frame ~now;
+        b.on_sloop ~stl ~nlocals ~frame ~now);
+    on_eoi =
+      (fun ~stl ~now ->
+        a.on_eoi ~stl ~now;
+        b.on_eoi ~stl ~now);
+    on_eloop =
+      (fun ~stl ~now ->
+        a.on_eloop ~stl ~now;
+        b.on_eloop ~stl ~now);
+    on_read_stats =
+      (fun ~stl ~now ->
+        a.on_read_stats ~stl ~now;
+        b.on_read_stats ~stl ~now);
+    on_heap_load =
+      (fun ~addr ~pc ~now ->
+        a.on_heap_load ~addr ~pc ~now;
+        b.on_heap_load ~addr ~pc ~now);
+    on_heap_store =
+      (fun ~addr ~now ->
+        a.on_heap_store ~addr ~now;
+        b.on_heap_store ~addr ~now);
+    on_local_load =
+      (fun ~frame ~slot ~pc ~now ->
+        a.on_local_load ~frame ~slot ~pc ~now;
+        b.on_local_load ~frame ~slot ~pc ~now);
+    on_local_store =
+      (fun ~frame ~slot ~now ->
+        a.on_local_store ~frame ~slot ~now;
+        b.on_local_store ~frame ~slot ~now);
+    on_call =
+      (fun ~callee ~now ->
+        a.on_call ~callee ~now;
+        b.on_call ~callee ~now);
+    on_return =
+      (fun ~now ->
+        a.on_return ~now;
+        b.on_return ~now);
+  }
+
 let null_sink : sink =
   {
     on_sloop = (fun ~stl:_ ~nlocals:_ ~frame:_ ~now:_ -> ());

@@ -3,16 +3,19 @@ type outcome = {
   report : Pipeline.report;
   summary : Report_summary.t;
   recorder : Obs.Recorder.t option;
+  trace : string option;
 }
 
 (* One wire record per workload: the registry index (so the parent can
    restore registry order regardless of worker scheduling), the summary
-   and recorder state serialized through the lib/obs JSON schema, and
-   the full report for in-process consumers (bench tables need the STL
-   table / tracer / tac, which have no JSON form). The tuple crosses
-   the pipe via [Marshal] with [Closures] — safe because workers are
-   forks of this very executable. *)
-type wire_item = int * string * string option * Pipeline.report
+   and recorder state serialized through the lib/obs JSON schema, the
+   finished trace-store record bytes when capturing (self-contained, so
+   the parent byte-copies them into one container), and the full report
+   for in-process consumers (bench tables need the STL table / tracer /
+   tac, which have no JSON form). The tuple crosses the pipe via
+   [Marshal] with [Closures] — safe because workers are forks of this
+   very executable. *)
+type wire_item = int * string * string option * string option * Pipeline.report
 type wire_payload = (wire_item list, string) result
 
 let core_count () = try Domain.recommended_domain_count () with _ -> 1
@@ -34,44 +37,55 @@ let default_jobs () =
 
 let fork_available = not Sys.win32
 
-let run_one ~observe (w : Workloads.Workload.t) =
+let run_one ~observe ~capture (w : Workloads.Workload.t) =
   let recorder = if observe then Some (Obs.Recorder.create ()) else None in
   let obs =
     match recorder with
     | Some rc -> Obs.Recorder.sink rc
     | None -> Obs.Sink.null
   in
-  let report =
-    Pipeline.run ~obs ~name:w.Workloads.Workload.name
-      (Workloads.Registry.default_source w)
+  let name = w.Workloads.Workload.name in
+  let src = Workloads.Registry.default_source w in
+  let report, trace =
+    if capture then
+      let report, record = Replay.capture_run ~obs ~name src in
+      (report, Some record)
+    else (Pipeline.run ~obs ~name src, None)
   in
   (match recorder with
   | Some rc -> Pipeline.record_report_metrics (Obs.Recorder.metrics rc) report
   | None -> ());
-  (report, recorder)
+  (report, recorder, trace)
 
-let sequential ~observe workloads =
+let sequential ~observe ~capture workloads =
   List.map
     (fun w ->
-      let report, recorder = run_one ~observe w in
-      { workload = w; report; summary = Report_summary.of_report report; recorder })
+      let report, recorder, trace = run_one ~observe ~capture w in
+      {
+        workload = w;
+        report;
+        summary = Report_summary.of_report report;
+        recorder;
+        trace;
+      })
     workloads
 
 (* ---------------- forked workers ---------------- *)
 
-let encode_item ~observe idx w : wire_item =
-  let report, recorder = run_one ~observe w in
+let encode_item ~observe ~capture idx w : wire_item =
+  let report, recorder, trace = run_one ~observe ~capture w in
   let summary_json =
     Obs.Json.to_string (Report_summary.to_json (Report_summary.of_report report))
   in
   let recorder_json =
     Option.map (fun rc -> Obs.Json.to_string (Obs.Recorder.to_json rc)) recorder
   in
-  (idx, summary_json, recorder_json, report)
+  (idx, summary_json, recorder_json, trace, report)
 
-let worker_main ~observe shard wfd =
+let worker_main ~observe ~capture shard wfd =
   let payload : wire_payload =
-    try Ok (List.map (fun (idx, w) -> encode_item ~observe idx w) shard)
+    try
+      Ok (List.map (fun (idx, w) -> encode_item ~observe ~capture idx w) shard)
     with e -> Error (Printexc.to_string e)
   in
   let oc = Unix.out_channel_of_descr wfd in
@@ -81,16 +95,16 @@ let worker_main ~observe shard wfd =
      parent printed before forking must not be flushed twice *)
   Unix._exit (match payload with Ok _ -> 0 | Error _ -> 1)
 
-let decode_item (idx, summary_json, recorder_json, report) ~workloads =
+let decode_item (idx, summary_json, recorder_json, trace, report) ~workloads =
   let summary = Report_summary.of_json (Obs.Json.parse_exn summary_json) in
   let recorder =
     Option.map
       (fun s -> Obs.Recorder.of_json (Obs.Json.parse_exn s))
       recorder_json
   in
-  (idx, { workload = List.nth workloads idx; report; summary; recorder })
+  (idx, { workload = List.nth workloads idx; report; summary; recorder; trace })
 
-let parallel ~observe ~jobs workloads =
+let parallel ~observe ~capture ~jobs workloads =
   let indexed = List.mapi (fun i w -> (i, w)) workloads in
   let shard k = List.filter (fun (i, _) -> i mod jobs = k) indexed in
   let shards =
@@ -108,7 +122,7 @@ let parallel ~observe ~jobs workloads =
             (* release the read ends inherited from earlier forks so the
                parent is the only reader left on every pipe *)
             List.iter (fun (_, fd) -> Unix.close fd) acc;
-            worker_main ~observe shard wfd
+            worker_main ~observe ~capture shard wfd
         | pid ->
             Unix.close wfd;
             (pid, rfd) :: acc)
@@ -154,13 +168,22 @@ let parallel ~observe ~jobs workloads =
        | Some o -> o
        | None -> failwith "Jrpm.Parallel_sweep: missing worker result")
 
-let run ?jobs ?(observe = false) ?(workloads = Workloads.Registry.all) () =
+let run ?jobs ?(observe = false) ?(capture = false)
+    ?(workloads = Workloads.Registry.all) () =
   let jobs =
     match jobs with Some n -> max 1 n | None -> default_jobs ()
   in
   if jobs <= 1 || (not fork_available) || List.length workloads <= 1 then
-    sequential ~observe workloads
-  else parallel ~observe ~jobs:(min jobs (List.length workloads)) workloads
+    sequential ~observe ~capture workloads
+  else
+    parallel ~observe ~capture ~jobs:(min jobs (List.length workloads))
+      workloads
+
+let container outcomes =
+  let records =
+    List.filter_map (fun o -> o.trace) outcomes
+  in
+  if records = [] then None else Some (Trace_store.Writer.container records)
 
 let merged_recorder outcomes =
   let merged = Obs.Recorder.create () in

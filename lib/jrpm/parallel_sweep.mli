@@ -31,6 +31,11 @@ type outcome = {
   recorder : Obs.Recorder.t option;
       (** the worker's per-workload recorder, decoded from its JSON
           dump; [None] unless the sweep ran with [observe] *)
+  trace : string option;
+      (** the workload's finished trace-store record bytes; [None]
+          unless the sweep ran with [capture]. Records are
+          self-contained, so the parent assembles one container by
+          byte-copying them in registry order ({!container}). *)
 }
 
 val default_jobs : unit -> int
@@ -41,6 +46,7 @@ val default_jobs : unit -> int
 val run :
   ?jobs:int ->
   ?observe:bool ->
+  ?capture:bool ->
   ?workloads:Workloads.Workload.t list ->
   unit ->
   outcome list
@@ -49,10 +55,18 @@ val run :
     returns outcomes in registry order. [observe] (default [false])
     attaches a fresh {!Obs.Recorder} to every workload's pipeline run
     and records {!Pipeline.record_report_metrics} gauges, exactly like
-    the sequential bench harness. Runs sequentially in-process when
-    [jobs <= 1], when forking is unavailable (Windows), or for a
-    single workload.
+    the sequential bench harness. [capture] (default [false]) records
+    every workload's optimized profiling event stream into a
+    trace-store record ({!Replay.capture_run}); workers ship the
+    finished record bytes over the wire alongside the summary. Runs
+    sequentially in-process when [jobs <= 1], when forking is
+    unavailable (Windows), or for a single workload.
     @raise Failure when a worker fails. *)
+
+val container : outcome list -> string option
+(** Assemble the outcomes' captured records (in list order) into one
+    trace-store container ({!Trace_store.Writer.container}); [None]
+    when the sweep ran without [capture]. *)
 
 val merged_recorder : outcome list -> Obs.Recorder.t option
 (** Fold every per-workload recorder into one fresh recorder (in list

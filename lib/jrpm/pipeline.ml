@@ -77,7 +77,7 @@ let annotated_run ?tracer_config ?fuel ?(obs = Obs.Sink.null)
   (run, tracer, prog)
 
 let profile_only ?tracer_config ?fuel ?(obs = Obs.Sink.null) ?(optimize = true)
-    src =
+    ?capture src =
   let tac, table =
     Obs.Sink.phase obs phase_frontend (fun () ->
         let tac = Ir.Lower.compile src in
@@ -91,15 +91,20 @@ let profile_only ?tracer_config ?fuel ?(obs = Obs.Sink.null) ?(optimize = true)
         in
         Hydra.Seq_interp.run ?fuel plain)
   in
+  let wrap_sink =
+    match capture with
+    | None -> Fun.id
+    | Some w -> fun s -> Hydra.Trace.tee s (Trace_store.Writer.sink w)
+  in
   let _, tracer, _ =
     Obs.Sink.phase obs phase_profile_opt (fun () ->
-        annotated_run ?tracer_config ?fuel ~obs ~optimized:true
+        annotated_run ?tracer_config ?fuel ~obs ~wrap_sink ~optimized:true
           ~plain_cycles:pr.Hydra.Seq_interp.cycles table tac)
   in
   (tracer, pr.Hydra.Seq_interp.cycles)
 
 let run ?tracer_config ?cpus ?fuel ?sync ?(obs = Obs.Sink.null)
-    ?(optimize = true) ~name src : report =
+    ?(optimize = true) ?capture ~name src : report =
   let tac, table =
     Obs.Sink.phase obs phase_frontend (fun () ->
         let tac = Ir.Lower.compile src in
@@ -124,10 +129,19 @@ let run ?tracer_config ?cpus ?fuel ?sync ?(obs = Obs.Sink.null)
           tac)
   in
   let methods = Test_core.Method_profile.create () in
+  (* the capture tee wraps outermost, so the writer records the raw
+     interpreter stream — the same stream every pass-through wrapper
+     below it forwards to the tracer, hence what replay must feed back *)
+  let wrap_capture =
+    match capture with
+    | None -> Fun.id
+    | Some w -> fun s -> Hydra.Trace.tee s (Trace_store.Writer.sink w)
+  in
   let opt, tracer, annotated_program =
     Obs.Sink.phase obs phase_profile_opt (fun () ->
         annotated_run ?tracer_config ?fuel ~obs
-          ~wrap_sink:(Test_core.Method_profile.wrap methods)
+          ~wrap_sink:(fun s ->
+            wrap_capture (Test_core.Method_profile.wrap methods s))
           ~optimized:true ~plain_cycles table tac)
   in
   (* 3. analyze & select *)

@@ -55,6 +55,7 @@ val run :
   ?sync:bool ->
   ?obs:Obs.Sink.t ->
   ?optimize:bool ->
+  ?capture:Trace_store.Writer.t ->
   name:string ->
   string ->
   report
@@ -68,6 +69,13 @@ val run :
     [recompile-tls], [tls-run]) and the sink is threaded into the
     tracer (optimized profiling run only, so counters are not
     double-counted), the analyzer, and the TLS simulator.
+
+    [capture] tees the {e optimized} profiling run's raw annotation
+    event stream — the stream the tracer itself consumes — into a
+    {!Trace_store.Writer} sink. The caller owns the writer and calls
+    {!Trace_store.Writer.finish} afterwards ({!Replay.meta_of_report}
+    builds the record metadata that makes the trace self-describing).
+    The base profiling run and the TLS run are never captured.
     @raise the usual front-end exceptions on bad source. *)
 
 val profile_only :
@@ -75,11 +83,13 @@ val profile_only :
   ?fuel:int ->
   ?obs:Obs.Sink.t ->
   ?optimize:bool ->
+  ?capture:Trace_store.Writer.t ->
   string ->
   Test_core.Tracer.t * int
 (** Compile with optimized annotations and trace once; returns the
     tracer and the plain sequential cycle count. [obs] observes the
-    [frontend], [plain-run], and [profile-opt] phases and the tracer. *)
+    [frontend], [plain-run], and [profile-opt] phases and the tracer.
+    [capture] tees the profiling event stream exactly as in {!run}. *)
 
 val phases : string list
 (** The phase names {!run} brackets, in pipeline order — the vocabulary

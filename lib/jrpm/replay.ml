@@ -1,0 +1,185 @@
+type outcome = {
+  name : string;
+  recorded : Report_summary.t;
+  replayed : Report_summary.t;
+  matches : bool;
+  events : int;
+  record_bytes : int;
+  reference_bytes : int;
+  elapsed_s : float;
+}
+
+let fail what = failwith ("Jrpm.Replay: " ^ what)
+
+(* ---------------- tracer-config codec ---------------- *)
+
+let config_to_json (c : Test_core.Tracer.config) =
+  let open Obs.Json in
+  Obj
+    [
+      ("banks", Int c.banks);
+      ("heap_fifo_lines", Int c.heap_fifo_lines);
+      ("ld_dedup_entries", Int c.ld_dedup_entries);
+      ("st_dedup_entries", Int c.st_dedup_entries);
+      ("local_slots", Int c.local_slots);
+      ("ld_limit", Int c.ld_limit);
+      ("st_limit", Int c.st_limit);
+      ("line_words", Int c.line_words);
+      ( "max_entries_per_stl",
+        match c.max_entries_per_stl with None -> Null | Some n -> Int n );
+      ( "release_overflowing",
+        match c.release_overflowing with
+        | None -> Null
+        | Some (entries, freq) -> List [ Int entries; Float freq ] );
+    ]
+
+let config_of_json json : Test_core.Tracer.config =
+  let int key =
+    match Option.bind (Obs.Json.member key json) Obs.Json.to_int with
+    | Some v -> v
+    | None -> fail ("missing or mistyped tracer_config field " ^ key)
+  in
+  {
+    banks = int "banks";
+    heap_fifo_lines = int "heap_fifo_lines";
+    ld_dedup_entries = int "ld_dedup_entries";
+    st_dedup_entries = int "st_dedup_entries";
+    local_slots = int "local_slots";
+    ld_limit = int "ld_limit";
+    st_limit = int "st_limit";
+    line_words = int "line_words";
+    max_entries_per_stl =
+      (match Obs.Json.member "max_entries_per_stl" json with
+      | Some (Obs.Json.Int n) -> Some n
+      | Some Obs.Json.Null | None -> None
+      | Some _ -> fail "mistyped tracer_config field max_entries_per_stl");
+    release_overflowing =
+      (match Obs.Json.member "release_overflowing" json with
+      | Some (Obs.Json.List [ e; f ]) -> (
+          match (Obs.Json.to_int e, Obs.Json.to_float f) with
+          | Some e, Some f -> Some (e, f)
+          | _ -> fail "mistyped tracer_config field release_overflowing")
+      | Some Obs.Json.Null | None -> None
+      | Some _ -> fail "mistyped tracer_config field release_overflowing");
+  }
+
+(* ---------------- capture side ---------------- *)
+
+let meta_of_report ?tracer_config ?cpus ~writer (r : Pipeline.report) =
+  let config =
+    match tracer_config with
+    | Some c -> c
+    | None -> Test_core.Tracer.default_config
+  in
+  Obs.Json.Obj
+    [
+      ("summary", Report_summary.to_json (Report_summary.of_report r));
+      ("tracer_config", config_to_json config);
+      ("cpus", match cpus with None -> Obs.Json.Null | Some n -> Obs.Json.Int n);
+      ("events", Obs.Json.Int (Trace_store.Writer.events writer));
+      ( "reference_bytes",
+        Obs.Json.Int (Trace_store.Writer.reference_bytes writer) );
+    ]
+
+let capture_run ?tracer_config ?cpus ?fuel ?sync ?obs ~name src =
+  let writer = Trace_store.Writer.create () in
+  let report =
+    Pipeline.run ?tracer_config ?cpus ?fuel ?sync ?obs ~capture:writer ~name
+      src
+  in
+  let meta = meta_of_report ?tracer_config ?cpus ~writer report in
+  (report, Trace_store.Writer.finish ~name ~meta writer)
+
+(* ---------------- replay side ---------------- *)
+
+let replay_current reader (record : Trace_store.Reader.record) =
+  let meta = record.Trace_store.Reader.meta in
+  let member key =
+    match Obs.Json.member key meta with
+    | Some v -> v
+    | None -> fail ("record metadata is missing field " ^ key)
+  in
+  let recorded = Report_summary.of_json (member "summary") in
+  let config = config_of_json (member "tracer_config") in
+  let cpus =
+    match member "cpus" with
+    | Obs.Json.Null -> None
+    | j -> (
+        match Obs.Json.to_int j with
+        | Some n -> Some n
+        | None -> fail "mistyped metadata field cpus")
+  in
+  let reference_bytes =
+    match Obs.Json.to_int (member "reference_bytes") with
+    | Some n -> n
+    | None -> fail "mistyped metadata field reference_bytes"
+  in
+  let tracer = Test_core.Tracer.create ~config () in
+  let t0 = Unix.gettimeofday () in
+  let stats =
+    Trace_store.Reader.replay reader (Test_core.Tracer.sink tracer)
+  in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  if Test_core.Tracer.events_consumed tracer <> stats.Trace_store.Reader.events
+  then fail "tracer event-tap count disagrees with the decoder";
+  (* the analysis-owned fields are recomputed from the replayed stream;
+     everything else the trace carries verbatim in its metadata *)
+  let selection =
+    Test_core.Analyzer.select ?cpus
+      ~stats:(Test_core.Tracer.stats tracer)
+      ~child_cycles:(Test_core.Tracer.child_cycles tracer)
+      ~program_cycles:recorded.Report_summary.opt.Report_summary.cycles ()
+  in
+  let replayed =
+    {
+      recorded with
+      Report_summary.predicted_speedup =
+        selection.Test_core.Analyzer.predicted_speedup;
+      selected_stls = List.length selection.Test_core.Analyzer.chosen;
+      max_dynamic_depth = Test_core.Tracer.max_dynamic_depth tracer;
+    }
+  in
+  let json s = Obs.Json.to_string (Report_summary.to_json s) in
+  {
+    name = record.Trace_store.Reader.name;
+    recorded;
+    replayed;
+    matches = String.equal (json replayed) (json recorded);
+    events = stats.Trace_store.Reader.events;
+    record_bytes = stats.Trace_store.Reader.record_bytes;
+    reference_bytes;
+    elapsed_s;
+  }
+
+let replay_all reader =
+  let rec go acc =
+    match Trace_store.Reader.next_record reader with
+    | None -> List.rev acc
+    | Some record -> go (replay_current reader record :: acc)
+  in
+  let outcomes = go [] in
+  Trace_store.Reader.close reader;
+  outcomes
+
+let replay_file path = replay_all (Trace_store.Reader.open_file path)
+let replay_string s = replay_all (Trace_store.Reader.of_string s)
+
+let record_metrics reg outcomes =
+  let sum f = List.fold_left (fun acc o -> acc + f o) 0 outcomes in
+  let events = sum (fun o -> o.events) in
+  let bytes = sum (fun o -> o.record_bytes) in
+  let ref_bytes = sum (fun o -> o.reference_bytes) in
+  let elapsed = List.fold_left (fun acc o -> acc +. o.elapsed_s) 0. outcomes in
+  let gauge name v = Obs.Metrics.set_gauge reg name v in
+  gauge "trace.records" (float_of_int (List.length outcomes));
+  gauge "trace.events" (float_of_int events);
+  gauge "trace.bytes" (float_of_int bytes);
+  gauge "trace.bytes_per_event"
+    (float_of_int bytes /. float_of_int (max 1 events));
+  gauge "trace.compression_ratio"
+    (float_of_int ref_bytes /. float_of_int (max 1 bytes));
+  gauge "trace.replay_events_per_sec"
+    (if elapsed > 0. then float_of_int events /. elapsed else 0.);
+  gauge "trace.replay_matches"
+    (float_of_int
+       (List.length (List.filter (fun o -> o.matches) outcomes)))

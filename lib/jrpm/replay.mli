@@ -1,0 +1,82 @@
+(** Capture metadata and the replay-to-summary path of the trace store.
+
+    A captured record holds the optimized profiling run's raw event
+    stream plus, as metadata, everything the pipeline computed around
+    that stream: the full interpreted {!Report_summary}, the effective
+    {!Test_core.Tracer.config}, the analyzer CPU count, and the
+    writer's event/reference-size counters. Replay then re-derives the
+    analysis-owned summary fields — [predicted_speedup],
+    [selected_stls], [max_dynamic_depth] — by feeding the decoded
+    stream to a fresh tracer and re-running
+    {!Test_core.Analyzer.select}; every other field passes through from
+    the metadata. A faithful codec therefore reproduces the interpreted
+    summary {e byte-for-byte} ([matches] below), without re-running the
+    interpreter: that equality is the replay-determinism gate CI
+    enforces.
+
+    Metadata schema (JSON object, all fields required):
+    - ["summary"]: {!Report_summary.to_json} of the interpreted run;
+    - ["tracer_config"]: the effective tracer hardware configuration
+      (fields named after {!Test_core.Tracer.config}; the option fields
+      encode as [null] or their payload);
+    - ["cpus"]: analyzer CPU count, or [null] for the default;
+    - ["events"], ["reference_bytes"]: the writer's
+      {!Trace_store.Writer.events} / [reference_bytes] counters, kept
+      in the metadata so readers can report compression without
+      decoding. *)
+
+type outcome = {
+  name : string;                  (** record name (workload name) *)
+  recorded : Report_summary.t;    (** summary stored at capture time *)
+  replayed : Report_summary.t;    (** summary recomputed from the stream *)
+  matches : bool;                 (** JSON of [replayed] = JSON of [recorded] *)
+  events : int;                   (** events delivered to the tracer *)
+  record_bytes : int;             (** encoded record size on disk *)
+  reference_bytes : int;          (** uncompressed size [1 + 8·fields] per event *)
+  elapsed_s : float;              (** wall-clock seconds spent replaying *)
+}
+
+val meta_of_report :
+  ?tracer_config:Test_core.Tracer.config ->
+  ?cpus:int ->
+  writer:Trace_store.Writer.t ->
+  Pipeline.report ->
+  Obs.Json.t
+(** Build the record metadata for a capture: pass the same
+    [tracer_config]/[cpus] the {!Pipeline.run} call used (defaults
+    meaning the defaults), and the writer that captured it, {e before}
+    calling {!Trace_store.Writer.finish}. *)
+
+val capture_run :
+  ?tracer_config:Test_core.Tracer.config ->
+  ?cpus:int ->
+  ?fuel:int ->
+  ?sync:bool ->
+  ?obs:Obs.Sink.t ->
+  name:string ->
+  string ->
+  Pipeline.report * string
+(** Run the full pipeline on one workload source with capture on and
+    return the report plus the finished record bytes (ready for
+    {!Trace_store.Writer.container}). *)
+
+val replay_current : Trace_store.Reader.t -> Trace_store.Reader.record -> outcome
+(** Replay the reader's current record (the one the given
+    {!Trace_store.Reader.next_record} result described) through a fresh
+    tracer + analyzer and compare against the recorded summary.
+    @raise Trace_store.Reader.Corrupt on a malformed stream;
+    @raise Failure on malformed metadata. *)
+
+val replay_file : string -> outcome list
+(** Open a container and replay every record in order.
+    @raise Trace_store.Reader.Corrupt / [Failure] as {!replay_current};
+    @raise Sys_error when the file cannot be opened. *)
+
+val replay_string : string -> outcome list
+(** {!replay_file} over in-memory container bytes. *)
+
+val record_metrics : Obs.Metrics.t -> outcome list -> unit
+(** Export replay-side gauges into a metrics registry: [trace.records],
+    [trace.events], [trace.bytes], [trace.bytes_per_event],
+    [trace.compression_ratio] (reference over encoded),
+    [trace.replay_events_per_sec], and [trace.replay_matches]. *)

@@ -1,0 +1,64 @@
+(** Replay side of the trace store: stream a container's records back
+    into any {!Hydra.Trace.sink} — typically a fresh
+    [Test_core.Tracer], which then cannot tell replay from live
+    interpretation.
+
+    A reader is a cursor over the container: {!next_record} yields the
+    next record's name and metadata (skipping the rest of the current
+    record if its events were not consumed), {!replay} decodes the
+    current record's event stream into a sink. Every structural
+    violation — bad magic or version, truncation, an unknown opcode, a
+    varint overflowing the native int, an [op_repeat] with no reference
+    segment, or an end-chunk event-count / final-timestamp / checksum
+    mismatch — raises {!Corrupt} with a description; {!Corrupt} is the
+    *only* error a well-typed caller must handle for hostile input.
+    Unknown {e chunk tags} are skipped by their declared length, as the
+    §7 forward-compat rule requires.
+
+    Versioning contract: this reader accepts exactly
+    {!Layout.version}. A future writer that changes anything an old
+    reader would silently misdecode (opcode meaning, predictor
+    assignment, checksum definition) must bump the version byte;
+    additions that old readers can ignore (new chunk tags, header
+    extension bytes) must not. *)
+
+type t
+
+exception Corrupt of string
+(** The file is not a well-formed version-{!Layout.version} container.
+    The message says what failed and where it was detected. *)
+
+type record = { name : string; meta : Obs.Json.t }
+(** One workload record's identity: the begin-chunk name and decoded
+    metadata object (see {!Jrpm.Replay} for the schema the pipeline
+    writes). *)
+
+type replay_stats = {
+  events : int;       (** logical events delivered to the sink *)
+  record_bytes : int; (** encoded record size, begin chunk through end
+                          chunk — the denominator of bytes/event *)
+}
+
+val open_file : string -> t
+(** Open and validate the container header.
+    @raise Corrupt on a bad header;
+    @raise Sys_error when the file cannot be opened. *)
+
+val of_string : string -> t
+(** A reader over in-memory container bytes ({!Writer.container}
+    output) — what the tests and property checks drive. *)
+
+val next_record : t -> record option
+(** Advance to the next record and return its identity, or [None] at
+    the container end (which must be the explicit end chunk — EOF
+    before it raises {!Corrupt}). Undecoded events of the current
+    record are skipped frame-by-frame without checksum verification. *)
+
+val replay : t -> Hydra.Trace.sink -> replay_stats
+(** Decode the current record's whole event stream into the sink, in
+    capture order, verifying the end chunk. Must follow a successful
+    {!next_record}; a second call for the same record raises
+    [Invalid_argument] (records stream once — reopen to re-replay). *)
+
+val close : t -> unit
+(** Release the underlying channel (a no-op for {!of_string}). *)

@@ -1,0 +1,39 @@
+exception Overflow
+
+(* The raw LEB128 layer works on the 63-bit *bit pattern* of an int
+   (lsr/land only), so zigzag outputs that wrap negative still encode in
+   at most 9 bytes. The value-semantics checks live in the wrappers. *)
+
+let write_raw buf n =
+  let rec go n =
+    if n land lnot 0x7f = 0 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (n land 0x7f lor 0x80));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let read_raw s pos =
+  let rec go acc shift =
+    if shift > 56 then raise Overflow;
+    let b = Char.code s.[!pos] in
+    incr pos;
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go acc (shift + 7)
+  in
+  go 0 0
+
+let write_unsigned buf n =
+  if n < 0 then invalid_arg "Trace_store.Varint.write_unsigned: negative";
+  write_raw buf n
+
+let read_unsigned s pos =
+  let v = read_raw s pos in
+  if v < 0 then raise Overflow;
+  v
+
+let zigzag n = (n lsl 1) lxor (n asr 62)
+let unzigzag z = (z lsr 1) lxor (-(z land 1))
+let write_signed buf n = write_raw buf (zigzag n)
+let read_signed s pos = unzigzag (read_raw s pos)

@@ -1,0 +1,384 @@
+(* The trace store: varint/zigzag primitives, the event codec
+   (encode∘decode = id on arbitrary event streams, including the RLE
+   path), corruption/truncation error paths, and the headline
+   replay-determinism guarantee — replaying a captured sweep through a
+   fresh tracer + analyzer reproduces the interpreted Report_summary
+   JSON byte-for-byte, pinned against the same golden file as the
+   interpreted sweep. *)
+
+module V = Trace_store.Varint
+module E = Trace_store.Event
+module W = Trace_store.Writer
+module R = Trace_store.Reader
+
+(* ---------------- varint primitives ---------------- *)
+
+let encode_u n =
+  let b = Buffer.create 10 in
+  V.write_unsigned b n;
+  Buffer.contents b
+
+let encode_s n =
+  let b = Buffer.create 10 in
+  V.write_signed b n;
+  Buffer.contents b
+
+let test_varint_encodings () =
+  Alcotest.(check string) "0" "\x00" (encode_u 0);
+  Alcotest.(check string) "127" "\x7f" (encode_u 127);
+  Alcotest.(check string) "128" "\x80\x01" (encode_u 128);
+  Alcotest.(check string) "300" "\xac\x02" (encode_u 300);
+  (* zigzag: 0,-1,1,-2,2 → 0,1,2,3,4 *)
+  Alcotest.(check string) "zz 0" "\x00" (encode_s 0);
+  Alcotest.(check string) "zz -1" "\x01" (encode_s (-1));
+  Alcotest.(check string) "zz 1" "\x02" (encode_s 1);
+  Alcotest.(check string) "zz -2" "\x03" (encode_s (-2));
+  Alcotest.(check bool) "write_unsigned rejects negatives" true
+    (match encode_u (-1) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_varint_extremes () =
+  List.iter
+    (fun n ->
+      let s = encode_s n in
+      Alcotest.(check int)
+        (Printf.sprintf "signed round-trip %d" n)
+        n
+        (V.read_signed s (ref 0));
+      Alcotest.(check bool) "at most 9 bytes" true (String.length s <= 9))
+    [ 0; 1; -1; max_int; min_int; max_int - 1; min_int + 1; 1 lsl 40 ];
+  List.iter
+    (fun n ->
+      let s = encode_u n in
+      Alcotest.(check int)
+        (Printf.sprintf "unsigned round-trip %d" n)
+        n
+        (V.read_unsigned s (ref 0)))
+    [ 0; 1; 127; 128; 16384; max_int ]
+
+let prop_varint_roundtrip =
+  QCheck.Test.make ~name:"varint signed round-trip on arbitrary ints"
+    ~count:500
+    QCheck.(frequency [ (4, small_signed_int); (1, int) ])
+    (fun n -> V.read_signed (encode_s n) (ref 0) = n)
+
+(* ---------------- event stream codec ---------------- *)
+
+let gen_operand =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, int_range 0 4096);
+        (2, int_range 0 (1 lsl 30));
+        (1, map (fun n -> -n) (int_range 0 (1 lsl 30)));
+        (1, oneofl [ 0; 1; max_int; min_int; min_int + 1; max_int - 1 ]);
+      ])
+
+let gen_event =
+  QCheck.Gen.(
+    gen_operand >>= fun a ->
+    gen_operand >>= fun b ->
+    gen_operand >>= fun c ->
+    gen_operand >>= fun now ->
+    oneofl
+      [
+        E.Sloop { stl = a; nlocals = b; frame = c; now };
+        E.Eoi { stl = a; now };
+        E.Eloop { stl = a; now };
+        E.Read_stats { stl = a; now };
+        E.Heap_load { addr = a; pc = b; now };
+        E.Heap_store { addr = a; now };
+        E.Local_load { frame = a; slot = b; pc = c; now };
+        E.Local_store { frame = a; slot = b; now };
+        E.Call { callee = a; now };
+        E.Return { now };
+      ])
+
+let arb_events =
+  QCheck.make
+    ~print:(fun es ->
+      String.concat "; " (List.map (Format.asprintf "%a" E.pp) es))
+    QCheck.Gen.(list_size (int_range 0 400) gen_event)
+
+let encode_record ?(name = "r") ?(meta = Obs.Json.Obj []) events =
+  let w = W.create () in
+  let sink = W.sink w in
+  List.iter (E.apply sink) events;
+  (w, W.finish ~name ~meta w)
+
+let encode_container ?name ?meta events =
+  let _, record = encode_record ?name ?meta events in
+  W.container [ record ]
+
+let decode_single bytes =
+  let r = R.of_string bytes in
+  match R.next_record r with
+  | None -> Alcotest.fail "container has no record"
+  | Some record ->
+      let sink, events = E.collector () in
+      let stats = R.replay r sink in
+      Alcotest.(check bool) "single record" true (R.next_record r = None);
+      (record, stats, events ())
+
+let check_roundtrip events =
+  let bytes = encode_container events in
+  let _, stats, got = decode_single bytes in
+  List.length got = List.length events
+  && List.for_all2 E.equal got events
+  && stats.R.events = List.length events
+
+let prop_events_roundtrip =
+  QCheck.Test.make ~name:"encode∘decode = id on random event streams"
+    ~count:200 arb_events check_roundtrip
+
+(* a loop-shaped stream: identical per-iteration deltas, so every
+   iteration after the first collapses into the RLE repeat counter *)
+let loop_events ~iters ~body =
+  List.concat
+    (List.init iters (fun i ->
+         List.init body (fun j ->
+             E.Heap_load
+               {
+                 addr = (i * body * 8) + (j * 8);
+                 pc = 100 + j;
+                 now = (i * body * 2) + (j * 2);
+               })
+         @ [ E.Eoi { stl = 3; now = (i * body * 2) + (body * 2) } ]))
+
+let test_rle_compresses_loops () =
+  let events = loop_events ~iters:200 ~body:12 in
+  let w, record = encode_record events in
+  Alcotest.(check bool) "round-trips" true
+    (let _, _, got = decode_single (W.container [ record ]) in
+     List.for_all2 E.equal got events);
+  (* 200 byte-identical iteration segments: one reference + a counter *)
+  let ratio =
+    float_of_int (W.reference_bytes w) /. float_of_int (String.length record)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "loop stream compresses >50x (got %.1fx)" ratio)
+    true (ratio > 50.)
+
+let test_record_identity () =
+  let meta = Obs.Json.Obj [ ("k", Obs.Json.Int 42) ] in
+  let bytes = encode_container ~name:"compress" ~meta [ E.Return { now = 7 } ] in
+  let record, stats, got = decode_single bytes in
+  Alcotest.(check string) "name" "compress" record.R.name;
+  Alcotest.(check bool) "meta" true (record.R.meta = meta);
+  Alcotest.(check int) "events" 1 stats.R.events;
+  Alcotest.(check bool) "payload" true (got = [ E.Return { now = 7 } ])
+
+let test_multi_record_and_skip () =
+  let _, r1 = encode_record ~name:"a" [ E.Return { now = 1 } ] in
+  let _, r2 = encode_record ~name:"b" [ E.Call { callee = 9; now = 2 } ] in
+  let r = R.of_string (W.container [ r1; r2 ]) in
+  (* skip record a without replaying it, then replay b *)
+  (match R.next_record r with
+  | Some { R.name = "a"; _ } -> ()
+  | _ -> Alcotest.fail "expected record a");
+  (match R.next_record r with
+  | Some { R.name = "b"; _ } -> ()
+  | _ -> Alcotest.fail "expected record b");
+  let sink, events = E.collector () in
+  ignore (R.replay r sink : R.replay_stats);
+  Alcotest.(check bool) "b's payload" true
+    (events () = [ E.Call { callee = 9; now = 2 } ]);
+  Alcotest.(check bool) "end" true (R.next_record r = None)
+
+let test_empty_record () =
+  let record, stats, got = decode_single (encode_container []) in
+  Alcotest.(check string) "name" "r" record.R.name;
+  Alcotest.(check int) "no events" 0 stats.R.events;
+  Alcotest.(check bool) "empty" true (got = [])
+
+(* ---------------- error paths ---------------- *)
+
+let expect_corrupt what f =
+  match f () with
+  | _ -> Alcotest.fail (what ^ ": expected Reader.Corrupt")
+  | exception R.Corrupt _ -> ()
+
+let drain bytes =
+  let r = R.of_string bytes in
+  let rec go () =
+    match R.next_record r with
+    | None -> ()
+    | Some _ ->
+        ignore (R.replay r Hydra.Trace.null_sink : R.replay_stats);
+        go ()
+  in
+  go ()
+
+let test_corrupt_inputs () =
+  let good = encode_container (loop_events ~iters:5 ~body:4) in
+  expect_corrupt "empty file" (fun () -> drain "");
+  expect_corrupt "bad magic" (fun () ->
+      drain ("XTRC" ^ String.sub good 4 (String.length good - 4)));
+  expect_corrupt "future version" (fun () ->
+      let b = Bytes.of_string good in
+      Bytes.set b 4 '\x02';
+      drain (Bytes.to_string b));
+  (* truncation at any interior byte must be detected, not misread *)
+  List.iter
+    (fun keep ->
+      expect_corrupt
+        (Printf.sprintf "truncated to %d bytes" keep)
+        (fun () -> drain (String.sub good 0 keep)))
+    [ 5; 8; 20; String.length good / 2; String.length good - 1 ];
+  (* a flipped payload byte is caught by decode or by the checksum *)
+  let flipped =
+    let b = Bytes.of_string good in
+    let i = String.length good / 2 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x55));
+    Bytes.to_string b
+  in
+  expect_corrupt "flipped byte" (fun () -> drain flipped);
+  expect_corrupt "trailing garbage" (fun () -> drain (good ^ "\x00"))
+
+let test_unknown_chunk_skipped () =
+  (* insert an unknown chunk kind (tag 0x7f) between the header and the
+     first record: a v1 reader must skip it by length (§7 forward
+     compatibility), not reject the file *)
+  let _, record = encode_record ~name:"x" [ E.Return { now = 3 } ] in
+  let b = Buffer.create 256 in
+  Buffer.add_string b "JTRC\x01\x00";
+  Buffer.add_char b '\x7f';
+  V.write_unsigned b 4;
+  Buffer.add_string b "souq";
+  Buffer.add_string b record;
+  Buffer.add_string b "\x00\x00";
+  let record, _, got = decode_single (Buffer.contents b) in
+  Alcotest.(check string) "record survives" "x" record.R.name;
+  Alcotest.(check bool) "payload survives" true (got = [ E.Return { now = 3 } ])
+
+let test_replay_twice_rejected () =
+  let r = R.of_string (encode_container [ E.Return { now = 1 } ]) in
+  ignore (R.next_record r : R.record option);
+  ignore (R.replay r Hydra.Trace.null_sink : R.replay_stats);
+  Alcotest.(check bool) "second replay rejected" true
+    (match R.replay r Hydra.Trace.null_sink with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_writer_finish_is_final () =
+  let w = W.create () in
+  let sink = W.sink w in
+  E.apply sink (E.Return { now = 1 });
+  ignore (W.finish ~name:"r" ~meta:Obs.Json.Null w : string);
+  Alcotest.(check bool) "event after finish rejected" true
+    (match E.apply sink (E.Return { now = 2 }) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ---------------- tee + tracer tap ---------------- *)
+
+let test_tee_orders_and_duplicates () =
+  let log = ref [] in
+  let mk tag = E.handler (fun e -> log := (tag, e) :: !log) in
+  let sink = Hydra.Trace.tee (mk "a") (mk "b") in
+  sink.Hydra.Trace.on_eoi ~stl:5 ~now:9;
+  Alcotest.(check bool) "both sinks, first-then-second" true
+    (List.rev !log
+    = [ ("a", E.Eoi { stl = 5; now = 9 }); ("b", E.Eoi { stl = 5; now = 9 }) ])
+
+let test_tracer_event_tap () =
+  let events = loop_events ~iters:10 ~body:6 in
+  let tracer = Test_core.Tracer.create () in
+  let sink = Test_core.Tracer.sink tracer in
+  List.iter (E.apply sink) events;
+  Alcotest.(check int) "events_consumed counts every callback"
+    (List.length events)
+    (Test_core.Tracer.events_consumed tracer)
+
+(* ---------------- replay determinism vs the golden sweep ---------------- *)
+
+(* The same subset test_sweep pins against golden_sweep_summaries.json:
+   capture each workload, then check the REPLAYED summaries against the
+   same golden bytes — interpretation and replay must agree exactly. *)
+let golden_subset = [ "BitOps"; "Huffman"; "compress"; "fft"; "NeuralNet" ]
+
+let test_replayed_sweep_matches_golden () =
+  let golden =
+    let ic = open_in "golden_sweep_summaries.json" in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Obs.Json.parse_exn s
+  in
+  let golden_of name =
+    match Obs.Json.to_list golden with
+    | Some entries ->
+        List.find
+          (fun e ->
+            Obs.Json.member "name" e
+            |> Option.map Obs.Json.to_string_opt
+            |> Option.join = Some name)
+          entries
+    | None -> Alcotest.fail "golden file is not a JSON list"
+  in
+  let workloads = List.map Workloads.Registry.find_exn golden_subset in
+  let outcomes =
+    Jrpm.Parallel_sweep.run ~jobs:1 ~workloads ~capture:true ()
+  in
+  let container =
+    match Jrpm.Parallel_sweep.container outcomes with
+    | Some c -> c
+    | None -> Alcotest.fail "capture sweep produced no container"
+  in
+  let replayed = Jrpm.Replay.replay_string container in
+  Alcotest.(check int) "record per workload" (List.length workloads)
+    (List.length replayed);
+  List.iter
+    (fun (o : Jrpm.Replay.outcome) ->
+      Alcotest.(check bool)
+        ("replay matches interpretation: " ^ o.Jrpm.Replay.name)
+        true o.Jrpm.Replay.matches;
+      Alcotest.(check string)
+        ("replayed summary JSON matches golden: " ^ o.Jrpm.Replay.name)
+        (Obs.Json.to_string (golden_of o.Jrpm.Replay.name))
+        (Obs.Json.to_string (Jrpm.Report_summary.to_json o.Jrpm.Replay.replayed)))
+    replayed
+
+let suites =
+  [
+    ( "trace_store.varint",
+      [
+        Alcotest.test_case "known encodings" `Quick test_varint_encodings;
+        Alcotest.test_case "extreme values" `Quick test_varint_extremes;
+        QCheck_alcotest.to_alcotest prop_varint_roundtrip;
+      ] );
+    ( "trace_store.codec",
+      [
+        QCheck_alcotest.to_alcotest prop_events_roundtrip;
+        Alcotest.test_case "RLE collapses repeated loop bodies" `Quick
+          test_rle_compresses_loops;
+        Alcotest.test_case "record name and metadata" `Quick
+          test_record_identity;
+        Alcotest.test_case "multi-record container, skip unconsumed" `Quick
+          test_multi_record_and_skip;
+        Alcotest.test_case "empty record" `Quick test_empty_record;
+      ] );
+    ( "trace_store.errors",
+      [
+        Alcotest.test_case "corrupt and truncated inputs" `Quick
+          test_corrupt_inputs;
+        Alcotest.test_case "unknown chunk kinds are skipped" `Quick
+          test_unknown_chunk_skipped;
+        Alcotest.test_case "replay twice rejected" `Quick
+          test_replay_twice_rejected;
+        Alcotest.test_case "writer finish is final" `Quick
+          test_writer_finish_is_final;
+      ] );
+    ( "trace_store.wiring",
+      [
+        Alcotest.test_case "tee duplicates in order" `Quick
+          test_tee_orders_and_duplicates;
+        Alcotest.test_case "tracer event tap" `Quick test_tracer_event_tap;
+      ] );
+    ( "trace_store.replay",
+      [
+        Alcotest.test_case "replayed sweep matches interpreted golden" `Quick
+          test_replayed_sweep_matches_golden;
+      ] );
+  ]
