@@ -589,12 +589,16 @@ let pipeline_phases () =
 
 (* Checked-in allocation budgets (minor words per event, obs disabled).
    The heap and local per-event paths are allocation-free in steady
-   state, so their budgets only leave room for the measurement itself;
-   deep-nest crosses sloop/eloop boundaries, which allocate (bank and
-   child-cycle bookkeeping), so its budget is the amortized boundary
-   cost. CI's `tracer --smoke` fails when a budget is exceeded. *)
+   state, so their budgets only leave room for the measurement itself.
+   deep-nest crosses sloop/eloop boundaries, which are allocation-free
+   in steady state too since banks are pooled and child-cycle keys are
+   packed ints mutated in place; what remains is first-touch table
+   growth (new STL stats, first child-cycle bindings), amortized to
+   ~0.2 words/event on this stream. The budget pins the boundary fix:
+   reintroducing a per-boundary tuple or record allocation costs ~3-4
+   words/event and fails CI's `tracer --smoke`. *)
 let tracer_budgets =
-  [ ("heap-heavy", 0.01); ("local-heavy", 0.01); ("deep-nest", 4.0) ]
+  [ ("heap-heavy", 0.01); ("local-heavy", 0.01); ("deep-nest", 0.25) ]
 
 (* Each stream builds a tracer once and returns a runner so that
    construction and cache warm-up stay outside the measured region.

@@ -10,6 +10,7 @@
      jrpm trace record    capture profiling event streams into a container file
      jrpm trace replay    re-derive analysis results from a capture, no re-run
      jrpm trace info      describe a container without replaying the analysis
+     jrpm explore FILE    sweep a hardware-config grid over a captured trace
      jrpm list            list bundled benchmarks *)
 
 open Cmdliner
@@ -90,6 +91,14 @@ let profile_json_arg =
 let tracer_config banks =
   { Test_core.Tracer.default_config with Test_core.Tracer.banks }
 
+(* the --banks flag is a one-axis override of the hardware point; the
+   full grid lives in `jrpm explore` *)
+let hw_of_banks banks =
+  try Hydra.Config.validate { Hydra.Config.default with comparator_banks = banks }
+  with Invalid_argument msg ->
+    Printf.eprintf "jrpm: %s\n" msg;
+    exit 2
+
 (* a worker count must be a positive integer: `--jobs 0` is a user
    error, not a request for the default *)
 let positive_int =
@@ -135,9 +144,8 @@ let run_observed ~profile ~profile_json ~banks ~sync ~name src =
     | Some rc -> Obs.Recorder.sink rc
     | None -> Obs.Sink.null
   in
-  let r =
-    Jrpm.Pipeline.run ~tracer_config:(tracer_config banks) ~sync ~obs ~name src
-  in
+  let hw = hw_of_banks banks in
+  let r = Jrpm.Pipeline.run ~hw ~sync ~obs ~name src in
   (match recorder with
   | None -> ()
   | Some rc ->
@@ -148,6 +156,14 @@ let run_observed ~profile ~profile_json ~banks ~sync ~name src =
              ~aligns:Util.Text_table.[ Left; Right; Right; Right ]
              ~header:[ "phase"; "spans"; "seconds"; "share" ]
              (Obs.Recorder.phase_rows rc));
+        (* transistor estimate of the machine this run actually modelled
+           (comparator banks and CPU count from the active config, not
+           the compile-time defaults) *)
+        let hc = Hydra.Hardware_cost.estimate ~config:hw () in
+        Printf.eprintf
+          "transistor estimate (%s): %d total, TEST structures %.2f%%\n"
+          (Hydra.Config.label hw) hc.Hydra.Hardware_cost.grand_total
+          (100. *. Hydra.Hardware_cost.test_fraction hc);
         (* tracer cache health: history lost to the finite buffers *)
         let m = Obs.Recorder.metrics rc in
         prerr_string
@@ -241,8 +257,7 @@ let profile_cmd =
   let profile file banks =
     with_frontend_errors (fun () ->
         let tracer, plain_cycles =
-          Jrpm.Pipeline.profile_only ~tracer_config:(tracer_config banks)
-            (read_file file)
+          Jrpm.Pipeline.profile_only ~hw:(hw_of_banks banks) (read_file file)
         in
         let stats = Test_core.Tracer.stats tracer in
         let estimates =
@@ -500,8 +515,27 @@ let sweep_cmd =
              write one trace-store container to $(docv) (replay it with \
              $(b,jrpm trace replay))")
   in
+  let trend_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trend" ] ~docv:"FILE"
+          ~doc:
+            "append one JSON line per baseline diff to $(docv) (created if \
+             absent): time, worst verdict, warn/fail counts, and every \
+             non-passing field's signed drift — makes slow creep inside the \
+             warn band visible across runs; requires $(b,--baseline)")
+  in
+  let trend_label_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trend-label" ] ~docv:"LABEL"
+          ~doc:
+            "tag the $(b,--trend) line with $(docv) (a commit id in CI, say)")
+  in
   let sweep jobs profile profile_json summary_json baseline update_baseline
-      tolerance diff_json trace =
+      tolerance diff_json trace trend trend_label =
     let jobs =
       match jobs with
       | Some n -> n
@@ -513,6 +547,11 @@ let sweep_cmd =
         exit 2
     | None, _, Some _ ->
         Printf.eprintf "jrpm: --diff-json requires --baseline FILE\n";
+        exit 2
+    | _ -> ());
+    (match (baseline, trend) with
+    | None, Some _ ->
+        Printf.eprintf "jrpm: --trend requires --baseline FILE\n";
         exit 2
     | _ -> ());
     let tolerance =
@@ -647,9 +686,23 @@ let sweep_cmd =
         else begin
           let base = Option.get baseline_records in
           let d =
-            Jrpm.Regression.diff ~tolerance ~baseline:base ~current:summaries ()
+            (* a fingerprint mismatch means the baseline describes a
+               different machine — refuse to fail-classify the drift *)
+            try
+              Jrpm.Regression.diff ~tolerance ~baseline:base ~current:summaries
+                ()
+            with Failure msg ->
+              Printf.eprintf "jrpm: %s\n" msg;
+              exit 1
           in
           print_string (Jrpm.Regression.render d);
+          (match trend with
+          | Some path -> (
+              try Jrpm.Regression.append_trend ?label:trend_label ~path d
+              with Failure msg ->
+                Printf.eprintf "jrpm: cannot write trend file: %s\n" msg;
+                exit 1)
+          | None -> ());
           (match diff_json with
           | Some out -> (
               match open_out out with
@@ -677,7 +730,7 @@ let sweep_cmd =
     Term.(
       const sweep $ jobs_arg $ profile_arg $ profile_json_arg $ summary_json_arg
       $ baseline_arg $ update_baseline_arg $ tolerance_arg $ diff_json_arg
-      $ trace_arg)
+      $ trace_arg $ trend_arg $ trend_label_arg)
 
 (* ---------------- trace: capture once, replay many ---------------- *)
 
@@ -899,6 +952,87 @@ let trace_cmd =
           container and replay them (see ARCHITECTURE.md §7 for the format)")
     [ trace_record_cmd; trace_replay_cmd; trace_info_cmd ]
 
+(* ---------------- explore: config-grid sweep over a capture ------- *)
+
+let explore_cmd =
+  let grid_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "grid" ] ~docv:"AXIS=V1,V2,..."
+          ~doc:
+            "add one grid axis (repeatable): a $(b,Hydra.Config) field by \
+             short name (cpus, banks, heap_fifo, cacheline_ts, local_slots, \
+             load_buffer, store_buffer, line_words, startup, shutdown, eoi, \
+             restart, forward) or canonical name, with its comma-separated \
+             values; the sweep evaluates the cartesian product of all axes \
+             applied to the default machine")
+  in
+  let grid_pos_arg =
+    Arg.(
+      value & pos_right 0 string []
+      & info [] ~docv:"AXIS=V1,V2,..."
+          ~doc:"extra grid axes, same syntax as $(b,--grid)")
+  in
+  let matrix_json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "summary-json" ] ~docv:"FILE"
+          ~doc:
+            "write the full machine-readable matrix (per config point: \
+             fingerprint, label, config, per-workload summaries + chosen \
+             STLs; plus the verdict flips) as JSON to $(docv)")
+  in
+  let default_summary_json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "default-summary-json" ] ~docv:"FILE"
+          ~doc:
+            "write the default-config column's summaries as a JSON array to \
+             $(docv) — the $(b,jrpm sweep --summary-json) format, and \
+             byte-identical to it for the same workloads (the \
+             replay-determinism gate)")
+  in
+  let explore file grid grid_pos jobs matrix_json default_summary_json =
+    let grid = grid @ grid_pos in
+    let t =
+      fail_trace_errors (fun () ->
+          try Jrpm.Explore.run ?jobs ~grid ~path:file ()
+          with Invalid_argument msg ->
+            (* an out-of-range grid point (validate) is a usage error *)
+            Printf.eprintf "jrpm: %s\n" msg;
+            exit 2)
+    in
+    print_string (Jrpm.Explore.render t);
+    (match matrix_json with
+    | Some out ->
+        write_text_file ~what:"explore matrix JSON" out
+          (Obs.Json.to_string ~pretty:true (Jrpm.Explore.to_json t))
+    | None -> ());
+    match default_summary_json with
+    | Some out ->
+        let doc =
+          Obs.Json.List
+            (List.map Jrpm.Report_summary.to_json
+               (Jrpm.Explore.default_summaries t))
+        in
+        write_text_file ~what:"default-point summary JSON" out
+          (Obs.Json.to_string ~pretty:true doc)
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "replay a recorded trace container under every point of a hardware \
+          config grid (cartesian product over Hydra.Config axes, one forked \
+          worker task per point) and print the per-(config x workload) \
+          verdict/speedup matrix plus the verdict flips vs the default \
+          machine")
+    Term.(
+      const explore $ trace_file_arg $ grid_arg $ grid_pos_arg $ jobs_arg
+      $ matrix_json_arg $ default_summary_json_arg)
+
 let list_cmd =
   let list () =
     Util.Text_table.print
@@ -960,7 +1094,7 @@ let main =
     (Cmd.info "jrpm" ~version:"1.0.0" ~doc)
     [
       run_cmd; profile_cmd; deps_cmd; dump_cmd; auto_cmd; bench_cmd; sweep_cmd;
-      trace_cmd; list_cmd;
+      trace_cmd; explore_cmd; list_cmd;
     ]
 
 let () = exit (Cmd.eval main)

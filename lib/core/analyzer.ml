@@ -13,7 +13,8 @@ type estimate = {
   est_speedup : float;
 }
 
-let estimate ?(cpus = Hydra.Cost.num_cpus) (s : Stats.t) : estimate =
+let estimate ?(config = Hydra.Config.default) ?cpus (s : Stats.t) : estimate =
+  let cpus = Option.value cpus ~default:config.Hydra.Config.num_cpus in
   let p = Float.of_int cpus in
   let t_size = Stats.avg_thread_size s in
   let f_prev = Float.min 1. (Stats.crit_prev_freq s) in
@@ -42,8 +43,11 @@ let estimate ?(cpus = Hydra.Cost.num_cpus) (s : Stats.t) : estimate =
   let entries = Float.of_int s.Stats.entries in
   let threads = Float.of_int s.Stats.threads in
   let orig = Float.of_int s.Stats.cycles in
-  let eoi = Float.of_int Hydra.Cost.loop_eoi in
-  let startup = Float.of_int (Hydra.Cost.loop_startup + Hydra.Cost.loop_shutdown) in
+  let eoi = Float.of_int config.Hydra.Config.loop_eoi in
+  let startup =
+    Float.of_int
+      (config.Hydra.Config.loop_startup + config.Hydra.Config.loop_shutdown)
+  in
   let par_body = (orig +. (eoi *. threads)) *. (((1. -. f_ovf) /. base) +. f_ovf) in
   let spec_time = (startup *. entries) +. par_body in
   let est_speedup = if spec_time <= 0. then 1. else orig /. spec_time in
@@ -77,11 +81,12 @@ type selection = {
   serial_cycles : int;
 }
 
-let select ?(cpus = Hydra.Cost.num_cpus) ?(obs = Obs.Sink.null) ~stats
+let select ?(config = Hydra.Config.default) ?cpus ?(obs = Obs.Sink.null) ~stats
     ~child_cycles ~program_cycles () =
+  let cpus = Option.value cpus ~default:config.Hydra.Config.num_cpus in
   let est_tbl = Hashtbl.create 32 in
   List.iter
-    (fun (stl, s) -> Hashtbl.replace est_tbl stl (estimate ~cpus s, s))
+    (fun (stl, s) -> Hashtbl.replace est_tbl stl (estimate ~config ~cpus s, s))
     stats;
   (* majority dynamic parent per STL *)
   let parent_votes : (int, (int * int) list) Hashtbl.t = Hashtbl.create 32 in

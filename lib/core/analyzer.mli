@@ -18,8 +18,12 @@ type estimate = {
   est_speedup : float;          (** seq_cycles / spec_time, clamped to [0.x, p] *)
 }
 
-val estimate : ?cpus:int -> Stats.t -> estimate
-(** Equation 1. See DESIGN.md for the reconstruction of the formula: an
+val estimate : ?config:Hydra.Config.t -> ?cpus:int -> Stats.t -> estimate
+(** Equation 1, evaluated against [config] (default
+    {!Hydra.Config.default}): the Table 2 overheads come from the
+    config, and the processor count defaults to [config.num_cpus];
+    [?cpus] overrides it without changing the overheads.
+    See DESIGN.md for the reconstruction of the formula: an
     arc of average length [L] at thread distance [d] bounds the thread
     initiation interval below by [T - L/d]; maximal speedup [p] needs
     [L >= (p-1)/p * T] for the t-1 bin — the paper's "¾ rule".
@@ -41,6 +45,7 @@ type selection = {
 }
 
 val select :
+  ?config:Hydra.Config.t ->
   ?cpus:int ->
   ?obs:Obs.Sink.t ->
   stats:(int * Stats.t) list ->

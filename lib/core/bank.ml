@@ -10,10 +10,13 @@
     the per-STL {!Stats.t}. *)
 
 type t = {
-  stl : int;
-  stats : Stats.t;
-  obs : Obs.Sink.t;
-  entry_time : int;
+  (* identity fields are mutable so an eloop'd bank can be recycled for
+     the next activation ({!reuse}) instead of allocating a record per
+     sloop *)
+  mutable stl : int;
+  mutable stats : Stats.t;
+  mutable obs : Obs.Sink.t;
+  mutable entry_time : int;
   mutable start_t : int;       (** current thread start timestamp *)
   mutable start_tm1 : int;     (** previous thread start timestamp *)
   (* per-current-thread state *)
@@ -55,6 +58,30 @@ let create ?(obs = Obs.Sink.null) ?stats ~stl ~now () =
     max_ld = 0;
     max_st = 0;
   }
+
+(* Re-arm a recycled bank for a new activation: same field-by-field
+   state as {!create}, but writing into an existing record so the
+   sloop/eloop boundary allocates nothing in steady state. *)
+let reuse t ?(obs = Obs.Sink.null) ?stats ~stl ~now () =
+  t.stl <- stl;
+  t.stats <- (match stats with Some s -> s | None -> Stats.create stl);
+  t.obs <- obs;
+  t.entry_time <- now;
+  t.start_t <- now;
+  t.start_tm1 <- now;
+  t.cur_min_prev <- max_int;
+  t.cur_min_earlier <- max_int;
+  t.ld_lines <- 0;
+  t.st_lines <- 0;
+  t.overflowed <- false;
+  t.threads <- 0;
+  t.acc_prev_count <- 0;
+  t.acc_prev_len <- 0;
+  t.acc_earlier_count <- 0;
+  t.acc_earlier_len <- 0;
+  t.acc_overflow <- 0;
+  t.max_ld <- 0;
+  t.max_st <- 0
 
 type arc = To_prev of int | To_earlier of int | No_arc
 

@@ -8,12 +8,13 @@
     into the per-STL {!Stats.t} at [eloop]. *)
 
 type t = {
-  stl : int;
-  stats : Stats.t;
+  mutable stl : int;
+  mutable stats : Stats.t;
       (** the per-STL statistics this bank merges into — cached here so
           the per-arc hot path never does a hashtable lookup *)
-  obs : Obs.Sink.t;  (** observability sink; {!Obs.Sink.null} when off *)
-  entry_time : int;
+  mutable obs : Obs.Sink.t;
+      (** observability sink; {!Obs.Sink.null} when off *)
+  mutable entry_time : int;
   mutable start_t : int;
   mutable start_tm1 : int;
   mutable cur_min_prev : int;
@@ -37,6 +38,13 @@ val create : ?obs:Obs.Sink.t -> ?stats:Stats.t -> stl:int -> now:int -> unit -> 
     the first time each thread's footprint crosses the buffer limits.
     [stats] (default a fresh {!Stats.create}) is the per-STL record the
     bank will merge into — pass the tracer's table entry. *)
+
+val reuse : t -> ?obs:Obs.Sink.t -> ?stats:Stats.t -> stl:int -> now:int -> unit -> unit
+(** Re-arm an already-allocated bank for a new activation — identical
+    post-state to {!create}, but in place, so the tracer can pool bank
+    records through a free-list and keep the sloop/eloop loop boundary
+    allocation-free. The identity fields ([stl], [stats], [obs],
+    [entry_time]) are mutable solely for this. *)
 
 type arc = To_prev of int | To_earlier of int | No_arc
 

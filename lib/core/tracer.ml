@@ -25,6 +25,21 @@ let default_config =
     release_overflowing = Some (4, 0.9);
   }
 
+let config_of ?(base = default_config) (hw : Hydra.Config.t) =
+  {
+    base with
+    banks = hw.Hydra.Config.comparator_banks;
+    heap_fifo_lines = hw.Hydra.Config.heap_ts_fifo_lines;
+    (* the load-dedup table models the load buffer's tag array, the
+       store-dedup table the cache-line timestamp slots *)
+    ld_dedup_entries = hw.Hydra.Config.load_buffer_lines;
+    st_dedup_entries = hw.Hydra.Config.cacheline_ts_lines;
+    local_slots = hw.Hydra.Config.local_ts_slots;
+    ld_limit = hw.Hydra.Config.load_buffer_lines;
+    st_limit = hw.Hydra.Config.store_buffer_lines;
+    line_words = hw.Hydra.Config.line_words;
+  }
+
 (* The per-event hot path (heap/local load/store, eoi) is written to be
    allocation-free in steady state — see ARCHITECTURE.md "Tracer hot
    path". The activation stack and the active-bank set are flat arrays
@@ -52,6 +67,11 @@ type t = {
   mutable abanks : Bank.t array;
   mutable n_abanks : int;
   dummy_bank : Bank.t; (* filler for unoccupied [abanks] slots *)
+  (* bank free-list: [config.banks] preallocated records recycled
+     through {!Bank.reuse}, so sloop/eloop never allocates a bank.
+     Invariant: bank_free_sp = config.banks - banks_in_use *)
+  bank_pool : Bank.t array;
+  mutable bank_free_sp : int;
   (* heap store-timestamp history: line -> index of a pooled row of
      [line_words] per-word timestamps; rows are recycled through a
      free-list so eviction never reallocates *)
@@ -69,7 +89,9 @@ type t = {
   mutable st_conflicts : int;
   local_ts : Util.Timestamp_cache.t;
   stats_tbl : (int, Stats.t) Hashtbl.t;
-  child_tbl : (int * int, int) Hashtbl.t;
+  (* (parent, child) packed into one int key — see [child_key] — so the
+     per-eloop accumulation allocates neither a tuple key nor an option *)
+  child_tbl : (int, int) Hashtbl.t;
   mutable max_depth : int;
   mutable untraced : int;
   mutable events_seen : int; (* sink callbacks consumed, incl. ignored ones *)
@@ -91,6 +113,8 @@ let create ?(config = default_config) ?(obs = Obs.Sink.null) () =
     abanks = Array.make 16 (Bank.create ~stl:(-1) ~now:0 ());
     n_abanks = 0;
     dummy_bank = Bank.create ~stl:(-1) ~now:0 ();
+    bank_pool = Array.init config.banks (fun _ -> Bank.create ~stl:(-1) ~now:0 ());
+    bank_free_sp = config.banks;
     heap_ts = Util.Timestamp_cache.create ~capacity:config.heap_fifo_lines;
     heap_pool = Array.make (config.heap_fifo_lines * config.line_words) (-1);
     heap_free;
@@ -173,7 +197,12 @@ let on_sloop t ~stl ~nlocals ~frame:_ ~now =
         Obs.Sink.emit t.obs (Obs.Event.Bank_alloc { stl; now });
       if t.n_abanks = Array.length t.abanks then
         t.abanks <- grow t.abanks t.dummy_bank;
-      t.abanks.(t.n_abanks) <- Bank.create ~obs:t.obs ~stats:s ~stl ~now ();
+      (* banks_in_use < config.banks (checked above) so the free-list is
+         never empty here *)
+      t.bank_free_sp <- t.bank_free_sp - 1;
+      let b = t.bank_pool.(t.bank_free_sp) in
+      Bank.reuse b ~obs:t.obs ~stats:s ~stl ~now ();
+      t.abanks.(t.n_abanks) <- b;
       t.n_abanks <- t.n_abanks + 1;
       t.n_abanks - 1
     end
@@ -216,6 +245,19 @@ let on_eoi t ~stl ~now =
     s.Stats.threads <- s.Stats.threads + 1
   end
 
+(* (parent, child) STL pair packed into one int. Parent -1 (top level)
+   shifts to 0; ids at or beyond the bound are rejected rather than
+   silently aliased (same policy as [local_slot_bound] below). *)
+let stl_id_bound = 1 lsl 20
+
+let child_key ~parent ~child =
+  if child < 0 || child >= stl_id_bound || parent < -1 || parent >= stl_id_bound
+  then
+    invalid_arg
+      (Printf.sprintf "Tracer: STL pair (%d, %d) outside [-1, %d)" parent child
+         stl_id_bound);
+  ((parent + 1) * stl_id_bound) + child
+
 let rec on_eloop t ~stl ~now =
   if t.depth > 0 then begin
     (* unbalanced stacks are handled defensively: keep popping until we
@@ -227,13 +269,23 @@ let rec on_eloop t ~stl ~now =
     let s = get_stats t a_stl in
     let dur = now - t.act_entry.(d) in
     s.Stats.cycles <- s.Stats.cycles + dur;
-    let key = (t.act_parent.(d), a_stl) in
-    Hashtbl.replace t.child_tbl key
-      (dur + Option.value ~default:0 (Hashtbl.find_opt t.child_tbl key));
+    let key = child_key ~parent:t.act_parent.(d) ~child:a_stl in
+    (* find + Not_found, and replace of an existing int binding mutates
+       the bucket in place: no option, tuple, or box per eloop *)
+    let prev =
+      match Hashtbl.find t.child_tbl key with
+      | v -> v
+      | exception Not_found -> 0
+    in
+    Hashtbl.replace t.child_tbl key (dur + prev);
     let bi = t.act_bank.(d) in
     if bi >= 0 then begin
-      Bank.merge_into t.abanks.(bi) s ~now;
+      let b = t.abanks.(bi) in
+      Bank.merge_into b s ~now;
       t.abanks.(bi) <- t.dummy_bank;
+      (* return the bank record to the free-list for the next sloop *)
+      t.bank_pool.(t.bank_free_sp) <- b;
+      t.bank_free_sp <- t.bank_free_sp + 1;
       t.n_abanks <- bi;
       t.banks_in_use <- t.banks_in_use - 1;
       t.local_reserved <- t.local_reserved - t.act_nlocals.(d)
@@ -431,7 +483,9 @@ let stats t =
 let find_stats t stl = Hashtbl.find_opt t.stats_tbl stl
 
 let child_cycles t =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.child_tbl []
+  Hashtbl.fold
+    (fun k v acc -> (((k / stl_id_bound) - 1, k mod stl_id_bound), v) :: acc)
+    t.child_tbl []
   |> List.sort compare
 
 let max_dynamic_depth t = t.max_depth

@@ -44,6 +44,14 @@ val default_config : config
     and bank release for STLs that overflow on ≥90% of threads after 4
     entries. *)
 
+val config_of : ?base:config -> Hydra.Config.t -> config
+(** Derive a tracer config from a hardware model: geometry fields
+    (banks, FIFO lines, dedup entries, local slots, line limits, line
+    words) come from the {!Hydra.Config.t}; policy fields
+    ([max_entries_per_stl], [release_overflowing]) are kept from [base]
+    (default {!default_config}). [config_of Hydra.Config.default]
+    equals {!default_config}. *)
+
 type t
 
 val create : ?config:config -> ?obs:Obs.Sink.t -> unit -> t

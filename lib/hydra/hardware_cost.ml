@@ -33,8 +33,32 @@ let comparator_bank_transistors () =
 
 let cpu_core_transistors = 2_500_000
 
-let estimate ?(cpus = 4) ?(l1_kb = 16) ?(l2_mb = 2) ?(write_buffers = 5)
-    ?(comparator_banks = 8) () =
+(* An explicit override that contradicts the machine config would make
+   the transistor table silently describe a different machine than the
+   analysis ran on — refuse instead. *)
+let resolve ~config ~field ~override ~from_config =
+  match override with
+  | None -> from_config
+  | Some v when v = from_config -> v
+  | Some v ->
+      invalid_arg
+        (Printf.sprintf
+           "Hydra.Hardware_cost.estimate: ~%s:%d disagrees with the hardware \
+            config (%s: %s=%d)"
+           field v
+           (Config.label config)
+           field from_config)
+
+let estimate ?(config = Config.default) ?cpus ?(l1_kb = 16) ?(l2_mb = 2)
+    ?(write_buffers = 5) ?comparator_banks () =
+  let cpus =
+    resolve ~config ~field:"cpus" ~override:cpus
+      ~from_config:config.Config.num_cpus
+  in
+  let comparator_banks =
+    resolve ~config ~field:"comparator_banks" ~override:comparator_banks
+      ~from_config:config.Config.comparator_banks
+  in
   let mk structure count each = { structure; count; each; total = count * each } in
   let rows =
     [

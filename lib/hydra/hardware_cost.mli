@@ -10,6 +10,7 @@ type row = { structure : string; count : int; each : int; total : int }
 type t = { rows : row list; grand_total : int }
 
 val estimate :
+  ?config:Config.t ->
   ?cpus:int ->
   ?l1_kb:int ->
   ?l2_mb:int ->
@@ -17,8 +18,13 @@ val estimate :
   ?comparator_banks:int ->
   unit ->
   t
-(** Defaults mirror Hydra: 4 CPUs, 16 kB I + 16 kB D L1, 2 MB L2, 5 write
-    buffers, 8 comparator banks. *)
+(** [cpus] and [comparator_banks] default to the corresponding [config]
+    fields (default {!Config.default}, i.e. Hydra: 4 CPUs, 8 comparator
+    banks); cache geometry defaults mirror Hydra: 16 kB I + 16 kB D L1,
+    2 MB L2, 5 write buffers.
+    @raise Invalid_argument if an explicit [cpus]/[comparator_banks]
+    disagrees with [config] — the table must describe the same machine
+    the analysis ran on. *)
 
 val test_fraction : t -> float
 (** Fraction of the total transistor count contributed by the TEST

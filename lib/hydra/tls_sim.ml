@@ -53,8 +53,8 @@ type mstats = {
   mutable m_sync_stalls : int;
 }
 
-let run ?(fuel = 2_000_000_000) ?(sync = false) ?(obs = Obs.Sink.null)
-    (p : Native.program) : result =
+let run ?(config = Config.default) ?(fuel = 2_000_000_000) ?(sync = false)
+    ?(obs = Obs.Sink.null) (p : Native.program) : result =
   (* With [sync], the speculation hardware learns the PCs of loads whose
      speculatively-read data was later overwritten (violations) and, on
      subsequent executions, delays those loads until the producing store
@@ -92,14 +92,14 @@ let run ?(fuel = 2_000_000_000) ?(sync = false) ?(obs = Obs.Sink.null)
       uid = !frame_uid;
     }
   in
-  let line_of addr = addr / Cost.line_words in
+  let line_of addr = addr / config.Config.line_words in
 
   (* ---------------- speculative loop execution ---------------- *)
   let run_speculative (plan : Native.stl_plan) (master : Machine.frame) :
       Machine.frame * int (* resume pc *) =
     ms.m_loops <- ms.m_loops + 1;
     let spec_start = !cycles in
-    cycles := !cycles + Cost.loop_startup;
+    cycles := !cycles + config.Config.loop_startup;
     let snapshot = Array.copy master.Machine.slots in
     (* master-side reduction accumulators start from the pre-loop values *)
     let red_acc =
@@ -140,7 +140,7 @@ let run ?(fuel = 2_000_000_000) ?(sync = false) ?(obs = Obs.Sink.null)
         stalled_once = false;
       }
     in
-    let cpus : thread option array = Array.make Cost.num_cpus None in
+    let cpus : thread option array = Array.make config.Config.num_cpus None in
     let next_iter = ref 0 in
     let head_rank = ref 0 in
     let exit_pending = ref None in
@@ -167,7 +167,7 @@ let run ?(fuel = 2_000_000_000) ?(sync = false) ?(obs = Obs.Sink.null)
       t.status <- Running;
       t.stalled_once <- false;
       t.ready_at <-
-        at + Cost.violation_restart + List.length plan.Native.invariants
+        at + config.Config.violation_restart + List.length plan.Native.invariants
     in
     (* violate all threads with rank >= r *)
     let violate_from r ~at =
@@ -203,7 +203,7 @@ let run ?(fuel = 2_000_000_000) ?(sync = false) ?(obs = Obs.Sink.null)
                   match Hashtbl.find_opt th.write_buf addr with
                   | Some v ->
                       ms.m_forwards <- ms.m_forwards + 1;
-                      (v, Cost.store_load_communication)
+                      (v, config.Config.store_load_communication)
                   | None -> search (r - 1))
               | None -> search (r - 1)
           in
@@ -274,8 +274,8 @@ let run ?(fuel = 2_000_000_000) ?(sync = false) ?(obs = Obs.Sink.null)
     let check_overflow (t : thread) =
       if t.rank <> !head_rank then
         if
-          Hashtbl.length t.read_lines > Cost.load_buffer_lines
-          || Hashtbl.length t.write_lines > Cost.store_buffer_lines
+          Hashtbl.length t.read_lines > config.Config.load_buffer_lines
+          || Hashtbl.length t.write_lines > config.Config.store_buffer_lines
         then begin
           t.status <- Stalled;
           if not t.stalled_once then begin
@@ -422,7 +422,7 @@ let run ?(fuel = 2_000_000_000) ?(sync = false) ?(obs = Obs.Sink.null)
         Array.iteri
           (fun i th ->
             if th = None then begin
-              cpus.(i) <- Some (spawn !next_iter (!now + Cost.loop_eoi));
+              cpus.(i) <- Some (spawn !next_iter (!now + config.Config.loop_eoi));
               incr next_iter
             end)
           cpus;
@@ -495,7 +495,7 @@ let run ?(fuel = 2_000_000_000) ?(sync = false) ?(obs = Obs.Sink.null)
       end
     done;
     let base_frame, resume = Option.get !result in
-    cycles := !now + Cost.loop_shutdown;
+    cycles := !now + config.Config.loop_shutdown;
     ms.m_spec_cycles <- ms.m_spec_cycles + (!cycles - spec_start);
     (* rebuild a frame whose regs/slots master will keep using *)
     let mf =

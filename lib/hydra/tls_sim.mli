@@ -3,7 +3,7 @@
 
     Sequential code runs on one CPU. At a [Tls_enter] marker whose STL
     has a plan, the loop is executed as speculative threads — one loop
-    iteration per thread, up to {!Cost.num_cpus} in flight:
+    iteration per thread, up to [config.num_cpus] in flight:
 
     - each thread runs against a private speculative write buffer; loads
       search the own buffer, then less-speculative threads' buffers (with
@@ -39,8 +39,17 @@ type result = {
 
 exception Out_of_fuel of int
 
-val run : ?fuel:int -> ?sync:bool -> ?obs:Obs.Sink.t -> Native.program -> result
-(** @param fuel maximum dynamic instructions across all CPUs
+val run :
+  ?config:Config.t ->
+  ?fuel:int ->
+  ?sync:bool ->
+  ?obs:Obs.Sink.t ->
+  Native.program ->
+  result
+(** @param config hardware point to simulate (default
+    {!Config.default}): CPU count, Table-1 buffer limits, and Table-2
+    overheads all come from it.
+    @param fuel maximum dynamic instructions across all CPUs
     (default 2 billion).
     @param obs observability sink (default {!Obs.Sink.null}): receives
     per-thread commit / violation / overflow-stall / sync-stall events.

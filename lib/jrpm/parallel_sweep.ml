@@ -168,6 +168,80 @@ let parallel ~observe ~capture ~jobs workloads =
        | Some o -> o
        | None -> failwith "Jrpm.Parallel_sweep: missing worker result")
 
+(* Generic forked map with the same worker discipline as [parallel]:
+   round-robin shards, one marshalled payload per worker, pipes drained
+   before reaping, results reassembled in input order. Results cross
+   the pipe with [Marshal.Closures] — workers are forks of this
+   executable. Used by the explore grid (one task per config point). *)
+let map_forked ?jobs f items =
+  let jobs =
+    match jobs with Some n -> max 1 n | None -> default_jobs ()
+  in
+  let n = List.length items in
+  let indexed = List.mapi (fun i x -> (i, x)) items in
+  if jobs <= 1 || (not fork_available) || n <= 1 then
+    List.map (fun (i, x) -> f i x) indexed
+  else begin
+    let jobs = min jobs n in
+    let shard k = List.filter (fun (i, _) -> i mod jobs = k) indexed in
+    let shards = List.init jobs shard |> List.filter (fun s -> s <> []) in
+    let children =
+      List.fold_left
+        (fun acc shard ->
+          let rfd, wfd = Unix.pipe ~cloexec:false () in
+          match Unix.fork () with
+          | 0 ->
+              Unix.close rfd;
+              List.iter (fun (_, fd) -> Unix.close fd) acc;
+              let payload =
+                try Ok (List.map (fun (i, x) -> (i, f i x)) shard)
+                with e -> Error (Printexc.to_string e)
+              in
+              let oc = Unix.out_channel_of_descr wfd in
+              Marshal.to_channel oc payload [ Marshal.Closures ];
+              flush oc;
+              Unix._exit (match payload with Ok _ -> 0 | Error _ -> 1)
+          | pid ->
+              Unix.close wfd;
+              (pid, rfd) :: acc)
+        [] shards
+      |> List.rev
+    in
+    let results = Array.make n None in
+    let failures = ref [] in
+    List.iter
+      (fun (pid, rfd) ->
+        let ic = Unix.in_channel_of_descr rfd in
+        let payload =
+          try (Marshal.from_channel ic : ((int * _) list, string) result)
+          with End_of_file | Failure _ ->
+            Error "worker exited without delivering its results"
+        in
+        close_in ic;
+        (match Unix.waitpid [] pid with
+        | _, Unix.WEXITED (0 | 1) -> ()
+        | _, Unix.WEXITED code ->
+            failures :=
+              Printf.sprintf "worker exited with code %d" code :: !failures
+        | _, Unix.WSIGNALED sg ->
+            failures :=
+              Printf.sprintf "worker killed by signal %d" sg :: !failures
+        | _, Unix.WSTOPPED _ -> failures := "worker stopped" :: !failures);
+        match payload with
+        | Error msg -> failures := msg :: !failures
+        | Ok pairs ->
+            List.iter (fun (i, r) -> results.(i) <- Some r) pairs)
+      children;
+    (match !failures with
+    | [] -> ()
+    | msgs ->
+        failwith ("Jrpm.Parallel_sweep: " ^ String.concat "; " (List.rev msgs)));
+    Array.to_list results
+    |> List.map (function
+         | Some r -> r
+         | None -> failwith "Jrpm.Parallel_sweep: missing worker result")
+  end
+
 let run ?jobs ?(observe = false) ?(capture = false)
     ?(workloads = Workloads.Registry.all) () =
   let jobs =

@@ -63,6 +63,16 @@ val run :
     unavailable (Windows), or for a single workload.
     @raise Failure when a worker fails. *)
 
+val map_forked : ?jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
+(** Generic forked map with the sweep's worker discipline: items are
+    sharded round-robin over [jobs] workers (default {!default_jobs}),
+    [f index item] runs in the worker, results cross the pipe via
+    [Marshal] with closures (workers are forks of this executable) and
+    come back in input order regardless of scheduling. Runs in-process
+    when [jobs <= 1], when forking is unavailable, or for a single
+    item. [Jrpm.Explore] maps one task per hardware config point.
+    @raise Failure when a worker fails. *)
+
 val container : outcome list -> string option
 (** Assemble the outcomes' captured records (in list order) into one
     trace-store container ({!Trace_store.Writer.container}); [None]

@@ -8,6 +8,7 @@ type anno_run = {
 
 type report = {
   name : string;
+  hw : Hydra.Config.t;
   plain_cycles : int;
   plain_output : Ir.Value.t list;
   base : anno_run;
@@ -76,8 +77,13 @@ let annotated_run ?tracer_config ?fuel ?(obs = Obs.Sink.null)
   in
   (run, tracer, prog)
 
-let profile_only ?tracer_config ?fuel ?(obs = Obs.Sink.null) ?(optimize = true)
-    ?capture src =
+let profile_only ?(hw = Hydra.Config.default) ?tracer_config ?fuel
+    ?(obs = Obs.Sink.null) ?(optimize = true) ?capture src =
+  let tracer_config =
+    match tracer_config with
+    | Some c -> Some c
+    | None -> Some (Test_core.Tracer.config_of hw)
+  in
   let tac, table =
     Obs.Sink.phase obs phase_frontend (fun () ->
         let tac = Ir.Lower.compile src in
@@ -103,8 +109,15 @@ let profile_only ?tracer_config ?fuel ?(obs = Obs.Sink.null) ?(optimize = true)
   in
   (tracer, pr.Hydra.Seq_interp.cycles)
 
-let run ?tracer_config ?cpus ?fuel ?sync ?(obs = Obs.Sink.null)
-    ?(optimize = true) ?capture ~name src : report =
+let run ?(hw = Hydra.Config.default) ?tracer_config ?cpus ?fuel ?sync
+    ?(obs = Obs.Sink.null) ?(optimize = true) ?capture ~name src : report =
+  (* an explicit tracer_config wins (tests exercise odd geometries);
+     otherwise the tracer models the same machine the analysis targets *)
+  let tracer_config =
+    match tracer_config with
+    | Some c -> Some c
+    | None -> Some (Test_core.Tracer.config_of hw)
+  in
   let tac, table =
     Obs.Sink.phase obs phase_frontend (fun () ->
         let tac = Ir.Lower.compile src in
@@ -150,14 +163,15 @@ let run ?tracer_config ?cpus ?fuel ?sync ?(obs = Obs.Sink.null)
         let stats = Test_core.Tracer.stats tracer in
         let estimates =
           List.map
-            (fun (stl, s) -> (stl, Test_core.Analyzer.estimate ?cpus s))
+            (fun (stl, s) ->
+              (stl, Test_core.Analyzer.estimate ~config:hw ?cpus s))
             stats
         in
         (* All the analyzer's cycle counts come from the annotated run, so
            the whole-program denominator must too (annotation overhead
            cancels). *)
         let selection =
-          Test_core.Analyzer.select ?cpus ~obs ~stats
+          Test_core.Analyzer.select ~config:hw ?cpus ~obs ~stats
             ~child_cycles:(Test_core.Tracer.child_cycles tracer)
             ~program_cycles:opt.cycles ()
         in
@@ -176,10 +190,11 @@ let run ?tracer_config ?cpus ?fuel ?sync ?(obs = Obs.Sink.null)
   in
   let tr =
     Obs.Sink.phase obs phase_tls (fun () ->
-        Hydra.Tls_sim.run ?fuel ?sync ~obs tls_prog)
+        Hydra.Tls_sim.run ~config:hw ?fuel ?sync ~obs tls_prog)
   in
   {
     name;
+    hw;
     plain_cycles;
     plain_output = pr.Hydra.Seq_interp.output;
     base;

@@ -23,6 +23,7 @@ type anno_run = {
 
 type report = {
   name : string;
+  hw : Hydra.Config.t;            (** hardware point this report describes *)
   plain_cycles : int;
   plain_output : Ir.Value.t list;
   base : anno_run;                (** base annotations *)
@@ -49,6 +50,7 @@ type report = {
 }
 
 val run :
+  ?hw:Hydra.Config.t ->
   ?tracer_config:Test_core.Tracer.config ->
   ?cpus:int ->
   ?fuel:int ->
@@ -59,7 +61,12 @@ val run :
   name:string ->
   string ->
   report
-(** [run ~name source] executes the whole cycle. [sync] (default false)
+(** [run ~name source] executes the whole cycle against hardware point
+    [hw] (default {!Hydra.Config.default}): the tracer geometry is
+    derived from it via {!Test_core.Tracer.config_of} (an explicit
+    [tracer_config] overrides the derivation), the analyzer evaluates
+    Eq. 1/Eq. 2 with its overheads and CPU count, and the TLS simulator
+    models its machine. [sync] (default false)
     enables the TLS hardware's learned synchronization (see
     {!Hydra.Tls_sim.run}); [optimize] (default true) runs the microJIT's
     {!Compiler.Opt} scalar passes before analysis and code generation.
@@ -79,6 +86,7 @@ val run :
     @raise the usual front-end exceptions on bad source. *)
 
 val profile_only :
+  ?hw:Hydra.Config.t ->
   ?tracer_config:Test_core.Tracer.config ->
   ?fuel:int ->
   ?obs:Obs.Sink.t ->

@@ -132,6 +132,26 @@ let summary_diffs ~tol (b : Report_summary.t) (c : Report_summary.t) =
 let diff ?(tolerance = default_tolerance) ~baseline ~current () =
   let name (s : Report_summary.t) = s.Report_summary.name in
   let find l n = List.find_opt (fun s -> name s = n) l in
+  (* Summaries produced under different hardware configs are expected
+     to differ everywhere; fail-classifying every field would report
+     spurious "drift". Refuse the comparison up front instead. *)
+  List.iter
+    (fun b ->
+      match find current (name b) with
+      | Some c
+        when b.Report_summary.config_fingerprint
+             <> c.Report_summary.config_fingerprint ->
+          failwith
+            (Printf.sprintf
+               "Jrpm.Regression.diff: hardware config mismatch on workload %s \
+                (baseline fingerprint %s, current %s) — the baseline was \
+                produced under a different hardware config; regenerate it or \
+                compare against a baseline keyed to this config"
+               (name b)
+               b.Report_summary.config_fingerprint
+               c.Report_summary.config_fingerprint)
+      | _ -> ())
+    baseline;
   let matched_and_removed =
     List.map
       (fun b ->
@@ -299,3 +319,66 @@ let save_baseline path summaries =
           output_char oc '\n')
   | exception Sys_error msg ->
       failwith (Printf.sprintf "cannot write baseline %s: %s" path msg)
+
+(* ---------------- warn-drift trend file ---------------- *)
+
+let count_verdict t v =
+  List.fold_left
+    (fun acc (_, w) ->
+      match w with
+      | Added | Removed -> if v = Fail then acc + 1 else acc
+      | Matched fields ->
+          acc + List.length (List.filter (fun f -> f.field_verdict = v) fields))
+    0 t.workloads
+
+let trend_entry ?label t =
+  let drift =
+    List.concat_map
+      (fun (name, w) ->
+        match w with
+        | Added | Removed -> []
+        | Matched fields ->
+            List.filter_map
+              (fun f ->
+                if f.field_verdict = Pass then None
+                else
+                  Some
+                    (Obs.Json.Obj
+                       ([
+                          ("workload", Obs.Json.String name);
+                          ("field", Obs.Json.String f.field);
+                        ]
+                       @ (match f.delta_pct with
+                         | Some d -> [ ("delta_pct", Obs.Json.Float d) ]
+                         | None -> [])
+                       @ [
+                           ( "verdict",
+                             Obs.Json.String (string_of_verdict f.field_verdict)
+                           );
+                         ])))
+              fields)
+      t.workloads
+  in
+  Obs.Json.Obj
+    ([ ("schema_version", Obs.Json.Int 1) ]
+    @ (match label with
+      | Some l -> [ ("label", Obs.Json.String l) ]
+      | None -> [])
+    @ [
+        ("time", Obs.Json.Int (int_of_float (Unix.time ())));
+        ("worst", Obs.Json.String (string_of_verdict t.worst));
+        ("warns", Obs.Json.Int (count_verdict t Warn));
+        ("fails", Obs.Json.Int (count_verdict t Fail));
+        ("drift", Obs.Json.List drift);
+      ])
+
+let append_trend ?label ~path t =
+  match open_out_gen [ Open_append; Open_creat ] 0o644 path with
+  | oc ->
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (Obs.Json.to_string (trend_entry ?label t));
+          output_char oc '\n')
+  | exception Sys_error msg ->
+      failwith (Printf.sprintf "cannot write trend file %s: %s" path msg)

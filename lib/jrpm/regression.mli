@@ -70,6 +70,11 @@ val diff :
   current:Report_summary.t list ->
   unit ->
   t
+(** @raise Failure (with both fingerprints in the message) when a
+    matched pair of summaries carries different
+    [config_fingerprint]s — a baseline produced under one hardware
+    config must never be fail-classified against numbers from
+    another; regenerate the baseline or key it by config instead. *)
 
 val failed : t -> bool
 (** [worst = Fail] — the CLI's exit-status predicate. *)
@@ -98,4 +103,12 @@ val save_baseline : string -> Report_summary.t list -> unit
 (** Write summaries as a pretty-printed JSON array — the
     [--update-baseline] writer; byte-identical to
     [sweep --summary-json] output for the same records.
+    @raise Failure when the file cannot be written. *)
+
+val append_trend : ?label:string -> path:string -> t -> unit
+(** Append one JSON line to a drift trend file (created if absent):
+    epoch time, optional [label] (a commit id in CI), worst verdict,
+    warn/fail counts, and one entry per non-[Pass] field with its
+    signed delta. Slow creep inside the warn band becomes visible by
+    diffing successive lines ([jrpm sweep --trend FILE]).
     @raise Failure when the file cannot be written. *)

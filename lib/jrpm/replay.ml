@@ -2,6 +2,7 @@ type outcome = {
   name : string;
   recorded : Report_summary.t;
   replayed : Report_summary.t;
+  chosen_stls : int list;
   matches : bool;
   events : int;
   record_bytes : int;
@@ -69,11 +70,12 @@ let meta_of_report ?tracer_config ?cpus ~writer (r : Pipeline.report) =
   let config =
     match tracer_config with
     | Some c -> c
-    | None -> Test_core.Tracer.default_config
+    | None -> Test_core.Tracer.config_of r.Pipeline.hw
   in
   Obs.Json.Obj
     [
       ("summary", Report_summary.to_json (Report_summary.of_report r));
+      ("hw_config", Hydra.Config.to_json r.Pipeline.hw);
       ("tracer_config", config_to_json config);
       ("cpus", match cpus with None -> Obs.Json.Null | Some n -> Obs.Json.Int n);
       ("events", Obs.Json.Int (Trace_store.Writer.events writer));
@@ -81,18 +83,18 @@ let meta_of_report ?tracer_config ?cpus ~writer (r : Pipeline.report) =
         Obs.Json.Int (Trace_store.Writer.reference_bytes writer) );
     ]
 
-let capture_run ?tracer_config ?cpus ?fuel ?sync ?obs ~name src =
+let capture_run ?hw ?tracer_config ?cpus ?fuel ?sync ?obs ~name src =
   let writer = Trace_store.Writer.create () in
   let report =
-    Pipeline.run ?tracer_config ?cpus ?fuel ?sync ?obs ~capture:writer ~name
-      src
+    Pipeline.run ?hw ?tracer_config ?cpus ?fuel ?sync ?obs ~capture:writer
+      ~name src
   in
   let meta = meta_of_report ?tracer_config ?cpus ~writer report in
   (report, Trace_store.Writer.finish ~name ~meta writer)
 
 (* ---------------- replay side ---------------- *)
 
-let replay_current reader (record : Trace_store.Reader.record) =
+let replay_current ?hw reader (record : Trace_store.Reader.record) =
   let meta = record.Trace_store.Reader.meta in
   let member key =
     match Obs.Json.member key meta with
@@ -100,7 +102,21 @@ let replay_current reader (record : Trace_store.Reader.record) =
     | None -> fail ("record metadata is missing field " ^ key)
   in
   let recorded = Report_summary.of_json (member "summary") in
-  let config = config_of_json (member "tracer_config") in
+  let recorded_config = config_of_json (member "tracer_config") in
+  (* records written before the hardware model became a value carry no
+     hw_config; they described the default machine *)
+  let recorded_hw =
+    match Obs.Json.member "hw_config" meta with
+    | Some j -> Hydra.Config.of_json j
+    | None -> Hydra.Config.default
+  in
+  let hw = Option.value hw ~default:recorded_hw in
+  (* an exploration override re-derives the tracer geometry from the
+     target machine, keeping the recorded policy fields *)
+  let config =
+    if Hydra.Config.equal hw recorded_hw then recorded_config
+    else Test_core.Tracer.config_of ~base:recorded_config hw
+  in
   let cpus =
     match member "cpus" with
     | Obs.Json.Null -> None
@@ -125,7 +141,7 @@ let replay_current reader (record : Trace_store.Reader.record) =
   (* the analysis-owned fields are recomputed from the replayed stream;
      everything else the trace carries verbatim in its metadata *)
   let selection =
-    Test_core.Analyzer.select ?cpus
+    Test_core.Analyzer.select ~config:hw ?cpus
       ~stats:(Test_core.Tracer.stats tracer)
       ~child_cycles:(Test_core.Tracer.child_cycles tracer)
       ~program_cycles:recorded.Report_summary.opt.Report_summary.cycles ()
@@ -133,8 +149,8 @@ let replay_current reader (record : Trace_store.Reader.record) =
   let replayed =
     {
       recorded with
-      Report_summary.predicted_speedup =
-        selection.Test_core.Analyzer.predicted_speedup;
+      Report_summary.config_fingerprint = Hydra.Config.fingerprint hw;
+      predicted_speedup = selection.Test_core.Analyzer.predicted_speedup;
       selected_stls = List.length selection.Test_core.Analyzer.chosen;
       max_dynamic_depth = Test_core.Tracer.max_dynamic_depth tracer;
     }
@@ -144,6 +160,12 @@ let replay_current reader (record : Trace_store.Reader.record) =
     name = record.Trace_store.Reader.name;
     recorded;
     replayed;
+    chosen_stls =
+      List.sort compare
+        (List.map
+           (fun (c : Test_core.Analyzer.choice) ->
+             c.Test_core.Analyzer.chosen_stl)
+           selection.Test_core.Analyzer.chosen);
     matches = String.equal (json replayed) (json recorded);
     events = stats.Trace_store.Reader.events;
     record_bytes = stats.Trace_store.Reader.record_bytes;
@@ -151,18 +173,18 @@ let replay_current reader (record : Trace_store.Reader.record) =
     elapsed_s;
   }
 
-let replay_all reader =
+let replay_all ?hw reader =
   let rec go acc =
     match Trace_store.Reader.next_record reader with
     | None -> List.rev acc
-    | Some record -> go (replay_current reader record :: acc)
+    | Some record -> go (replay_current ?hw reader record :: acc)
   in
   let outcomes = go [] in
   Trace_store.Reader.close reader;
   outcomes
 
-let replay_file path = replay_all (Trace_store.Reader.open_file path)
-let replay_string s = replay_all (Trace_store.Reader.of_string s)
+let replay_file ?hw path = replay_all ?hw (Trace_store.Reader.open_file path)
+let replay_string ?hw s = replay_all ?hw (Trace_store.Reader.of_string s)
 
 let record_metrics reg outcomes =
   let sum f = List.fold_left (fun acc o -> acc + f o) 0 outcomes in

@@ -14,8 +14,11 @@
     interpreter: that equality is the replay-determinism gate CI
     enforces.
 
-    Metadata schema (JSON object, all fields required):
+    Metadata schema (JSON object, all fields required unless noted):
     - ["summary"]: {!Report_summary.to_json} of the interpreted run;
+    - ["hw_config"]: {!Hydra.Config.to_json} of the hardware point the
+      capture ran under (optional — records written before the hardware
+      model became a value reload as {!Hydra.Config.default});
     - ["tracer_config"]: the effective tracer hardware configuration
       (fields named after {!Test_core.Tracer.config}; the option fields
       encode as [null] or their payload);
@@ -29,6 +32,10 @@ type outcome = {
   name : string;                  (** record name (workload name) *)
   recorded : Report_summary.t;    (** summary stored at capture time *)
   replayed : Report_summary.t;    (** summary recomputed from the stream *)
+  chosen_stls : int list;
+      (** the Eq.-2-chosen STL ids of the replayed analysis, sorted —
+          what [jrpm explore] compares across configs to find verdict
+          flips *)
   matches : bool;                 (** JSON of [replayed] = JSON of [recorded] *)
   events : int;                   (** events delivered to the tracer *)
   record_bytes : int;             (** encoded record size on disk *)
@@ -48,6 +55,7 @@ val meta_of_report :
     calling {!Trace_store.Writer.finish}. *)
 
 val capture_run :
+  ?hw:Hydra.Config.t ->
   ?tracer_config:Test_core.Tracer.config ->
   ?cpus:int ->
   ?fuel:int ->
@@ -60,20 +68,42 @@ val capture_run :
     return the report plus the finished record bytes (ready for
     {!Trace_store.Writer.container}). *)
 
-val replay_current : Trace_store.Reader.t -> Trace_store.Reader.record -> outcome
+val replay_current :
+  ?hw:Hydra.Config.t ->
+  Trace_store.Reader.t ->
+  Trace_store.Reader.record ->
+  outcome
 (** Replay the reader's current record (the one the given
     {!Trace_store.Reader.next_record} result described) through a fresh
     tracer + analyzer and compare against the recorded summary.
+
+    [hw] (default: the record's own ["hw_config"], itself defaulting to
+    {!Hydra.Config.default} for records written before the field
+    existed) re-evaluates the analysis at a {e different} hardware
+    point: the tracer geometry is re-derived via
+    {!Test_core.Tracer.config_of} (recorded policy fields kept) and the
+    analyzer runs with the override's overheads and CPU count. Only the
+    analysis-owned fields ([predicted_speedup], [selected_stls],
+    [max_dynamic_depth]) and the [config_fingerprint] reflect the
+    override; simulation-derived fields ([tls_cycles],
+    [actual_speedup], violation/stall counts) pass through from the
+    recorded run and still describe the capture machine — [matches] is
+    only meaningful without an override.
     @raise Trace_store.Reader.Corrupt on a malformed stream;
     @raise Failure on malformed metadata. *)
 
-val replay_file : string -> outcome list
-(** Open a container and replay every record in order.
+val replay_file : ?hw:Hydra.Config.t -> string -> outcome list
+(** Open a container and replay every record in order; [hw] overrides
+    the hardware point as in {!replay_current}.
     @raise Trace_store.Reader.Corrupt / [Failure] as {!replay_current};
     @raise Sys_error when the file cannot be opened. *)
 
-val replay_string : string -> outcome list
+val replay_string : ?hw:Hydra.Config.t -> string -> outcome list
 (** {!replay_file} over in-memory container bytes. *)
+
+val replay_all : ?hw:Hydra.Config.t -> Trace_store.Reader.t -> outcome list
+(** Replay every remaining record of an open reader (closing it), as
+    {!replay_file}. *)
 
 val record_metrics : Obs.Metrics.t -> outcome list -> unit
 (** Export replay-side gauges into a metrics registry: [trace.records],

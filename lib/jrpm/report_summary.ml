@@ -8,6 +8,7 @@ type anno_summary = {
 
 type t = {
   name : string;
+  config_fingerprint : string;
   plain_cycles : int;
   base : anno_summary;
   opt : anno_summary;
@@ -37,6 +38,7 @@ let of_anno (a : Pipeline.anno_run) =
 let of_report (r : Pipeline.report) =
   {
     name = r.Pipeline.name;
+    config_fingerprint = Hydra.Config.fingerprint r.Pipeline.hw;
     plain_cycles = r.Pipeline.plain_cycles;
     base = of_anno r.Pipeline.base;
     opt = of_anno r.Pipeline.opt;
@@ -71,6 +73,7 @@ let to_json (t : t) =
   Obs.Json.Obj
     [
       ("name", Obs.Json.String t.name);
+      ("config_fingerprint", Obs.Json.String t.config_fingerprint);
       ("plain_cycles", Obs.Json.Int t.plain_cycles);
       ("base", anno_to_json t.base);
       ("opt", anno_to_json t.opt);
@@ -120,6 +123,13 @@ let of_json json =
   in
   {
     name = field Obs.Json.to_string_opt json "name";
+    (* summaries written before the hardware model became a value carry
+       no fingerprint; they described the default machine *)
+    config_fingerprint =
+      (match Obs.Json.member "config_fingerprint" json with
+      | Some (Obs.Json.String s) -> s
+      | Some _ -> fail "mistyped field config_fingerprint"
+      | None -> Hydra.Config.default_fingerprint);
     plain_cycles = int "plain_cycles";
     base = anno "base";
     opt = anno "opt";

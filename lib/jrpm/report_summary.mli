@@ -23,6 +23,12 @@ type anno_summary = {
 
 type t = {
   name : string;
+  config_fingerprint : string;
+      (** {!Hydra.Config.fingerprint} of the hardware point the numbers
+          were produced under; {!Regression.diff} refuses to compare
+          summaries with different fingerprints. Documents written
+          before the field existed reload with the default machine's
+          fingerprint. *)
   plain_cycles : int;
   base : anno_summary;
   opt : anno_summary;

@@ -1,0 +1,290 @@
+(* The first-class hardware model: default == the Cost constants
+   field-by-field, JSON codec round-trips, fingerprints key configs
+   stably, and the explore engine finds the documented cpus=8 verdict
+   flip when replaying a captured archive under a grid. *)
+
+module C = Hydra.Config
+
+(* ---------------- default vs the compile-time constants ----------- *)
+
+let test_default_matches_cost () =
+  let check name got want = Alcotest.(check int) name want got in
+  check "comparator_banks" C.default.C.comparator_banks
+    Hydra.Cost.comparator_banks;
+  check "heap_ts_fifo_lines" C.default.C.heap_ts_fifo_lines
+    Hydra.Cost.heap_ts_fifo_lines;
+  check "cacheline_ts_lines" C.default.C.cacheline_ts_lines
+    Hydra.Cost.cacheline_ts_lines;
+  check "local_ts_slots" C.default.C.local_ts_slots Hydra.Cost.local_ts_slots;
+  check "load_buffer_lines" C.default.C.load_buffer_lines
+    Hydra.Cost.load_buffer_lines;
+  check "store_buffer_lines" C.default.C.store_buffer_lines
+    Hydra.Cost.store_buffer_lines;
+  check "line_words" C.default.C.line_words Hydra.Cost.line_words;
+  check "loop_startup" C.default.C.loop_startup Hydra.Cost.loop_startup;
+  check "loop_shutdown" C.default.C.loop_shutdown Hydra.Cost.loop_shutdown;
+  check "loop_eoi" C.default.C.loop_eoi Hydra.Cost.loop_eoi;
+  check "violation_restart" C.default.C.violation_restart
+    Hydra.Cost.violation_restart;
+  check "store_load_communication" C.default.C.store_load_communication
+    Hydra.Cost.store_load_communication;
+  check "num_cpus" C.default.C.num_cpus Hydra.Cost.num_cpus;
+  (* the field table names every record field exactly once *)
+  Alcotest.(check int) "field table arity" 13 (List.length C.fields);
+  Alcotest.(check int)
+    "every field has a short name" (List.length C.fields)
+    (List.length C.short_names)
+
+(* ---------------- JSON codec ---------------- *)
+
+let config_gen : C.t QCheck.Gen.t =
+ fun st ->
+  let size () = QCheck.Gen.int_range 1 4096 st in
+  let overhead () = QCheck.Gen.int_range 0 200 st in
+  {
+    C.comparator_banks = size ();
+    heap_ts_fifo_lines = size ();
+    cacheline_ts_lines = size ();
+    local_ts_slots = size ();
+    load_buffer_lines = size ();
+    store_buffer_lines = size ();
+    line_words = size ();
+    loop_startup = overhead ();
+    loop_shutdown = overhead ();
+    loop_eoi = overhead ();
+    violation_restart = overhead ();
+    store_load_communication = overhead ();
+    num_cpus = size ();
+  }
+
+let arbitrary_config =
+  QCheck.make ~print:(fun c -> Obs.Json.to_string (C.to_json c)) config_gen
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~name:"config JSON round-trip preserves value + fingerprint"
+    ~count:200 arbitrary_config (fun c ->
+      let c' = C.of_json (C.to_json c) in
+      C.equal c c' && String.equal (C.fingerprint c) (C.fingerprint c'))
+
+let test_of_json_errors () =
+  let fails j =
+    match C.of_json j with
+    | (_ : C.t) -> false
+    | exception Failure _ -> true
+  in
+  Alcotest.(check bool) "missing field" true
+    (fails
+       (match C.to_json C.default with
+       | Obs.Json.Obj kvs -> Obs.Json.Obj (List.tl kvs)
+       | _ -> Alcotest.fail "to_json is not an object"));
+  Alcotest.(check bool) "mistyped field" true
+    (fails
+       (match C.to_json C.default with
+       | Obs.Json.Obj ((k, _) :: kvs) ->
+           Obs.Json.Obj ((k, Obs.Json.String "8") :: kvs)
+       | _ -> Alcotest.fail "to_json is not an object"))
+
+let test_validate () =
+  Alcotest.(check bool) "default validates" true
+    (C.equal C.default (C.validate C.default));
+  let rejects c =
+    match C.validate c with
+    | (_ : C.t) -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "zero-size field rejected" true
+    (rejects { C.default with C.comparator_banks = 0 });
+  Alcotest.(check bool) "negative overhead rejected" true
+    (rejects { C.default with C.loop_eoi = -1 });
+  Alcotest.(check bool) "zero overhead is legal" true
+    (match C.validate { C.default with C.loop_eoi = 0 } with
+    | (_ : C.t) -> true
+    | exception Invalid_argument _ -> false)
+
+(* ---------------- fingerprint + label ---------------- *)
+
+let test_fingerprint () =
+  Alcotest.(check string) "default_fingerprint is fingerprint default"
+    (C.fingerprint C.default) C.default_fingerprint;
+  Alcotest.(check int) "16 hex digits" 16 (String.length C.default_fingerprint);
+  (* any single-field change alters the digest *)
+  List.iter
+    (fun (name, _) ->
+      let bumped =
+        C.of_json
+          (Obs.Json.Obj
+             (List.map
+                (fun (n, get) ->
+                  (n, Obs.Json.Int (get C.default + if n = name then 1 else 0)))
+                C.fields))
+      in
+      Alcotest.(check bool)
+        ("fingerprint changes with " ^ name)
+        false
+        (String.equal (C.fingerprint bumped) C.default_fingerprint))
+    C.fields;
+  Alcotest.(check string) "default label" "default" (C.label C.default);
+  Alcotest.(check string) "diff label" "cpus=8"
+    (C.label { C.default with C.num_cpus = 8 })
+
+(* ---------------- grid parsing + cartesian product ---------------- *)
+
+let test_grid () =
+  let configs =
+    Jrpm.Explore.points
+      (Jrpm.Explore.parse_grid [ "cpus=2,8"; "banks=4,16" ])
+  in
+  Alcotest.(check int) "2x2 grid" 4 (List.length configs);
+  (* row-major: the first axis varies slowest *)
+  Alcotest.(check (list string))
+    "grid order"
+    [
+      "banks=4 cpus=2"; "banks=16 cpus=2"; "banks=4 cpus=8"; "banks=16 cpus=8";
+    ]
+    (List.map C.label configs);
+  (* the default machine is always the reference column, and grid
+     points that coincide with it collapse into it *)
+  let deduped =
+    Jrpm.Explore.configs_of_grid (Jrpm.Explore.parse_grid [ "cpus=4,8" ])
+  in
+  Alcotest.(check (list string))
+    "default column deduped" [ "default"; "cpus=8" ]
+    (List.map C.label deduped);
+  let rejects specs =
+    match Jrpm.Explore.parse_grid specs with
+    | (_ : Jrpm.Explore.axis list) -> false
+    | exception Failure _ -> true
+  in
+  Alcotest.(check bool) "unknown axis" true (rejects [ "cache_ways=2" ]);
+  Alcotest.(check bool) "repeated axis" true (rejects [ "cpus=2"; "cpus=4" ]);
+  Alcotest.(check bool) "malformed spec" true (rejects [ "cpus" ]);
+  Alcotest.(check bool) "non-integer value" true (rejects [ "cpus=two" ])
+
+(* ---------------- explore over a captured archive ---------------- *)
+
+(* A small capture shared by the explore tests: deltaBlue is the
+   documented cpus=8 verdict flip; FourierTest and db keep their chosen
+   sets at every point of the test grid. *)
+let explore_subset = [ "deltaBlue"; "FourierTest"; "db" ]
+
+let captured =
+  lazy
+    (let workloads = List.map Workloads.Registry.find_exn explore_subset in
+     let outcomes = Jrpm.Parallel_sweep.run ~jobs:1 ~workloads ~capture:true () in
+     let container =
+       match Jrpm.Parallel_sweep.container outcomes with
+       | Some c -> c
+       | None -> Alcotest.fail "capture sweep produced no container"
+     in
+     let path = Filename.temp_file "jrpm_explore_test" ".jtrc" in
+     let oc = open_out_bin path in
+     output_string oc container;
+     close_out oc;
+     at_exit (fun () -> try Sys.remove path with Sys_error _ -> ());
+     (outcomes, path))
+
+let test_explore_golden () =
+  let outcomes, path = Lazy.force captured in
+  let t = Jrpm.Explore.run ~jobs:1 ~grid:[ "cpus=8" ] ~path () in
+  (* matrix shape: 2 config points (default + cpus=8) x 3 workloads *)
+  Alcotest.(check int) "2 config points" 2 (List.length t.Jrpm.Explore.points);
+  Alcotest.(check (list string))
+    "workload rows" explore_subset
+    (Jrpm.Explore.workloads t);
+  let default_point = Jrpm.Explore.default_point t in
+  Alcotest.(check string) "reference column is the default machine"
+    C.default_fingerprint default_point.Jrpm.Explore.fingerprint;
+  (* the default column is byte-identical to the interpreted sweep
+     summaries — the replay-determinism invariant under explore *)
+  List.iter2
+    (fun (o : Jrpm.Parallel_sweep.outcome) (s : Jrpm.Report_summary.t) ->
+      Alcotest.(check string)
+        ("default column matches sweep: " ^ s.Jrpm.Report_summary.name)
+        (Obs.Json.to_string
+           (Jrpm.Report_summary.to_json o.Jrpm.Parallel_sweep.summary))
+        (Obs.Json.to_string (Jrpm.Report_summary.to_json s)))
+    outcomes
+    (Jrpm.Explore.default_summaries t);
+  (* every cell of the cpus=8 column carries that config's fingerprint *)
+  let p8 = List.nth t.Jrpm.Explore.points 1 in
+  Alcotest.(check string) "cpus=8 label" "cpus=8" p8.Jrpm.Explore.label;
+  List.iter
+    (fun (c : Jrpm.Explore.cell) ->
+      Alcotest.(check string)
+        ("cell fingerprint: " ^ c.Jrpm.Explore.workload)
+        p8.Jrpm.Explore.fingerprint
+        c.Jrpm.Explore.summary.Jrpm.Report_summary.config_fingerprint)
+    p8.Jrpm.Explore.cells;
+  (* fingerprint stability: a second run of the same grid produces the
+     same matrix JSON apart from wall-clock-free fields — there are
+     none, so the whole document is stable *)
+  let t' = Jrpm.Explore.run ~jobs:1 ~grid:[ "cpus=8" ] ~path () in
+  Alcotest.(check string) "matrix JSON is stable across runs"
+    (Obs.Json.to_string (Jrpm.Explore.to_json t))
+    (Obs.Json.to_string (Jrpm.Explore.to_json t'))
+
+(* The verdict-flip regression case: at cpus=8, Eq. 2 stops nesting
+   deltaBlue's outer loop (the f_none * p term grows with p), so the
+   chosen STL set changes from {1,2} to {0,1} while FourierTest and db
+   keep theirs. Pinned so an analyzer or config-threading change that
+   silently stops responding to num_cpus fails loudly. *)
+let test_explore_verdict_flip () =
+  let _, path = Lazy.force captured in
+  let t = Jrpm.Explore.run ~jobs:1 ~grid:[ "cpus=8" ] ~path () in
+  match t.Jrpm.Explore.flips with
+  | [ f ] ->
+      Alcotest.(check string) "flip workload" "deltaBlue"
+        f.Jrpm.Explore.flip_workload;
+      Alcotest.(check string) "flip config" "cpus=8" f.Jrpm.Explore.flip_label;
+      Alcotest.(check (list int)) "default chosen STLs" [ 1; 2 ]
+        f.Jrpm.Explore.default_chosen;
+      Alcotest.(check (list int)) "cpus=8 chosen STLs" [ 0; 1 ]
+        f.Jrpm.Explore.chosen;
+      Alcotest.(check bool) "speedup responds to p" true
+        (f.Jrpm.Explore.speedup > f.Jrpm.Explore.default_speedup)
+  | flips ->
+      Alcotest.failf "expected exactly the deltaBlue flip, got %d flips"
+        (List.length flips)
+
+(* ---------------- summary fingerprint migration ---------------- *)
+
+let test_summary_fingerprint_fallback () =
+  let _, path = Lazy.force captured in
+  let t = Jrpm.Explore.run ~jobs:1 ~grid:[] ~path () in
+  let s = List.hd (Jrpm.Explore.default_summaries t) in
+  (* a summary written before the fingerprint existed reloads as the
+     default machine's *)
+  let stripped =
+    match Jrpm.Report_summary.to_json s with
+    | Obs.Json.Obj kvs ->
+        Obs.Json.Obj
+          (List.filter (fun (k, _) -> k <> "config_fingerprint") kvs)
+    | _ -> Alcotest.fail "summary JSON is not an object"
+  in
+  Alcotest.(check string) "missing fingerprint falls back to default"
+    C.default_fingerprint
+    (Jrpm.Report_summary.of_json stripped).Jrpm.Report_summary
+      .config_fingerprint
+
+let suites =
+  [
+    ( "config.model",
+      [
+        Alcotest.test_case "default equals Cost constants" `Quick
+          test_default_matches_cost;
+        QCheck_alcotest.to_alcotest prop_json_roundtrip;
+        Alcotest.test_case "of_json errors" `Quick test_of_json_errors;
+        Alcotest.test_case "validate" `Quick test_validate;
+        Alcotest.test_case "fingerprint and label" `Quick test_fingerprint;
+      ] );
+    ( "config.explore",
+      [
+        Alcotest.test_case "grid parsing and product" `Quick test_grid;
+        Alcotest.test_case "golden 2-point grid x 3 workloads" `Quick
+          test_explore_golden;
+        Alcotest.test_case "cpus=8 verdict flip (deltaBlue)" `Quick
+          test_explore_verdict_flip;
+        Alcotest.test_case "summary fingerprint fallback" `Quick
+          test_summary_fingerprint_fallback;
+      ] );
+  ]

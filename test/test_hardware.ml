@@ -28,12 +28,37 @@ let test_table5_shape () =
 
 let test_scaling () =
   let base = Hydra.Hardware_cost.estimate () in
-  let more_banks = Hydra.Hardware_cost.estimate ~comparator_banks:16 () in
+  let sixteen = { Hydra.Config.default with comparator_banks = 16 } in
+  let more_banks = Hydra.Hardware_cost.estimate ~config:sixteen () in
   Alcotest.(check bool) "more banks cost more" true
     (more_banks.Hydra.Hardware_cost.grand_total > base.Hydra.Hardware_cost.grand_total);
   (* even doubled, TEST stays well under 1% *)
   Alcotest.(check bool) "16 banks still < 1%" true
-    (Hydra.Hardware_cost.test_fraction more_banks < 0.01)
+    (Hydra.Hardware_cost.test_fraction more_banks < 0.01);
+  (* an explicit override that agrees with the config is redundant but
+     legal; the same count via either route is the same estimate *)
+  let explicit =
+    Hydra.Hardware_cost.estimate ~config:sixteen ~comparator_banks:16 ()
+  in
+  Alcotest.(check int) "agreeing override"
+    more_banks.Hydra.Hardware_cost.grand_total
+    explicit.Hydra.Hardware_cost.grand_total
+
+let test_config_disagreement () =
+  (* an explicit ~comparator_banks/~cpus that contradicts the hardware
+     config is the silent-default bug this layer exists to catch *)
+  let boom f =
+    match f () with
+    | (_ : Hydra.Hardware_cost.t) ->
+        Alcotest.fail "disagreeing override was accepted"
+    | exception Invalid_argument _ -> ()
+  in
+  boom (fun () -> Hydra.Hardware_cost.estimate ~comparator_banks:16 ());
+  boom (fun () -> Hydra.Hardware_cost.estimate ~cpus:8 ());
+  boom (fun () ->
+      Hydra.Hardware_cost.estimate
+        ~config:{ Hydra.Config.default with num_cpus = 8 }
+        ~cpus:4 ())
 
 let test_instr_costs_positive () =
   (* every native instruction must have a nonnegative cost, and
@@ -53,6 +78,7 @@ let suites =
       [
         Alcotest.test_case "shape and totals" `Quick test_table5_shape;
         Alcotest.test_case "scaling" `Quick test_scaling;
+        Alcotest.test_case "config disagreement" `Quick test_config_disagreement;
         Alcotest.test_case "cost constants" `Quick test_instr_costs_positive;
       ] );
   ]

@@ -20,6 +20,7 @@ let mk ?(plain = 100) ?(tls = 100) ?(actual = 2.0) ?(predicted = 2.5)
     ?(outputs = true) ?(violations = 1) name =
   {
     RS.name;
+    config_fingerprint = Hydra.Config.default_fingerprint;
     plain_cycles = plain;
     base = anno 110;
     opt = anno 105;
@@ -147,6 +148,74 @@ let test_diff_json () =
       Alcotest.(check (option string)) "status" (Some "matched")
         (Option.bind (Obs.Json.member "status" w) Obs.Json.to_string_opt)
   | _ -> Alcotest.fail "expected one workload entry"
+
+(* ---------------- config fingerprint gate ---------------- *)
+
+let test_fingerprint_mismatch () =
+  (* a baseline recorded under a different hardware config must be
+     refused outright, not fail-classified field by field *)
+  let other =
+    Hydra.Config.fingerprint { Hydra.Config.default with num_cpus = 8 }
+  in
+  let stale = { (mk "w") with RS.config_fingerprint = other } in
+  (match diff1 stale (mk "w") with
+  | (_ : R.t) -> Alcotest.fail "mismatched fingerprints were diffed"
+  | exception Failure msg ->
+      Alcotest.(check bool) "error names the workload" true
+        (let contains s sub =
+           let n = String.length sub in
+           let rec go i =
+             i + n <= String.length s
+             && (String.sub s i n = sub || go (i + 1))
+           in
+           go 0
+         in
+         contains msg "w" && contains msg other
+         && contains msg Hydra.Config.default_fingerprint));
+  (* matched fingerprints — even non-default ones — diff normally *)
+  let d =
+    diff1 stale { (mk ~plain:103 "w") with RS.config_fingerprint = other }
+  in
+  Alcotest.check verdict "same non-default fingerprint diffs" R.Warn d.R.worst;
+  (* an unmatched workload's fingerprint is irrelevant *)
+  let d = R.diff ~baseline:[ stale ] ~current:[ mk "other" ] () in
+  Alcotest.check verdict "membership change still reported" R.Fail d.R.worst
+
+(* ---------------- drift trend file ---------------- *)
+
+let test_trend_file () =
+  let path = Filename.temp_file "jrpm_trend_test" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      R.append_trend ~label:"run-1" ~path (diff1 (mk "w") (mk ~plain:104 "w"));
+      R.append_trend ~path (diff1 (mk "w") (mk "w"));
+      let ic = open_in path in
+      let lines = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match
+        String.split_on_char '\n' lines |> List.filter (fun l -> l <> "")
+      with
+      | [ warn_line; clean_line ] ->
+          let warn = Obs.Json.parse_exn warn_line in
+          let get k j = Option.bind (Obs.Json.member k j) Obs.Json.to_string_opt in
+          Alcotest.(check (option string)) "label" (Some "run-1") (get "label" warn);
+          Alcotest.(check (option string)) "worst" (Some "warn") (get "worst" warn);
+          Alcotest.(check (option int)) "warn count" (Some 1)
+            (Option.bind (Obs.Json.member "warns" warn) Obs.Json.to_int);
+          (match Option.bind (Obs.Json.member "drift" warn) Obs.Json.to_list with
+          | Some [ entry ] ->
+              Alcotest.(check (option string)) "drifting field"
+                (Some "plain_cycles") (get "field" entry)
+          | _ -> Alcotest.fail "expected exactly one drift entry");
+          let clean = Obs.Json.parse_exn clean_line in
+          Alcotest.(check (option string)) "clean worst" (Some "pass")
+            (get "worst" clean);
+          Alcotest.(check (option (list string))) "clean drift empty" (Some [])
+            (Option.map
+               (List.filter_map Obs.Json.to_string_opt)
+               (Option.bind (Obs.Json.member "drift" clean) Obs.Json.to_list))
+      | lines -> Alcotest.failf "expected 2 trend lines, got %d" (List.length lines))
 
 (* ---------------- non-finite float codec ---------------- *)
 
@@ -317,6 +386,9 @@ let suites =
         Alcotest.test_case "exact fields" `Quick test_exact_fields;
         Alcotest.test_case "added/removed workloads" `Quick test_added_removed;
         Alcotest.test_case "diff JSON document" `Quick test_diff_json;
+        Alcotest.test_case "config fingerprint mismatch refused" `Quick
+          test_fingerprint_mismatch;
+        Alcotest.test_case "drift trend file" `Quick test_trend_file;
       ] );
     ( "regression.codec",
       [
