@@ -34,7 +34,17 @@
                                                re-interpreting the program;
                                                add --smoke for the CI
                                                variant that fails if replay
-                                               is not >= 5x faster) *)
+                                               is not >= 5x faster)
+          dune exec bench/main.exe -- sched    (scheduler benchmark: a
+                                               deliberately skewed task mix
+                                               under static round-robin
+                                               sharding vs the work-stealing
+                                               queue — wall-clock and
+                                               worker-idle fraction — plus
+                                               record-sharded parallel trace
+                                               decode vs one core; --smoke
+                                               is the CI variant gating the
+                                               stealing and decode speedups) *)
 
 let line = String.make 72 '='
 
@@ -864,6 +874,218 @@ let regress ~jobs ~baseline () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Scheduler benchmark (`bench -- sched`): what does the work-stealing
+   task queue buy over static round-robin sharding, and does
+   record-sharded parallel decode beat the one-core decoder?
+
+   Part 1 builds a deliberately skewed synthetic mix where every
+   jobs-th task is ~16x heavier than the rest: static round-robin
+   deals ALL the heavy tasks to worker 0, which grinds through them
+   back to back while the other workers sit idle, whereas the
+   stealing queue hands each heavy task to whichever worker frees up
+   first. The tasks block (sleep) rather than spin, so the
+   measurement isolates the scheduling policy — queueing and load
+   imbalance — from CPU throughput and holds on any core count,
+   including 1-core CI runners. Wall-clock and the worker-idle
+   fraction are reported for both policies and the speedup is gated
+   (>= sched_speedup_floor).
+
+   Part 2 replays a replicated capture container through the null
+   sink sequentially (one reader pass, the old single-core decode
+   path) and record-sharded across 4 decoder workers; the relative
+   speedup is gated only when the machine actually has >= 4 cores, so
+   the smoke gate stays meaningful on small CI runners while the
+   absolute events/s numbers land in the table either way. *)
+
+let sched_speedup_floor = 1.3
+let sched_decode_floor = 1.4
+
+let sched_bench ~smoke () =
+  section
+    (if smoke then "Scheduler benchmark (smoke: stealing + decode floors)"
+     else "Scheduler benchmark (work stealing vs round-robin)");
+  if not Jrpm.Scheduler.fork_available then begin
+    print_endline "fork unavailable on this platform; nothing to measure";
+    exit 0
+  end;
+  let repeats = if smoke then 2 else 3 in
+  let time_min f =
+    let best = ref infinity in
+    for _ = 1 to repeats do
+      let t0 = Unix.gettimeofday () in
+      f ();
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let failed = ref false in
+
+  (* -------- part 1: skewed synthetic mix -------- *)
+  let jobs = 4 in
+  let ntasks = 16 in
+  let heavy_s = if smoke then 0.04 else 0.1 in
+  let light_s = heavy_s /. 16. in
+  let tasks =
+    List.init ntasks (fun i -> if i mod jobs = 0 then heavy_s else light_s)
+  in
+  (* blocking tasks: the policy difference shows up as queueing delay
+     regardless of how many cores the machine has *)
+  let run_task _ s =
+    Unix.sleepf s;
+    int_of_float (s *. 1e6)
+  in
+  let label _ _ = "synthetic task" in
+  let best_stats run =
+    let best = ref None in
+    for _ = 1 to repeats do
+      let r, (s : Jrpm.Scheduler.stats) = run () in
+      match !best with
+      | Some (_, (b : Jrpm.Scheduler.stats)) when b.wall_s <= s.wall_s -> ()
+      | _ -> best := Some (r, s)
+    done;
+    match !best with Some b -> b | None -> assert false
+  in
+  let rr_results, rr =
+    best_stats (fun () ->
+        Jrpm.Scheduler.map_sharded_stats ~jobs ~label run_task tasks)
+  in
+  let ws_results, ws =
+    best_stats (fun () -> Jrpm.Scheduler.map_stats ~jobs ~label run_task tasks)
+  in
+  if rr_results <> ws_results then begin
+    failed := true;
+    prerr_endline "sched bench: stealing results differ from round-robin"
+  end;
+  let speedup = rr.Jrpm.Scheduler.wall_s /. ws.Jrpm.Scheduler.wall_s in
+  let ok = speedup >= sched_speedup_floor in
+  if not ok then failed := true;
+  Printf.printf
+    "\n%d tasks on %d workers; every %dth task ~16x heavier (%.0f ms vs %.1f \
+     ms)\n\n"
+    ntasks jobs jobs (heavy_s *. 1e3) (light_s *. 1e3);
+  Util.Text_table.print
+    ~aligns:Util.Text_table.[ Left; Right; Right; Right; Right; Left ]
+    ~header:[ "policy"; "wall s"; "busy s"; "idle"; "speedup"; "status" ]
+    [
+      [
+        "static round-robin";
+        Printf.sprintf "%.3f" rr.Jrpm.Scheduler.wall_s;
+        Printf.sprintf "%.3f" rr.Jrpm.Scheduler.busy_s;
+        Printf.sprintf "%.0f%%" (100. *. Jrpm.Scheduler.idle_fraction rr);
+        "1.0x";
+        "";
+      ];
+      [
+        "work stealing";
+        Printf.sprintf "%.3f" ws.Jrpm.Scheduler.wall_s;
+        Printf.sprintf "%.3f" ws.Jrpm.Scheduler.busy_s;
+        Printf.sprintf "%.0f%%" (100. *. Jrpm.Scheduler.idle_fraction ws);
+        Printf.sprintf "%.1fx" speedup;
+        (if ok then "ok" else "UNDER FLOOR");
+      ];
+    ];
+
+  (* -------- part 2: record-sharded parallel decode -------- *)
+  let names =
+    if smoke then [ "BitOps"; "fft" ]
+    else [ "BitOps"; "Huffman"; "compress"; "fft"; "NeuralNet" ]
+  in
+  let base_records =
+    List.map
+      (fun name ->
+        let w = Workloads.Registry.find_exn name in
+        let src = Workloads.Registry.default_source w in
+        let _report, record = Jrpm.Replay.capture_run ~name src in
+        record)
+      names
+  in
+  let copies = 4 in
+  let records = List.concat (List.init copies (fun _ -> base_records)) in
+  let container = Trace_store.Writer.container records in
+  let entries = Trace_store.Index.of_string container in
+  let total_events =
+    List.fold_left
+      (fun acc (e : Trace_store.Index.entry) -> acc + e.Trace_store.Index.events)
+      0 entries
+  in
+  let seq_s =
+    time_min (fun () ->
+        let rd = Trace_store.Reader.of_string container in
+        let rec loop () =
+          match Trace_store.Reader.next_record rd with
+          | None -> ()
+          | Some _ ->
+              ignore
+                (Trace_store.Reader.replay rd Hydra.Trace.null_sink
+                  : Trace_store.Reader.replay_stats);
+              loop ()
+        in
+        loop ())
+  in
+  let decode_entry _ (e : Trace_store.Index.entry) =
+    let rd = Trace_store.Reader.of_string container in
+    ignore (Trace_store.Reader.seek_record rd ~offset:e.Trace_store.Index.offset);
+    (Trace_store.Reader.replay rd Hydra.Trace.null_sink).Trace_store.Reader
+      .events
+  in
+  let decode_jobs = 4 in
+  let par_events = ref 0 in
+  let par_s =
+    time_min (fun () ->
+        let counts, _ =
+          Jrpm.Scheduler.map_stats ~jobs:decode_jobs
+            ~label:(fun _ (e : Trace_store.Index.entry) ->
+              "record " ^ e.Trace_store.Index.name)
+            decode_entry entries
+        in
+        par_events := List.fold_left ( + ) 0 counts)
+  in
+  if !par_events <> total_events then begin
+    failed := true;
+    Printf.eprintf "sched bench: parallel decode saw %d events, index says %d\n"
+      !par_events total_events
+  end;
+  let seq_evps = float_of_int total_events /. seq_s in
+  let par_evps = float_of_int total_events /. par_s in
+  let decode_speedup = par_evps /. seq_evps in
+  let cores = try Domain.recommended_domain_count () with _ -> 1 in
+  let gated = cores >= 4 in
+  let decode_ok = (not gated) || decode_speedup >= sched_decode_floor in
+  if not decode_ok then failed := true;
+  Printf.printf "\n%d records (%d workloads x %d copies), %d events total\n\n"
+    (List.length entries) (List.length names) copies total_events;
+  Util.Text_table.print
+    ~aligns:Util.Text_table.[ Left; Right; Right; Right; Left ]
+    ~header:[ "decode path"; "wall s"; "events/s"; "speedup"; "status" ]
+    [
+      [
+        "sequential (1 core)";
+        Printf.sprintf "%.3f" seq_s;
+        Printf.sprintf "%.1fM" (seq_evps /. 1e6);
+        "1.0x";
+        "";
+      ];
+      [
+        Printf.sprintf "record-sharded (%d workers)" decode_jobs;
+        Printf.sprintf "%.3f" par_s;
+        Printf.sprintf "%.1fM" (par_evps /. 1e6);
+        Printf.sprintf "%.1fx" decode_speedup;
+        (if not gated then "not gated (<4 cores)"
+         else if decode_ok then "ok"
+         else "UNDER FLOOR");
+      ];
+    ];
+  if !failed then begin
+    prerr_endline
+      (Printf.sprintf
+         "sched bench: below a floor (stealing >= %.1fx, decode >= %.1fx on \
+          >=4 cores)"
+         sched_speedup_floor sched_decode_floor);
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment kernel. *)
 
 let bechamel_suite () =
@@ -997,6 +1219,10 @@ let () =
   end;
   if has_arg "replay" then begin
     replay_bench ~smoke:(has_arg "--smoke") ();
+    exit 0
+  end;
+  if has_arg "sched" then begin
+    sched_bench ~smoke:(has_arg "--smoke") ();
     exit 0
   end;
   if has_arg "regress" then begin

@@ -806,8 +806,13 @@ let trace_record_cmd =
     Term.(const record $ trace_file_arg $ workloads_arg $ jobs_arg)
 
 let trace_replay_cmd =
-  let replay file summary_json profile profile_json =
-    let outcomes = fail_trace_errors (fun () -> Jrpm.Replay.replay_file file) in
+  let replay file summary_json profile profile_json jobs =
+    let jobs =
+      match jobs with Some n -> n | None -> Jrpm.Parallel_sweep.default_jobs ()
+    in
+    let outcomes =
+      fail_trace_errors (fun () -> Jrpm.Replay.replay_file ~jobs file)
+    in
     (* stdout is deterministic: encoded sizes and re-derived analysis
        results only; wall-clock throughput goes to stderr via --profile *)
     Util.Text_table.print
@@ -889,12 +894,38 @@ let trace_replay_cmd =
        ~doc:
          "stream a recorded container back through a fresh tracer + analyzer \
           (no re-interpretation) and check the re-derived results against the \
-          recorded summaries")
+          recorded summaries; records are sharded across decoder workers")
     Term.(
       const replay $ trace_file_arg $ summary_json_arg $ profile_arg
-      $ profile_json_arg)
+      $ profile_json_arg $ jobs_arg)
 
 let trace_info_cmd =
+  let records_arg =
+    Arg.(
+      value & flag
+      & info [ "records" ]
+          ~doc:
+            "print the per-record index (offset, bytes, events, workload) — \
+             the units the sharded parallel decoder fans out — instead of \
+             decoding and checksumming every record")
+  in
+  let print_index file =
+    fail_trace_errors (fun () ->
+        let entries = Trace_store.Index.of_file file in
+        Util.Text_table.print
+          ~aligns:Util.Text_table.[ Right; Right; Right; Left ]
+          ~header:[ "Offset"; "Bytes"; "Events"; "Record" ]
+          (List.map
+             (fun (e : Trace_store.Index.entry) ->
+               [
+                 string_of_int e.Trace_store.Index.offset;
+                 string_of_int e.Trace_store.Index.bytes;
+                 string_of_int e.Trace_store.Index.events;
+                 e.Trace_store.Index.name;
+               ])
+             entries);
+        Printf.printf "%d records indexed\n" (List.length entries))
+  in
   let info_ file =
     fail_trace_errors (fun () ->
         let reader = Trace_store.Reader.open_file file in
@@ -937,12 +968,14 @@ let trace_info_cmd =
         Printf.printf "%d records, all checksums verified\n"
           (List.length records))
   in
+  let dispatch file records = if records then print_index file else info_ file in
   Cmd.v
     (Cmd.info "info"
        ~doc:
          "list a trace container's records, sizes, and compression, verifying \
-          every checksum, without replaying the analysis")
-    Term.(const info_ $ trace_file_arg)
+          every checksum, without replaying the analysis; --records prints \
+          the per-record index instead")
+    Term.(const dispatch $ trace_file_arg $ records_arg)
 
 let trace_cmd =
   Cmd.group

@@ -131,23 +131,12 @@ type t = {
   flips : flip list;
 }
 
-let eval_point ~path config =
-  let outcomes =
-    Replay.replay_all ~hw:config (Trace_store.Reader.open_file path)
-  in
+let eval_cell ~path config entry =
+  let o = Replay.replay_record ~hw:config ~path entry in
   {
-    config;
-    fingerprint = Hydra.Config.fingerprint config;
-    label = Hydra.Config.label config;
-    cells =
-      List.map
-        (fun (o : Replay.outcome) ->
-          {
-            workload = o.Replay.name;
-            summary = o.Replay.replayed;
-            chosen_stls = o.Replay.chosen_stls;
-          })
-        outcomes;
+    workload = o.Replay.name;
+    summary = o.Replay.replayed;
+    chosen_stls = o.Replay.chosen_stls;
   }
 
 let find_flips points =
@@ -181,11 +170,50 @@ let find_flips points =
         rest
 
 let run ?jobs ~grid ~path () =
+  let jobs =
+    match jobs with Some n -> max 1 n | None -> Parallel_sweep.default_jobs ()
+  in
   let configs = configs_of_grid (parse_grid grid) in
-  (* one forked task per config point: each worker opens and replays the
-     whole archive under its machine; results return in grid order *)
+  let entries = Trace_store.Index.of_file path in
+  (* one scheduler task per (config point × record): finer work units
+     than a whole grid point, so the pool stays busy even when the grid
+     is narrower than the worker count or one record dominates *)
+  let tasks =
+    List.concat_map (fun c -> List.map (fun e -> (c, e)) entries) configs
+  in
+  let cells =
+    Scheduler.map ~jobs
+      ~label:(fun _ (c, (e : Trace_store.Index.entry)) ->
+        Printf.sprintf "grid point %s / record %s" (Hydra.Config.label c)
+          e.Trace_store.Index.name)
+      (fun _ (config, entry) -> eval_cell ~path config entry)
+      tasks
+  in
+  (* regroup the flat cell list: tasks were emitted config-major, so
+     each config point owns the next [List.length entries] cells, in
+     archive record order — exactly what eval-point-at-a-time built *)
+  let nrec = List.length entries in
+  let rec take n l =
+    if n = 0 then ([], l)
+    else
+      match l with
+      | [] -> fail "internal: cell count mismatch"
+      | x :: tl ->
+          let a, b = take (n - 1) tl in
+          (x :: a, b)
+  in
+  let rest = ref cells in
   let points =
-    Parallel_sweep.map_forked ?jobs (fun _ config -> eval_point ~path config)
+    List.map
+      (fun config ->
+        let mine, tl = take nrec !rest in
+        rest := tl;
+        {
+          config;
+          fingerprint = Hydra.Config.fingerprint config;
+          label = Hydra.Config.label config;
+          cells = mine;
+        })
       configs
   in
   { archive = path; points; flips = find_flips points }

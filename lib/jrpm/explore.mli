@@ -9,8 +9,11 @@
     replays, each 20–40× cheaper than a pipeline run. The default
     machine is always evaluated first as the reference column and its
     summaries are byte-identical to interpreted sweep output (the
-    replay-determinism invariant). Grid points fan out one forked
-    worker task per config point ({!Parallel_sweep.map_forked}).
+    replay-determinism invariant). The grid fans out one {!Scheduler}
+    task per (config point × record) — {!Replay.replay_record} seeking
+    via the container's {!Trace_store.Index} — so the work-stealing
+    pool stays busy even when the grid is narrow or one record
+    dominates; cells regroup into grid-order points afterward.
 
     Simulation-derived summary fields ([tls_cycles], [actual_speedup],
     violation/stall counts) pass through from the capture machine —
@@ -71,8 +74,9 @@ type t = {
 
 val run : ?jobs:int -> grid:string list -> path:string -> unit -> t
 (** Parse [grid], evaluate {!configs_of_grid} over the container at
-    [path] with one forked task per point ([jobs] as
-    {!Parallel_sweep.map_forked}), and report verdict flips.
+    [path] — one scheduler task per (point × record) across [jobs]
+    workers (default {!Parallel_sweep.default_jobs}) — and report
+    verdict flips. Output is byte-identical for any [jobs].
     @raise Failure on grid errors or worker failures;
     @raise Trace_store.Reader.Corrupt / [Sys_error] on a bad archive. *)
 

@@ -6,17 +6,15 @@ type outcome = {
   trace : string option;
 }
 
-(* One wire record per workload: the registry index (so the parent can
-   restore registry order regardless of worker scheduling), the summary
-   and recorder state serialized through the lib/obs JSON schema, the
-   finished trace-store record bytes when capturing (self-contained, so
-   the parent byte-copies them into one container), and the full report
-   for in-process consumers (bench tables need the STL table / tracer /
-   tac, which have no JSON form). The tuple crosses the pipe via
-   [Marshal] with [Closures] — safe because workers are forks of this
-   very executable. *)
-type wire_item = int * string * string option * string option * Pipeline.report
-type wire_payload = (wire_item list, string) result
+(* One wire tuple per workload task: the summary and recorder state
+   serialized through the lib/obs JSON schema, the finished trace-store
+   record bytes when capturing (self-contained, so the parent
+   byte-copies them into one container), and the full report for
+   in-process consumers (bench tables need the STL table / tracer /
+   tac, which have no JSON form). The scheduler keys results by item
+   index and returns them in registry order, so no index travels on the
+   wire. *)
+type wire_item = string * string option * string option * Pipeline.report
 
 let core_count () = try Domain.recommended_domain_count () with _ -> 1
 
@@ -34,8 +32,6 @@ let default_jobs () =
             s;
           core_count ())
   | None -> core_count ()
-
-let fork_available = not Sys.win32
 
 let run_one ~observe ~capture (w : Workloads.Workload.t) =
   let recorder = if observe then Some (Obs.Recorder.create ()) else None in
@@ -70,9 +66,9 @@ let sequential ~observe ~capture workloads =
       })
     workloads
 
-(* ---------------- forked workers ---------------- *)
+(* ---------------- scheduler tasks ---------------- *)
 
-let encode_item ~observe ~capture idx w : wire_item =
+let encode_item ~observe ~capture w : wire_item =
   let report, recorder, trace = run_one ~observe ~capture w in
   let summary_json =
     Obs.Json.to_string (Report_summary.to_json (Report_summary.of_report report))
@@ -80,183 +76,36 @@ let encode_item ~observe ~capture idx w : wire_item =
   let recorder_json =
     Option.map (fun rc -> Obs.Json.to_string (Obs.Recorder.to_json rc)) recorder
   in
-  (idx, summary_json, recorder_json, trace, report)
+  (summary_json, recorder_json, trace, report)
 
-let worker_main ~observe ~capture shard wfd =
-  let payload : wire_payload =
-    try
-      Ok (List.map (fun (idx, w) -> encode_item ~observe ~capture idx w) shard)
-    with e -> Error (Printexc.to_string e)
-  in
-  let oc = Unix.out_channel_of_descr wfd in
-  Marshal.to_channel oc payload [ Marshal.Closures ];
-  flush oc;
-  (* _exit: skip at_exit and inherited stdio buffers — anything the
-     parent printed before forking must not be flushed twice *)
-  Unix._exit (match payload with Ok _ -> 0 | Error _ -> 1)
-
-let decode_item (idx, summary_json, recorder_json, trace, report) ~workloads =
+let decode_item w ((summary_json, recorder_json, trace, report) : wire_item) =
   let summary = Report_summary.of_json (Obs.Json.parse_exn summary_json) in
   let recorder =
     Option.map
       (fun s -> Obs.Recorder.of_json (Obs.Json.parse_exn s))
       recorder_json
   in
-  (idx, { workload = List.nth workloads idx; report; summary; recorder; trace })
-
-let parallel ~observe ~capture ~jobs workloads =
-  let indexed = List.mapi (fun i w -> (i, w)) workloads in
-  let shard k = List.filter (fun (i, _) -> i mod jobs = k) indexed in
-  let shards =
-    List.init jobs shard |> List.filter (fun s -> s <> [])
-  in
-  (* fork one worker per non-empty shard; each worker writes its whole
-     payload once, the parent drains the pipes in shard order *)
-  let children =
-    List.fold_left
-      (fun acc shard ->
-        let rfd, wfd = Unix.pipe ~cloexec:false () in
-        match Unix.fork () with
-        | 0 ->
-            Unix.close rfd;
-            (* release the read ends inherited from earlier forks so the
-               parent is the only reader left on every pipe *)
-            List.iter (fun (_, fd) -> Unix.close fd) acc;
-            worker_main ~observe ~capture shard wfd
-        | pid ->
-            Unix.close wfd;
-            (pid, rfd) :: acc)
-      [] shards
-    |> List.rev
-  in
-  let results = Array.make (List.length workloads) None in
-  let failures = ref [] in
-  List.iter
-    (fun (pid, rfd) ->
-      let ic = Unix.in_channel_of_descr rfd in
-      let payload =
-        (* read the payload BEFORE reaping: a worker with more output
-           than the pipe buffer is still blocked in write *)
-        try (Marshal.from_channel ic : wire_payload)
-        with End_of_file | Failure _ ->
-          Error "worker exited without delivering its results"
-      in
-      close_in ic;
-      (match Unix.waitpid [] pid with
-      | _, Unix.WEXITED (0 | 1) -> ()
-      | _, Unix.WEXITED code ->
-          failures := Printf.sprintf "worker exited with code %d" code :: !failures
-      | _, Unix.WSIGNALED sg ->
-          failures := Printf.sprintf "worker killed by signal %d" sg :: !failures
-      | _, Unix.WSTOPPED _ -> failures := "worker stopped" :: !failures);
-      match payload with
-      | Error msg -> failures := msg :: !failures
-      | Ok items ->
-          List.iter
-            (fun item ->
-              let idx, outcome = decode_item item ~workloads in
-              results.(idx) <- Some outcome)
-            items)
-    children;
-  (match !failures with
-  | [] -> ()
-  | msgs ->
-      failwith
-        ("Jrpm.Parallel_sweep: " ^ String.concat "; " (List.rev msgs)));
-  Array.to_list results
-  |> List.map (function
-       | Some o -> o
-       | None -> failwith "Jrpm.Parallel_sweep: missing worker result")
-
-(* Generic forked map with the same worker discipline as [parallel]:
-   round-robin shards, one marshalled payload per worker, pipes drained
-   before reaping, results reassembled in input order. Results cross
-   the pipe with [Marshal.Closures] — workers are forks of this
-   executable. Used by the explore grid (one task per config point). *)
-let map_forked ?jobs f items =
-  let jobs =
-    match jobs with Some n -> max 1 n | None -> default_jobs ()
-  in
-  let n = List.length items in
-  let indexed = List.mapi (fun i x -> (i, x)) items in
-  if jobs <= 1 || (not fork_available) || n <= 1 then
-    List.map (fun (i, x) -> f i x) indexed
-  else begin
-    let jobs = min jobs n in
-    let shard k = List.filter (fun (i, _) -> i mod jobs = k) indexed in
-    let shards = List.init jobs shard |> List.filter (fun s -> s <> []) in
-    let children =
-      List.fold_left
-        (fun acc shard ->
-          let rfd, wfd = Unix.pipe ~cloexec:false () in
-          match Unix.fork () with
-          | 0 ->
-              Unix.close rfd;
-              List.iter (fun (_, fd) -> Unix.close fd) acc;
-              let payload =
-                try Ok (List.map (fun (i, x) -> (i, f i x)) shard)
-                with e -> Error (Printexc.to_string e)
-              in
-              let oc = Unix.out_channel_of_descr wfd in
-              Marshal.to_channel oc payload [ Marshal.Closures ];
-              flush oc;
-              Unix._exit (match payload with Ok _ -> 0 | Error _ -> 1)
-          | pid ->
-              Unix.close wfd;
-              (pid, rfd) :: acc)
-        [] shards
-      |> List.rev
-    in
-    let results = Array.make n None in
-    let failures = ref [] in
-    List.iter
-      (fun (pid, rfd) ->
-        let ic = Unix.in_channel_of_descr rfd in
-        let payload =
-          try (Marshal.from_channel ic : ((int * _) list, string) result)
-          with End_of_file | Failure _ ->
-            Error "worker exited without delivering its results"
-        in
-        close_in ic;
-        (match Unix.waitpid [] pid with
-        | _, Unix.WEXITED (0 | 1) -> ()
-        | _, Unix.WEXITED code ->
-            failures :=
-              Printf.sprintf "worker exited with code %d" code :: !failures
-        | _, Unix.WSIGNALED sg ->
-            failures :=
-              Printf.sprintf "worker killed by signal %d" sg :: !failures
-        | _, Unix.WSTOPPED _ -> failures := "worker stopped" :: !failures);
-        match payload with
-        | Error msg -> failures := msg :: !failures
-        | Ok pairs ->
-            List.iter (fun (i, r) -> results.(i) <- Some r) pairs)
-      children;
-    (match !failures with
-    | [] -> ()
-    | msgs ->
-        failwith ("Jrpm.Parallel_sweep: " ^ String.concat "; " (List.rev msgs)));
-    Array.to_list results
-    |> List.map (function
-         | Some r -> r
-         | None -> failwith "Jrpm.Parallel_sweep: missing worker result")
-  end
+  { workload = w; report; summary; recorder; trace }
 
 let run ?jobs ?(observe = false) ?(capture = false)
     ?(workloads = Workloads.Registry.all) () =
-  let jobs =
-    match jobs with Some n -> max 1 n | None -> default_jobs ()
-  in
-  if jobs <= 1 || (not fork_available) || List.length workloads <= 1 then
-    sequential ~observe ~capture workloads
+  let jobs = match jobs with Some n -> max 1 n | None -> default_jobs () in
+  if jobs <= 1 || (not Scheduler.fork_available) || List.length workloads <= 1
+  then sequential ~observe ~capture workloads
   else
-    parallel ~observe ~capture ~jobs:(min jobs (List.length workloads))
-      workloads
+    (* one task per workload on the work-stealing pool; [Scheduler.map]
+       returns wire tuples in registry order whatever the completion
+       order was *)
+    let wire =
+      Scheduler.map ~jobs
+        ~label:(fun _ w -> "workload " ^ w.Workloads.Workload.name)
+        (fun _ w -> encode_item ~observe ~capture w)
+        workloads
+    in
+    List.map2 decode_item workloads wire
 
 let container outcomes =
-  let records =
-    List.filter_map (fun o -> o.trace) outcomes
-  in
+  let records = List.filter_map (fun o -> o.trace) outcomes in
   if records = [] then None else Some (Trace_store.Writer.container records)
 
 let merged_recorder outcomes =

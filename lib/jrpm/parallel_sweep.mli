@@ -1,18 +1,23 @@
 (** Multi-core benchmark sweep.
 
     Every {!Pipeline.run} over a registry workload is independent, so
-    the full Table-6 sweep fans out across worker Unix processes:
+    the full Table-6 sweep fans out across worker Unix processes — one
+    {e task} per workload on the work-stealing {!Scheduler} pool:
 
-    - workloads are sharded round-robin over [jobs] forked workers;
-    - each worker runs the complete pipeline for its shard with its own
-      {!Obs.Recorder} (when [observe]), then writes one payload to a
-      pipe: per workload, the registry index, the
-      {!Report_summary}/recorder state serialized through the lib/obs
-      JSON schema, and the full report (marshalled — workers are forks
+    - the parent hands workload indices to a persistent pool of [jobs]
+      forked workers, one at a time; a worker that finishes early
+      immediately receives the next pending workload, so one slow
+      workload no longer idles the rest of the pool (the old static
+      round-robin sharding did);
+    - each worker runs the complete pipeline for the workload with its
+      own {!Obs.Recorder} (when [observe]), then ships one result frame
+      back: the {!Report_summary}/recorder state serialized through the
+      lib/obs JSON schema, the captured trace record bytes (when
+      [capture]), and the full report (marshalled — workers are forks
       of this executable, so closures survive);
-    - the parent drains every pipe, decodes the JSON back through
-      {!Report_summary.of_json} / {!Obs.Recorder.of_json}, reaps the
-      workers, and reassembles outcomes in registry order.
+    - the parent slots results by workload index, decodes the JSON back
+      through {!Report_summary.of_json} / {!Obs.Recorder.of_json}, and
+      returns outcomes in registry order.
 
     Determinism: the pipeline itself is deterministic and outcomes are
     ordered by registry index, never by arrival, so any [jobs] value
@@ -22,7 +27,8 @@
     registry order ({!merged_recorder}) for a deterministic aggregate.
 
     A worker that dies or reports an exception fails the whole sweep
-    with a [Failure] naming the worker error. *)
+    with a [Failure] naming the workload it was running (the
+    scheduler's failure semantics). *)
 
 type outcome = {
   workload : Workloads.Workload.t;
@@ -61,22 +67,13 @@ val run :
     finished record bytes over the wire alongside the summary. Runs
     sequentially in-process when [jobs <= 1], when forking is
     unavailable (Windows), or for a single workload.
-    @raise Failure when a worker fails. *)
-
-val map_forked : ?jobs:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
-(** Generic forked map with the sweep's worker discipline: items are
-    sharded round-robin over [jobs] workers (default {!default_jobs}),
-    [f index item] runs in the worker, results cross the pipe via
-    [Marshal] with closures (workers are forks of this executable) and
-    come back in input order regardless of scheduling. Runs in-process
-    when [jobs <= 1], when forking is unavailable, or for a single
-    item. [Jrpm.Explore] maps one task per hardware config point.
-    @raise Failure when a worker fails. *)
+    @raise Failure when a worker fails, naming the workload it ran. *)
 
 val container : outcome list -> string option
 (** Assemble the outcomes' captured records (in list order) into one
-    trace-store container ({!Trace_store.Writer.container}); [None]
-    when the sweep ran without [capture]. *)
+    trace-store container ({!Trace_store.Writer.container}, including
+    its per-record index chunk); [None] when the sweep ran without
+    [capture]. *)
 
 val merged_recorder : outcome list -> Obs.Recorder.t option
 (** Fold every per-workload recorder into one fresh recorder (in list

@@ -183,7 +183,32 @@ let replay_all ?hw reader =
   Trace_store.Reader.close reader;
   outcomes
 
-let replay_file ?hw path = replay_all ?hw (Trace_store.Reader.open_file path)
+let replay_record ?hw ~path (entry : Trace_store.Index.entry) =
+  let reader = Trace_store.Reader.open_file path in
+  Fun.protect
+    ~finally:(fun () -> Trace_store.Reader.close reader)
+    (fun () ->
+      let record =
+        Trace_store.Reader.seek_record reader
+          ~offset:entry.Trace_store.Index.offset
+      in
+      replay_current ?hw reader record)
+
+let replay_file ?hw ?(jobs = 1) path =
+  if jobs <= 1 || not Scheduler.fork_available then
+    replay_all ?hw (Trace_store.Reader.open_file path)
+  else
+    (* record-sharded parallel decode: records are self-contained, so
+       each worker seeks straight to its record and replays it in
+       isolation; results return in container order, keeping the
+       summary output byte-identical to a sequential pass *)
+    let entries = Trace_store.Index.of_file path in
+    Scheduler.map ~jobs
+      ~label:(fun _ (e : Trace_store.Index.entry) ->
+        "record " ^ e.Trace_store.Index.name)
+      (fun _ entry -> replay_record ?hw ~path entry)
+      entries
+
 let replay_string ?hw s = replay_all ?hw (Trace_store.Reader.of_string s)
 
 let record_metrics reg outcomes =

@@ -92,9 +92,28 @@ val replay_current :
     @raise Trace_store.Reader.Corrupt on a malformed stream;
     @raise Failure on malformed metadata. *)
 
-val replay_file : ?hw:Hydra.Config.t -> string -> outcome list
-(** Open a container and replay every record in order; [hw] overrides
-    the hardware point as in {!replay_current}.
+val replay_record :
+  ?hw:Hydra.Config.t -> path:string -> Trace_store.Index.entry -> outcome
+(** Replay exactly one record of the container at [path]: open a fresh
+    reader, {!Trace_store.Reader.seek_record} to the entry's offset,
+    replay, close. Records are self-contained, so the outcome is
+    identical to the same record's outcome in a sequential
+    {!replay_file} pass — the unit of work the record-sharded parallel
+    decoder and the explore grid fan out.
+    @raise Trace_store.Reader.Corrupt / [Failure] as {!replay_current};
+    @raise Sys_error when the file cannot be opened. *)
+
+val replay_file : ?hw:Hydra.Config.t -> ?jobs:int -> string -> outcome list
+(** Open a container and replay every record, returning outcomes in
+    container order; [hw] overrides the hardware point as in
+    {!replay_current}. [jobs > 1] shards records across that many
+    forked decoder workers via the {!Scheduler} (one {!replay_record}
+    task per index entry — the index is read from the embedded chunk or
+    recovered by scanning), lifting decode throughput past the
+    single-core ceiling while keeping the outcome list — and thus all
+    summary output — byte-identical to [jobs = 1]. Per-outcome
+    [elapsed_s] is each worker's own decode time, so wall-clock
+    improves while the reported per-record timings stay comparable.
     @raise Trace_store.Reader.Corrupt / [Failure] as {!replay_current};
     @raise Sys_error when the file cannot be opened. *)
 

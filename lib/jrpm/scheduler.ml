@@ -1,0 +1,383 @@
+(* Dynamic work distribution over a persistent pool of forked workers.
+
+   The parent owns the task queue and hands out one item index at a
+   time over a per-worker task pipe; each worker loops — read an index,
+   run the task function, write one framed result on its result pipe —
+   until the parent closes the task pipe. A fast worker that finishes
+   its current task immediately receives the next pending one, so
+   skewed task durations never idle the pool the way static round-robin
+   sharding does. The static policy survives as [map_sharded_stats] so
+   `bench -- sched` can measure the difference on the same protocol.
+
+   Only the *index* crosses the task pipe: workers are forks of this
+   executable, so the item array and the task closure are already in
+   the child's address space. Results cross back via [Marshal] with
+   [Closures] (safe for the same reason), framed by an 8-byte length so
+   the parent can multiplex many result pipes with [Unix.select] and
+   detect a dead worker as EOF (or a short read) where a frame was
+   expected. The parent writes results into a slot array keyed by item
+   index, so the returned list is in input order no matter which worker
+   finished first — downstream output stays byte-identical at any
+   [jobs]. *)
+
+type stats = {
+  jobs : int;
+  tasks : int;
+  wall_s : float;
+  busy_s : float;  (* sum over workers of in-task execution time *)
+  max_worker_busy_s : float;
+}
+
+let idle_fraction s =
+  if s.jobs <= 0 || s.wall_s <= 0. then 0.
+  else Float.max 0. (1. -. (s.busy_s /. (float_of_int s.jobs *. s.wall_s)))
+
+let fork_available = not Sys.win32
+
+let default_label i _item = Printf.sprintf "task %d" i
+
+(* ---------------- framed messages over raw fds ---------------- *)
+
+let rec restart_eintr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> restart_eintr f
+
+let write_all fd bytes =
+  let len = Bytes.length bytes in
+  let pos = ref 0 in
+  while !pos < len do
+    let n = restart_eintr (fun () -> Unix.write fd bytes !pos (len - !pos)) in
+    if n <= 0 then raise (Unix.Unix_error (Unix.EPIPE, "write", ""));
+    pos := !pos + n
+  done
+
+type 'a read_outcome = Complete of 'a | Eof | Truncated
+
+(* [Eof] only at a frame boundary (byte 0); anything in between is
+   [Truncated] — a worker that died mid-write. *)
+let read_exact fd n =
+  let buf = Bytes.create n in
+  let pos = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !pos < n do
+    let k = restart_eintr (fun () -> Unix.read fd buf !pos (n - !pos)) in
+    if k = 0 then eof := true else pos := !pos + k
+  done;
+  if !pos = n then Complete buf else if !pos = 0 then Eof else Truncated
+
+let write_u64 fd v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int v);
+  write_all fd b
+
+let read_u64 fd =
+  match read_exact fd 8 with
+  | Complete b -> Complete (Int64.to_int (Bytes.get_int64_le b 0))
+  | Eof -> Eof
+  | Truncated -> Truncated
+
+(* ---------------- worker side ---------------- *)
+
+(* One result frame per task: [len: 8 bytes LE][Marshal payload] where
+   the payload is [(index, elapsed_s, (Ok result | Error message))]. *)
+let worker_loop f items task_rfd result_wfd =
+  let rec loop () =
+    match read_u64 task_rfd with
+    | Eof | Truncated -> Unix._exit 0
+    | Complete idx ->
+        let t0 = Unix.gettimeofday () in
+        let r =
+          try Ok (f idx items.(idx)) with e -> Error (Printexc.to_string e)
+        in
+        let elapsed = Unix.gettimeofday () -. t0 in
+        let payload = Marshal.to_bytes (idx, elapsed, r) [ Marshal.Closures ] in
+        write_u64 result_wfd (Bytes.length payload);
+        write_all result_wfd payload;
+        loop ()
+  in
+  (* any protocol failure means the parent vanished; exit silently —
+     the parent's side of the story is authoritative *)
+  (try loop () with _ -> ());
+  Unix._exit 2
+
+(* ---------------- parent side ---------------- *)
+
+type worker = {
+  pid : int;
+  task_wfd : Unix.file_descr;
+  result_rfd : Unix.file_descr;
+  mutable queue : int list;  (* static policy: this worker's share *)
+  mutable current : int option;  (* in-flight item index *)
+  mutable retired : bool;  (* task pipe closed: no further handouts *)
+  mutable dead : bool;  (* already reaped after an abnormal EOF *)
+  mutable busy_s : float;
+}
+
+type policy = Dynamic | Static
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let retire w =
+  if not w.retired then begin
+    w.retired <- true;
+    close_quietly w.task_wfd
+  end
+
+let sequential f items =
+  let t0 = Unix.gettimeofday () in
+  let busy = ref 0. in
+  let results =
+    List.mapi
+      (fun i x ->
+        let s0 = Unix.gettimeofday () in
+        let r = f i x in
+        busy := !busy +. (Unix.gettimeofday () -. s0);
+        r)
+      items
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  ( results,
+    {
+      jobs = 1;
+      tasks = List.length items;
+      wall_s = wall;
+      busy_s = !busy;
+      max_worker_busy_s = !busy;
+    } )
+
+(* [Unix.WSIGNALED] carries OCaml's internal signal numbers (SIGKILL is
+   -7), which make for baffling error messages; name the common ones *)
+let signal_name sg =
+  let names =
+    [
+      (Sys.sigabrt, "SIGABRT"); (Sys.sigbus, "SIGBUS"); (Sys.sigfpe, "SIGFPE");
+      (Sys.sigill, "SIGILL"); (Sys.sigint, "SIGINT"); (Sys.sigkill, "SIGKILL");
+      (Sys.sigpipe, "SIGPIPE"); (Sys.sigsegv, "SIGSEGV");
+      (Sys.sigterm, "SIGTERM"); (Sys.sigquit, "SIGQUIT");
+    ]
+  in
+  match List.assoc_opt sg names with
+  | Some name -> name
+  | None -> string_of_int sg
+
+let describe_status = function
+  | Unix.WEXITED c -> Printf.sprintf "exited with code %d" c
+  | Unix.WSIGNALED sg -> Printf.sprintf "was killed by %s" (signal_name sg)
+  | Unix.WSTOPPED sg -> Printf.sprintf "was stopped by %s" (signal_name sg)
+
+let map_core ~policy ~jobs ~label f items =
+  let n = List.length items in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 || (not fork_available) || n <= 1 then sequential f items
+  else begin
+    let arr = Array.of_list items in
+    let t0 = Unix.gettimeofday () in
+    (* a worker that dies between our send and its read must not kill
+       the parent with SIGPIPE; EPIPE is handled at the write site *)
+    let old_sigpipe =
+      try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+      with Invalid_argument _ | Sys_error _ -> None
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        match old_sigpipe with
+        | Some h -> Sys.set_signal Sys.sigpipe h
+        | None -> ())
+      (fun () ->
+        let workers =
+          let acc = ref [] in
+          for w = 0 to jobs - 1 do
+            let task_rfd, task_wfd = Unix.pipe ~cloexec:false () in
+            let result_rfd, result_wfd = Unix.pipe ~cloexec:false () in
+            (match Unix.fork () with
+            | 0 ->
+                (* child: keep only its own task-read / result-write
+                   ends; release every parent-side fd inherited from
+                   earlier forks so EOF detection stays precise *)
+                Unix.close task_wfd;
+                Unix.close result_rfd;
+                List.iter
+                  (fun prev ->
+                    close_quietly prev.task_wfd;
+                    close_quietly prev.result_rfd)
+                  !acc;
+                worker_loop f arr task_rfd result_wfd
+            | pid ->
+                Unix.close task_rfd;
+                Unix.close result_wfd;
+                let queue =
+                  match policy with
+                  | Dynamic -> []
+                  | Static ->
+                      (* the classic round-robin shard: item i belongs
+                         to worker (i mod jobs) *)
+                      List.filter
+                        (fun i -> i mod jobs = w)
+                        (List.init n Fun.id)
+                in
+                acc :=
+                  {
+                    pid;
+                    task_wfd;
+                    result_rfd;
+                    queue;
+                    current = None;
+                    retired = false;
+                    dead = false;
+                    busy_s = 0.;
+                  }
+                  :: !acc)
+          done;
+          List.rev !acc
+        in
+        let results = Array.make n None in
+        let task_errors = ref [] in
+        (* (in-flight label option, wait-status description), newest
+           first *)
+        let deaths = ref [] in
+        let aborting = ref false in
+        let next_dynamic = ref 0 in
+        let mark_dead w =
+          let victim = Option.map (fun i -> label i arr.(i)) w.current in
+          w.current <- None;
+          retire w;
+          close_quietly w.result_rfd;
+          w.dead <- true;
+          let status =
+            match restart_eintr (fun () -> Unix.waitpid [] w.pid) with
+            | _, st -> describe_status st
+            | exception Unix.Unix_error _ -> "vanished"
+          in
+          deaths := (victim, status) :: !deaths;
+          aborting := true
+        in
+        let take_next w =
+          match policy with
+          | Dynamic ->
+              if !next_dynamic < n then begin
+                let i = !next_dynamic in
+                incr next_dynamic;
+                Some i
+              end
+              else None
+          | Static -> (
+              match w.queue with
+              | [] -> None
+              | i :: rest ->
+                  w.queue <- rest;
+                  Some i)
+        in
+        let assign w =
+          if !aborting then retire w
+          else
+            match take_next w with
+            | None -> retire w
+            | Some i -> (
+                match write_u64 w.task_wfd i with
+                | () -> w.current <- Some i
+                | exception Unix.Unix_error ((Unix.EPIPE | Unix.EBADF), _, _)
+                  ->
+                    (* the worker died before reading this handout;
+                       blame the task it never ran so the report names
+                       the point where progress stopped *)
+                    w.current <- Some i;
+                    mark_dead w)
+        in
+        List.iter assign workers;
+        let receive w =
+          match read_u64 w.result_rfd with
+          | Eof | Truncated -> mark_dead w
+          | Complete len when len < 0 || len > 1 lsl 30 -> mark_dead w
+          | Complete len -> (
+              match read_exact w.result_rfd len with
+              | Eof | Truncated -> mark_dead w
+              | Complete payload ->
+                  let idx, elapsed, r =
+                    (Marshal.from_bytes payload 0
+                      : int * float * (_, string) result)
+                  in
+                  w.busy_s <- w.busy_s +. elapsed;
+                  w.current <- None;
+                  (match r with
+                  | Ok v -> results.(idx) <- Some v
+                  | Error msg ->
+                      task_errors := (label idx arr.(idx), msg) :: !task_errors;
+                      aborting := true);
+                  assign w;
+                  if w.retired && not w.dead then close_quietly w.result_rfd)
+        in
+        let rec pump () =
+          match List.filter (fun w -> w.current <> None) workers with
+          | [] -> ()
+          | busy ->
+              let fds = List.map (fun w -> w.result_rfd) busy in
+              let ready, _, _ =
+                restart_eintr (fun () -> Unix.select fds [] [] (-1.))
+              in
+              List.iter
+                (fun fd ->
+                  match List.find_opt (fun w -> w.result_rfd = fd) busy with
+                  | Some w when w.current <> None -> receive w
+                  | _ -> ())
+                ready;
+              pump ()
+        in
+        pump ();
+        (* nothing in flight: close remaining pipes and reap the
+           survivors (dead workers were reaped in [mark_dead]) *)
+        List.iter
+          (fun w ->
+            if not w.dead then begin
+              retire w;
+              close_quietly w.result_rfd;
+              ignore (restart_eintr (fun () -> Unix.waitpid [] w.pid))
+            end)
+          workers;
+        let wall = Unix.gettimeofday () -. t0 in
+        (match (!deaths, !task_errors) with
+        | [], [] -> ()
+        | deaths, errors ->
+            let death_msgs =
+              List.rev_map
+                (fun (victim, status) ->
+                  match victim with
+                  | Some name ->
+                      Printf.sprintf "worker running %s %s" name status
+                  | None -> Printf.sprintf "worker %s" status)
+                deaths
+            in
+            let error_msgs =
+              List.rev_map (fun (name, msg) -> name ^ ": " ^ msg) errors
+            in
+            failwith
+              ("Jrpm.Scheduler: " ^ String.concat "; " (death_msgs @ error_msgs)));
+        let out =
+          Array.to_list results
+          |> List.mapi (fun i r ->
+                 match r with
+                 | Some v -> v
+                 | None ->
+                     failwith
+                       (Printf.sprintf "Jrpm.Scheduler: missing result for %s"
+                          (label i arr.(i))))
+        in
+        let busy_s = List.fold_left (fun acc w -> acc +. w.busy_s) 0. workers in
+        let max_busy =
+          List.fold_left (fun acc w -> Float.max acc w.busy_s) 0. workers
+        in
+        ( out,
+          {
+            jobs;
+            tasks = n;
+            wall_s = wall;
+            busy_s;
+            max_worker_busy_s = max_busy;
+          } ))
+  end
+
+let map_stats ?(jobs = 1) ?(label = default_label) f items =
+  map_core ~policy:Dynamic ~jobs ~label f items
+
+let map ?jobs ?label f items = fst (map_stats ?jobs ?label f items)
+
+let map_sharded_stats ?(jobs = 1) ?(label = default_label) f items =
+  map_core ~policy:Static ~jobs ~label f items

@@ -1,0 +1,65 @@
+(** Work-stealing task scheduler over forked worker processes.
+
+    The parent keeps a queue of item indices and a persistent pool of
+    [jobs] forked workers. Each worker owns two pipes: a task pipe
+    (parent -> worker) carrying 8-byte little-endian item indices, and
+    a result pipe (worker -> parent) carrying one framed
+    [Marshal]-encoded [(index, elapsed_s, (Ok v | Error msg))] per
+    task. Workers are forks of the calling process, so the item list
+    and the task closure never cross a pipe — only indices and results
+    do. When a worker reports a result the parent immediately hands it
+    the next pending index (dynamic policy), so a skewed task mix keeps
+    every worker busy until the queue drains; closing the task pipe is
+    the shutdown signal.
+
+    {b Ordering guarantee.} Results are slotted by item index and
+    returned in input order: for a deterministic [f], [map ~jobs f xs]
+    is observably [List.mapi f xs] for every [jobs].
+
+    {b Failure semantics.} A worker that exits or is killed mid-task is
+    detected as EOF (or a short frame) on its result pipe; the parent
+    then stops handing out work, drains in-flight tasks, reaps every
+    child, and raises [Failure] naming the task the dead worker was
+    running plus its wait status. A task function that raises is
+    reported the same way (label + exception text) without killing the
+    pool mid-drain. No worker processes outlive a call. *)
+
+type stats = {
+  jobs : int;  (** workers actually used (capped at the task count) *)
+  tasks : int;
+  wall_s : float;  (** wall-clock for the whole map *)
+  busy_s : float;  (** total in-task time summed over workers *)
+  max_worker_busy_s : float;  (** busiest single worker *)
+}
+
+(** Fraction of the pool's wall-clock capacity spent waiting,
+    [1 - busy / (jobs * wall)], clamped to [\[0, 1\]]. High values mean
+    the task mix was skewed relative to the schedule. *)
+val idle_fraction : stats -> float
+
+(** [false] only on platforms without [Unix.fork]; all maps then run
+    in-process. *)
+val fork_available : bool
+
+(** [map ?jobs ?label f items] maps [f] over [items] on a forked worker
+    pool with dynamic (work-stealing) handout, returning results in
+    input order. [jobs <= 1], a singleton/empty list, or a platform
+    without fork all degrade to an in-process [List.mapi f]. [label]
+    names a task for failure reports (default ["task %d"]).
+    @raise Failure if a worker dies or any task raises. *)
+val map :
+  ?jobs:int -> ?label:(int -> 'a -> string) -> (int -> 'a -> 'b) ->
+  'a list -> 'b list
+
+(** [map_stats] is [map] plus pool-utilization measurements. *)
+val map_stats :
+  ?jobs:int -> ?label:(int -> 'a -> string) -> (int -> 'a -> 'b) ->
+  'a list -> 'b list * stats
+
+(** Same protocol and guarantees, but the static round-robin policy of
+    the pre-scheduler sweep: item [i] may only ever run on worker
+    [i mod jobs]. Kept as the baseline `bench -- sched` compares the
+    dynamic policy against. *)
+val map_sharded_stats :
+  ?jobs:int -> ?label:(int -> 'a -> string) -> (int -> 'a -> 'b) ->
+  'a list -> 'b list * stats

@@ -1,0 +1,185 @@
+type entry = { name : string; offset : int; bytes : int; events : int }
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Reader.Corrupt s)) fmt
+
+let rd_uvarint s pos what =
+  match Varint.read_unsigned s pos with
+  | v -> v
+  | exception Varint.Overflow -> corrupt "varint overflow in %s" what
+  | exception Invalid_argument _ -> corrupt "truncated varint in %s" what
+
+(* ---------------- frame walking ---------------- *)
+
+(* Read one chunk frame at [!pos]; returns (tag, payload offset,
+   payload length) with [pos] advanced past the payload. *)
+let read_frame s pos =
+  if !pos >= String.length s then
+    corrupt "truncated container (EOF at chunk tag)";
+  let tag = Char.code s.[!pos] in
+  incr pos;
+  let len = rd_uvarint s pos "chunk length" in
+  let payload_off = !pos in
+  if payload_off + len > String.length s then
+    corrupt "truncated container (EOF in chunk payload)";
+  pos := payload_off + len;
+  (tag, payload_off, len)
+
+let skip_header s =
+  let mlen = String.length Layout.magic in
+  if String.length s < mlen + 1 then corrupt "truncated container header";
+  if not (String.equal (String.sub s 0 mlen) Layout.magic) then
+    corrupt "bad magic (not a trace container)";
+  let v = Char.code s.[mlen] in
+  if v <> Layout.version then
+    corrupt "unsupported trace format version %d (this reader speaks %d)" v
+      Layout.version;
+  let pos = ref (mlen + 1) in
+  let ext = rd_uvarint s pos "header extension" in
+  if !pos + ext > String.length s then
+    corrupt "truncated container (EOF in header extension)";
+  pos := !pos + ext;
+  !pos
+
+(* Parse the record name out of a record-begin payload. *)
+let record_name s poff plen =
+  let p = ref poff in
+  let nlen = rd_uvarint s p "record name length" in
+  if !p + nlen > poff + plen then corrupt "record name overruns its chunk";
+  String.sub s !p nlen
+
+(* Consume frames from [!pos] until the record end; returns the
+   declared event count. Only frame lengths are walked — no event
+   decoding, which is what makes indexing a large container cheap. *)
+let finish_record s pos =
+  let rec go () =
+    let tag, ipoff, _ = read_frame s pos in
+    if tag = Layout.tag_record_end then
+      rd_uvarint s (ref ipoff) "record event count"
+    else if tag = Layout.tag_record_begin || tag = Layout.tag_container_end
+    then corrupt "record not terminated before tag 0x%02x" tag
+    else go ()
+  in
+  go ()
+
+let scan_from s start =
+  let pos = ref start in
+  let entries = ref [] in
+  let rec loop () =
+    let frame_start = !pos in
+    let tag, poff, plen = read_frame s pos in
+    if tag = Layout.tag_container_end then begin
+      if !pos <> String.length s then
+        corrupt "trailing bytes after the container end"
+    end
+    else if tag = Layout.tag_record_begin then begin
+      let name = record_name s poff plen in
+      let events = finish_record s pos in
+      entries :=
+        { name; offset = frame_start; bytes = !pos - frame_start; events }
+        :: !entries;
+      loop ()
+    end
+    else if tag = Layout.tag_events || tag = Layout.tag_record_end then
+      corrupt "chunk tag 0x%02x outside a record" tag
+    else loop ()
+  in
+  loop ();
+  List.rev !entries
+
+let scan_string s = scan_from s (skip_header s)
+
+(* ---------------- embedded index chunk ---------------- *)
+
+let chunk_payload entries =
+  let b = Buffer.create 256 in
+  Varint.write_unsigned b (List.length entries);
+  List.iter
+    (fun e ->
+      Varint.write_unsigned b (String.length e.name);
+      Buffer.add_string b e.name;
+      Varint.write_unsigned b e.offset;
+      Varint.write_unsigned b e.bytes;
+      Varint.write_unsigned b e.events)
+    entries;
+  Buffer.contents b
+
+let decode_chunk_payload s poff plen =
+  let stop = poff + plen in
+  let p = ref poff in
+  let uv what =
+    let v = rd_uvarint s p what in
+    if !p > stop then corrupt "%s overruns the index chunk" what;
+    v
+  in
+  let count = uv "index entry count" in
+  let entries = ref [] in
+  for _ = 1 to count do
+    let nlen = uv "index name length" in
+    if !p + nlen > stop then corrupt "index name overruns the index chunk";
+    let name = String.sub s !p nlen in
+    p := !p + nlen;
+    let offset = uv "index offset" in
+    let bytes = uv "index record size" in
+    let events = uv "index event count" in
+    entries := { name; offset; bytes; events } :: !entries
+  done;
+  if !p <> stop then
+    corrupt "%d trailing bytes in the index chunk" (stop - !p);
+  List.rev !entries
+
+let of_string s =
+  let after_header = skip_header s in
+  if after_header < String.length s
+     && Char.code s.[after_header] = Layout.tag_index
+  then begin
+    let pos = ref after_header in
+    let _tag, poff, plen = read_frame s pos in
+    let base = !pos in
+    let entries =
+      List.map
+        (fun e -> { e with offset = base + e.offset })
+        (decode_chunk_payload s poff plen)
+    in
+    (* trust but verify: a stale or hand-edited index must not send the
+       sharded decoder into the middle of a chunk *)
+    List.iter
+      (fun e ->
+        if
+          e.offset < 0 || e.bytes < 0
+          || e.offset + e.bytes > String.length s
+          || e.offset >= String.length s
+          || Char.code s.[e.offset] <> Layout.tag_record_begin
+        then corrupt "index entry for %S does not point at a record" e.name)
+      entries;
+    entries
+  end
+  else scan_from s after_header
+
+let of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+(* ---------------- writer support ---------------- *)
+
+(* Validate that [r] is exactly one framed record and summarize it. *)
+let summarize_record r =
+  let pos = ref 0 in
+  let tag, poff, plen = read_frame r pos in
+  if tag <> Layout.tag_record_begin then
+    corrupt "record bytes do not start with a record-begin chunk";
+  let name = record_name r poff plen in
+  let events = finish_record r pos in
+  if !pos <> String.length r then corrupt "trailing bytes after the record end";
+  (name, events)
+
+let of_records records =
+  let off = ref 0 in
+  List.map
+    (fun r ->
+      let name, events = summarize_record r in
+      let e = { name; offset = !off; bytes = String.length r; events } in
+      off := !off + String.length r;
+      e)
+    records

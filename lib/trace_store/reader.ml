@@ -325,6 +325,19 @@ let rec next_record t =
         next_record t
       end)
 
+let seek_record t ~offset =
+  if offset < 0 then corrupt "seek offset %d is negative" offset;
+  (match t.src with
+  | Channel ic -> seek_in ic offset
+  | Str s ->
+      if offset > String.length s then
+        corrupt "seek offset %d is past the container end" offset);
+  t.off <- offset;
+  t.cursor <- Record_done;
+  match next_record t with
+  | Some r -> r
+  | None -> corrupt "no record at offset %d" offset
+
 let verify_record_end t payload =
   let pos = ref 0 in
   let count = rd_unsigned payload pos in

@@ -54,6 +54,16 @@ val next_record : t -> record option
     before it raises {!Corrupt}). Undecoded events of the current
     record are skipped frame-by-frame without checksum verification. *)
 
+val seek_record : t -> offset:int -> record
+(** Position the cursor at the record whose begin chunk starts at the
+    absolute container [offset] (an {!Index.entry}'s [offset]) and
+    return its identity, exactly as if {!next_record} had just walked
+    to it: codec state is reset, so {!replay} then decodes the record
+    identically to a sequential pass — records being self-contained is
+    what makes the sharded parallel decoder sound. The cursor continues
+    forward from there; seeking backward is allowed.
+    @raise Corrupt when [offset] does not address a record. *)
+
 val replay : t -> Hydra.Trace.sink -> replay_stats
 (** Decode the current record's whole event stream into the sink, in
     capture order, verifying the end chunk. Must follow a successful

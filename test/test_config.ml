@@ -246,6 +246,24 @@ let test_explore_verdict_flip () =
       Alcotest.failf "expected exactly the deltaBlue flip, got %d flips"
         (List.length flips)
 
+(* Explore fans out one scheduler task per (config point x record);
+   regrouping must put every cell back in grid x archive order, so the
+   matrix JSON is byte-identical at any worker count. *)
+let test_explore_jobs_identity () =
+  let _, path = Lazy.force captured in
+  let json jobs =
+    Obs.Json.to_string
+      (Jrpm.Explore.to_json
+         (Jrpm.Explore.run ~jobs ~grid:[ "cpus=8" ] ~path ()))
+  in
+  let j1 = json 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "explore JSON identical at jobs=%d" jobs)
+        j1 (json jobs))
+    [ 4; 16 ]
+
 (* ---------------- summary fingerprint migration ---------------- *)
 
 let test_summary_fingerprint_fallback () =
@@ -284,6 +302,8 @@ let suites =
           test_explore_golden;
         Alcotest.test_case "cpus=8 verdict flip (deltaBlue)" `Quick
           test_explore_verdict_flip;
+        Alcotest.test_case "explore byte-identical at jobs 1/4/16" `Quick
+          test_explore_jobs_identity;
         Alcotest.test_case "summary fingerprint fallback" `Quick
           test_summary_fingerprint_fallback;
       ] );

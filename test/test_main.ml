@@ -6,4 +6,5 @@ let () =
    @ Test_tls.suites @ Test_hardware.suites @ Test_pipeline.suites
    @ Test_workload_golden.suites @ Test_methods.suites @ Test_fuzz.suites
    @ Test_shapes.suites @ Test_obs.suites @ Test_sweep.suites
-   @ Test_regression.suites @ Test_trace_store.suites @ Test_config.suites)
+   @ Test_regression.suites @ Test_trace_store.suites @ Test_config.suites
+   @ Test_scheduler.suites)

@@ -1,0 +1,155 @@
+(* The work-stealing scheduler: [Scheduler.map ~jobs f xs] must be
+   observably [List.mapi f xs] — same results, same order — for any
+   worker count, task mix, or completion order; both distribution
+   policies agree; and failures (task exceptions, killed workers)
+   surface as [Failure] naming the task that was running. *)
+
+module S = Jrpm.Scheduler
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* ---------------- the ordering guarantee ---------------- *)
+
+(* Pure task function whose value-derived sleep scrambles completion
+   order across workers without breaking determinism: some tasks dally,
+   some return immediately, so a fast worker overtakes a slow one on
+   almost every run. *)
+let slow_double i x =
+  if x land 3 = 0 then Unix.sleepf (float_of_int (x land 7) /. 4000.);
+  (i, (2 * x) + 1)
+
+let prop_map_equals_mapi =
+  QCheck.Test.make
+    ~name:"map equals in-process mapi for any jobs / task mix" ~count:20
+    QCheck.(
+      pair (int_range 1 8) (list_of_size Gen.(int_range 0 20) (int_range 0 1000)))
+    (fun (jobs, items) ->
+      S.map ~jobs slow_double items = List.mapi slow_double items)
+
+let test_order_with_skew () =
+  (* the first task is far heavier than the rest: its result must still
+     come first even though every other task finishes before it *)
+  let items = 60 :: List.init 11 (fun _ -> 0) in
+  let f i ms =
+    Unix.sleepf (float_of_int ms /. 1000.);
+    i
+  in
+  Alcotest.(check (list int))
+    "input order preserved under skew"
+    (List.init 12 Fun.id)
+    (S.map ~jobs:4 f items)
+
+let test_sharded_equals_dynamic () =
+  let items = List.init 17 (fun i -> i * i) in
+  let f i x = (i, x + 1) in
+  let dyn, _ = S.map_stats ~jobs:3 f items in
+  let sh, _ = S.map_sharded_stats ~jobs:3 f items in
+  Alcotest.(check bool) "policies agree" true (dyn = sh);
+  Alcotest.(check bool) "both equal mapi" true (dyn = List.mapi f items)
+
+let test_edges () =
+  let id _ x = x in
+  Alcotest.(check (list int)) "empty" [] (S.map ~jobs:4 id []);
+  Alcotest.(check (list int)) "singleton" [ 7 ] (S.map ~jobs:4 id [ 7 ]);
+  Alcotest.(check (list int))
+    "more workers than tasks" [ 1; 2 ]
+    (S.map ~jobs:16 id [ 1; 2 ]);
+  Alcotest.(check (list int))
+    "jobs 0 treated as sequential" [ 5; 6 ]
+    (S.map ~jobs:0 id [ 5; 6 ])
+
+let test_stats_accounting () =
+  let items = List.init 8 Fun.id in
+  let _, st =
+    S.map_stats ~jobs:4
+      (fun _ x ->
+        Unix.sleepf 0.002;
+        x)
+      items
+  in
+  Alcotest.(check int) "tasks counted" 8 st.S.tasks;
+  Alcotest.(check int) "jobs reported" 4 st.S.jobs;
+  Alcotest.(check bool) "wall-clock positive" true (st.S.wall_s > 0.);
+  Alcotest.(check bool) "busy time positive" true (st.S.busy_s > 0.);
+  Alcotest.(check bool) "max worker busy <= total busy" true
+    (st.S.max_worker_busy_s <= st.S.busy_s +. 1e-9);
+  let f = S.idle_fraction st in
+  Alcotest.(check bool) "idle fraction in [0,1]" true (f >= 0. && f <= 1.)
+
+(* ---------------- failure semantics ---------------- *)
+
+let test_task_error_names_task () =
+  let f i x = if i = 5 then failwith "boom" else x in
+  match S.map ~jobs:3 f (List.init 9 Fun.id) with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure msg ->
+      Alcotest.(check bool)
+        ("failure names the task: " ^ msg)
+        true
+        (contains ~needle:"task 5" msg);
+      Alcotest.(check bool)
+        ("failure carries the error: " ^ msg)
+        true
+        (contains ~needle:"boom" msg)
+
+let test_custom_labels () =
+  let f i x = if i = 1 then failwith "nope" else x in
+  match
+    S.map ~jobs:2
+      ~label:(fun _ x -> "item " ^ string_of_int x)
+      f [ 10; 20; 30 ]
+  with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure msg ->
+      Alcotest.(check bool)
+        ("failure uses the custom label: " ^ msg)
+        true
+        (contains ~needle:"item 20" msg)
+
+let test_killed_worker_names_task () =
+  if not S.fork_available then ()
+  else
+    (* the task kills its own worker process mid-task: the parent must
+       detect the dead worker, name the task it was running, and fail
+       cleanly instead of hanging on the missing result *)
+    let f i x =
+      if i = 2 then Unix.kill (Unix.getpid ()) Sys.sigkill;
+      x
+    in
+    match S.map ~jobs:2 f (List.init 8 Fun.id) with
+    | _ -> Alcotest.fail "expected Failure after a killed worker"
+    | exception Failure msg ->
+        Alcotest.(check bool)
+          ("failure names the in-flight task: " ^ msg)
+          true
+          (contains ~needle:"task 2" msg);
+        Alcotest.(check bool)
+          ("failure reports the wait status: " ^ msg)
+          true
+          (contains ~needle:"SIGKILL" msg)
+
+let suites =
+  [
+    ( "scheduler.order",
+      [
+        QCheck_alcotest.to_alcotest prop_map_equals_mapi;
+        Alcotest.test_case "skewed mix keeps input order" `Quick
+          test_order_with_skew;
+        Alcotest.test_case "sharded equals dynamic" `Quick
+          test_sharded_equals_dynamic;
+        Alcotest.test_case "edge cases" `Quick test_edges;
+        Alcotest.test_case "stats accounting" `Quick test_stats_accounting;
+      ] );
+    ( "scheduler.failure",
+      [
+        Alcotest.test_case "task error names the task" `Quick
+          test_task_error_names_task;
+        Alcotest.test_case "custom labels in failures" `Quick
+          test_custom_labels;
+        Alcotest.test_case "killed worker surfaces cleanly" `Quick
+          test_killed_worker_names_task;
+      ] );
+  ]

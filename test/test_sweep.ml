@@ -287,6 +287,68 @@ let test_golden_summaries () =
         (Obs.Json.to_string (Jrpm.Report_summary.to_json s)))
     outcomes
 
+(* The cross-jobs determinism contract the work-stealing scheduler must
+   uphold: any worker count produces byte-identical summary JSON and a
+   byte-identical capture container, for sweeps and for record-sharded
+   parallel replay. *)
+
+let test_sweep_jobs_identity () =
+  let run jobs =
+    let outcomes = Jrpm.Parallel_sweep.run ~jobs ~workloads ~capture:true () in
+    let json =
+      Obs.Json.to_string
+        (Obs.Json.List
+           (List.map
+              (fun (o : Jrpm.Parallel_sweep.outcome) ->
+                Jrpm.Report_summary.to_json o.Jrpm.Parallel_sweep.summary)
+              outcomes))
+    in
+    match Jrpm.Parallel_sweep.container outcomes with
+    | Some c -> (json, c)
+    | None -> Alcotest.fail "capture sweep produced no container"
+  in
+  let j1, c1 = run 1 in
+  List.iter
+    (fun jobs ->
+      let j, c = run jobs in
+      Alcotest.(check string)
+        (Printf.sprintf "summary JSON identical at jobs=%d" jobs)
+        j1 j;
+      Alcotest.(check bool)
+        (Printf.sprintf "capture container byte-identical at jobs=%d" jobs)
+        true (c = c1))
+    [ 4; 16 ]
+
+let test_replay_jobs_identity () =
+  let outcomes = Jrpm.Parallel_sweep.run ~jobs:1 ~workloads ~capture:true () in
+  let container =
+    match Jrpm.Parallel_sweep.container outcomes with
+    | Some c -> c
+    | None -> Alcotest.fail "capture sweep produced no container"
+  in
+  let path = Filename.temp_file "jrpm_replay_jobs" ".jtrc" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc container;
+      close_out oc;
+      let json jobs =
+        Obs.Json.to_string
+          (Obs.Json.List
+             (List.map
+                (fun (o : Jrpm.Replay.outcome) ->
+                  Jrpm.Report_summary.to_json o.Jrpm.Replay.replayed)
+                (Jrpm.Replay.replay_file ~jobs path)))
+      in
+      let j1 = json 1 in
+      List.iter
+        (fun jobs ->
+          Alcotest.(check string)
+            (Printf.sprintf "replayed summary JSON identical at jobs=%d" jobs)
+            j1 (json jobs))
+        [ 4; 16 ])
+
 let test_worker_failure_surfaces () =
   let bad = tiny "t-bad" "def main( { this does not parse" in
   match
@@ -317,6 +379,10 @@ let suites =
       [
         Alcotest.test_case "forked sweep equals sequential" `Quick
           test_parallel_equals_sequential;
+        Alcotest.test_case "sweep byte-identical at jobs 1/4/16" `Quick
+          test_sweep_jobs_identity;
+        Alcotest.test_case "replay byte-identical at jobs 1/4/16" `Quick
+          test_replay_jobs_identity;
         Alcotest.test_case "worker failure surfaces" `Quick
           test_worker_failure_surfaces;
       ] );

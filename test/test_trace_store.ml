@@ -291,6 +291,127 @@ let test_tracer_event_tap () =
     (List.length events)
     (Test_core.Tracer.events_consumed tracer)
 
+(* ---------------- record index + seek ---------------- *)
+
+module I = Trace_store.Index
+
+let three_records () =
+  let _, r1 = encode_record ~name:"a" (loop_events ~iters:5 ~body:4) in
+  let _, r2 = encode_record ~name:"b" [ E.Return { now = 1 } ] in
+  let _, r3 = encode_record ~name:"c" (loop_events ~iters:3 ~body:2) in
+  [ r1; r2; r3 ]
+
+(* a container in the pre-index layout: header, records, end — what
+   every writer produced before the index chunk existed *)
+let legacy_container records =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "JTRC\x01\x00";
+  List.iter (Buffer.add_string b) records;
+  Buffer.add_string b "\x00\x00";
+  Buffer.contents b
+
+let shape entries =
+  List.map (fun (e : I.entry) -> (e.I.name, e.I.bytes, e.I.events)) entries
+
+let test_index_embedded_and_scan_agree () =
+  let records = three_records () in
+  let embedded = W.container records in
+  let legacy = legacy_container records in
+  (* the embedded chunk and a frame scan of the same container agree
+     exactly; the legacy container differs only by the offset shift the
+     index chunk itself introduces *)
+  let from_chunk = I.of_string embedded in
+  Alcotest.(check bool) "embedded index = scan of same bytes" true
+    (from_chunk = I.scan_string embedded);
+  Alcotest.(check bool) "legacy scan has the same shape" true
+    (shape from_chunk = shape (I.of_string legacy));
+  Alcotest.(check (list string))
+    "container order" [ "a"; "b"; "c" ]
+    (List.map (fun (e : I.entry) -> e.I.name) from_chunk);
+  Alcotest.(check (list int))
+    "declared event counts" [ 25; 1; 9 ]
+    (List.map (fun (e : I.entry) -> e.I.events) from_chunk);
+  (* every offset points at a record-begin tag and every length covers
+     the record exactly *)
+  List.iter2
+    (fun (e : I.entry) record ->
+      Alcotest.(check char)
+        ("offset points at record begin: " ^ e.I.name)
+        '\x01' embedded.[e.I.offset];
+      Alcotest.(check string)
+        ("entry spans the record bytes: " ^ e.I.name)
+        record
+        (String.sub embedded e.I.offset e.I.bytes))
+    from_chunk records
+
+let test_seek_record_decodes_in_isolation () =
+  let container = W.container (three_records ()) in
+  let entries = I.of_string container in
+  (* sequential decode of record c for reference *)
+  let seq =
+    let r = R.of_string container in
+    ignore (R.next_record r : R.record option);
+    ignore (R.replay r Hydra.Trace.null_sink : R.replay_stats);
+    ignore (R.next_record r : R.record option);
+    ignore (R.replay r Hydra.Trace.null_sink : R.replay_stats);
+    ignore (R.next_record r : R.record option);
+    let sink, events = E.collector () in
+    ignore (R.replay r sink : R.replay_stats);
+    events ()
+  in
+  let seek_decode name =
+    let e = List.find (fun (e : I.entry) -> e.I.name = name) entries in
+    let r = R.of_string container in
+    let record = R.seek_record r ~offset:e.I.offset in
+    Alcotest.(check string) "seek lands on the right record" name
+      record.R.name;
+    let sink, events = E.collector () in
+    let stats = R.replay r sink in
+    Alcotest.(check int)
+      ("declared events match: " ^ name)
+      e.I.events stats.R.events;
+    events ()
+  in
+  Alcotest.(check bool) "seeked decode equals sequential decode" true
+    (seek_decode "c" = seq);
+  (* backward seek after reading forward *)
+  let r = R.of_string container in
+  let e3 = List.nth entries 2 and e1 = List.hd entries in
+  ignore (R.seek_record r ~offset:e3.I.offset : R.record);
+  ignore (R.replay r Hydra.Trace.null_sink : R.replay_stats);
+  let back = R.seek_record r ~offset:e1.I.offset in
+  Alcotest.(check string) "backward seek works" "a" back.R.name;
+  (* a bogus offset is rejected, not misread *)
+  expect_corrupt "seek into the middle of a chunk" (fun () ->
+      R.seek_record (R.of_string container) ~offset:(e1.I.offset + 1))
+
+let test_lying_index_rejected () =
+  (* hand-build a container whose index chunk points one byte past the
+     real record: of_string must detect the lie and raise, not shard on
+     garbage offsets *)
+  let _, record = encode_record ~name:"x" [ E.Return { now = 3 } ] in
+  let entry = { I.name = "x"; offset = 1; bytes = String.length record; events = 1 } in
+  let payload = I.chunk_payload [ entry ] in
+  let b = Buffer.create 256 in
+  Buffer.add_string b "JTRC\x01\x00";
+  Buffer.add_char b '\x04';
+  V.write_unsigned b (String.length payload);
+  Buffer.add_string b payload;
+  Buffer.add_string b record;
+  Buffer.add_string b "\x00\x00";
+  expect_corrupt "lying index offset" (fun () ->
+      I.of_string (Buffer.contents b));
+  (* a truncated index payload is also rejected *)
+  let b2 = Buffer.create 256 in
+  Buffer.add_string b2 "JTRC\x01\x00";
+  Buffer.add_char b2 '\x04';
+  V.write_unsigned b2 2;
+  Buffer.add_string b2 (String.sub payload 0 2);
+  Buffer.add_string b2 record;
+  Buffer.add_string b2 "\x00\x00";
+  expect_corrupt "truncated index payload" (fun () ->
+      I.of_string (Buffer.contents b2))
+
 (* ---------------- replay determinism vs the golden sweep ---------------- *)
 
 (* The same subset test_sweep pins against golden_sweep_summaries.json:
@@ -375,6 +496,15 @@ let suites =
         Alcotest.test_case "tee duplicates in order" `Quick
           test_tee_orders_and_duplicates;
         Alcotest.test_case "tracer event tap" `Quick test_tracer_event_tap;
+      ] );
+    ( "trace_store.index",
+      [
+        Alcotest.test_case "embedded index, scan, and legacy agree" `Quick
+          test_index_embedded_and_scan_agree;
+        Alcotest.test_case "seek_record decodes in isolation" `Quick
+          test_seek_record_decodes_in_isolation;
+        Alcotest.test_case "lying or truncated index rejected" `Quick
+          test_lying_index_rejected;
       ] );
     ( "trace_store.replay",
       [
