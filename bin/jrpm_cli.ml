@@ -806,12 +806,27 @@ let trace_record_cmd =
     Term.(const record $ trace_file_arg $ workloads_arg $ jobs_arg)
 
 let trace_replay_cmd =
-  let replay file summary_json profile profile_json jobs =
+  let io_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("mapped", Jrpm.Replay.Mapped); ("channel", Jrpm.Replay.Channel) ])
+          Jrpm.Replay.Mapped
+      & info [ "io" ] ~docv:"BACKEND"
+          ~doc:
+            "container read path: $(b,mapped) (default) maps the file once \
+             and decodes in place, sharing the read-only pages with decoder \
+             workers; $(b,channel) is the buffered-channel baseline with one \
+             file open per parallel task. Output is byte-identical either \
+             way — CI gates on it")
+  in
+  let replay file summary_json profile profile_json jobs io =
     let jobs =
       match jobs with Some n -> n | None -> Jrpm.Parallel_sweep.default_jobs ()
     in
     let outcomes =
-      fail_trace_errors (fun () -> Jrpm.Replay.replay_file ~jobs file)
+      fail_trace_errors (fun () -> Jrpm.Replay.replay_file ~jobs ~io file)
     in
     (* stdout is deterministic: encoded sizes and re-derived analysis
        results only; wall-clock throughput goes to stderr via --profile *)
@@ -897,7 +912,7 @@ let trace_replay_cmd =
           recorded summaries; records are sharded across decoder workers")
     Term.(
       const replay $ trace_file_arg $ summary_json_arg $ profile_arg
-      $ profile_json_arg $ jobs_arg)
+      $ profile_json_arg $ jobs_arg $ io_arg)
 
 let trace_info_cmd =
   let records_arg =
@@ -909,18 +924,38 @@ let trace_info_cmd =
              the units the sharded parallel decoder fans out — instead of \
              decoding and checksumming every record")
   in
+  (* container size and index-chunk framing, from the mapped header +
+     tail only — what tells an operator whether `--jobs` decode will
+     shard via the embedded index or fall back to a frame scan *)
+  let print_container_line file =
+    let src = Trace_store.Bytesrc.map_file file in
+    (match Trace_store.Index.embedded_chunk_size src with
+    | Some n ->
+        Printf.printf "container: %d bytes, index chunk: %d bytes\n"
+          (Trace_store.Bytesrc.length src)
+          n
+    | None ->
+        Printf.printf "container: %d bytes, index chunk: none (frame scan)\n"
+          (Trace_store.Bytesrc.length src));
+    src
+  in
   let print_index file =
     fail_trace_errors (fun () ->
+        ignore (print_container_line file : Trace_store.Bytesrc.t);
+        (* of_file reads only the header + index chunk, never the body *)
         let entries = Trace_store.Index.of_file file in
         Util.Text_table.print
-          ~aligns:Util.Text_table.[ Right; Right; Right; Left ]
-          ~header:[ "Offset"; "Bytes"; "Events"; "Record" ]
+          ~aligns:Util.Text_table.[ Right; Right; Right; Right; Left ]
+          ~header:[ "Offset"; "Bytes"; "Events"; "B/event"; "Record" ]
           (List.map
              (fun (e : Trace_store.Index.entry) ->
                [
                  string_of_int e.Trace_store.Index.offset;
                  string_of_int e.Trace_store.Index.bytes;
                  string_of_int e.Trace_store.Index.events;
+                 Printf.sprintf "%.2f"
+                   (float_of_int e.Trace_store.Index.bytes
+                   /. float_of_int (max 1 e.Trace_store.Index.events));
                  e.Trace_store.Index.name;
                ])
              entries);
@@ -928,7 +963,8 @@ let trace_info_cmd =
   in
   let info_ file =
     fail_trace_errors (fun () ->
-        let reader = Trace_store.Reader.open_file file in
+        let src = print_container_line file in
+        let reader = Trace_store.Reader.of_src src in
         let rec go acc =
           match Trace_store.Reader.next_record reader with
           | None -> List.rev acc

@@ -131,8 +131,8 @@ type t = {
   flips : flip list;
 }
 
-let eval_cell ~path config entry =
-  let o = Replay.replay_record ~hw:config ~path entry in
+let eval_cell ~src config entry =
+  let o = Replay.replay_entry ~hw:config ~src entry in
   {
     workload = o.Replay.name;
     summary = o.Replay.replayed;
@@ -174,19 +174,27 @@ let run ?jobs ~grid ~path () =
     match jobs with Some n -> max 1 n | None -> Parallel_sweep.default_jobs ()
   in
   let configs = configs_of_grid (parse_grid grid) in
-  let entries = Trace_store.Index.of_file path in
+  (* map the archive once; workers inherit the read-only pages across
+     fork, so a grid cell's record handoff is just the index entry's
+     (offset, length) — no per-task container open or header read *)
+  let src = Trace_store.Bytesrc.map_file path in
+  let entries = Trace_store.Index.of_src src in
   (* one scheduler task per (config point × record): finer work units
      than a whole grid point, so the pool stays busy even when the grid
-     is narrower than the worker count or one record dominates *)
+     is narrower than the worker count or one record dominates; the
+     index's event counts weight the frame plan so a dominant record's
+     cells dispatch first and tiny cells coalesce *)
   let tasks =
     List.concat_map (fun c -> List.map (fun e -> (c, e)) entries) configs
   in
   let cells =
-    Scheduler.map ~jobs
+    Scheduler.map_adaptive ~jobs
       ~label:(fun _ (c, (e : Trace_store.Index.entry)) ->
         Printf.sprintf "grid point %s / record %s" (Hydra.Config.label c)
           e.Trace_store.Index.name)
-      (fun _ (config, entry) -> eval_cell ~path config entry)
+      ~weights:(fun _ ((_, e) : _ * Trace_store.Index.entry) ->
+        float_of_int e.Trace_store.Index.events)
+      (fun _ (config, entry) -> eval_cell ~src config entry)
       tasks
   in
   (* regroup the flat cell list: tasks were emitted config-major, so

@@ -9,11 +9,14 @@
     replays, each 20–40× cheaper than a pipeline run. The default
     machine is always evaluated first as the reference column and its
     summaries are byte-identical to interpreted sweep output (the
-    replay-determinism invariant). The grid fans out one {!Scheduler}
-    task per (config point × record) — {!Replay.replay_record} seeking
-    via the container's {!Trace_store.Index} — so the work-stealing
-    pool stays busy even when the grid is narrow or one record
-    dominates; cells regroup into grid-order points afterward.
+    replay-determinism invariant). The archive is mapped once
+    ({!Trace_store.Bytesrc.map_file}) and indexed from the mapped tail;
+    the grid fans out one {!Scheduler} task per (config point ×
+    record) — {!Replay.replay_entry} seeking into the mapping the
+    forked workers inherit — with the index's event counts weighting
+    the adaptive frame plan, so the work-stealing pool stays busy even
+    when the grid is narrow or one record dominates; cells regroup into
+    grid-order points afterward.
 
     Simulation-derived summary fields ([tls_cycles], [actual_speedup],
     violation/stall counts) pass through from the capture machine —

@@ -16,7 +16,7 @@ type outcome = {
    wire. *)
 type wire_item = string * string option * string option * Pipeline.report
 
-let core_count () = try Domain.recommended_domain_count () with _ -> 1
+let core_count = Scheduler.core_count
 
 let default_jobs () =
   match Sys.getenv_opt "JRPM_JOBS" with

@@ -45,9 +45,9 @@ type outcome = {
 }
 
 val default_jobs : unit -> int
-(** Core count ([Domain.recommended_domain_count]); the [JRPM_JOBS]
-    environment variable overrides it. An invalid override (not a
-    positive integer) is diagnosed on stderr and treated as unset. *)
+(** Core count ({!Scheduler.core_count}); the [JRPM_JOBS] environment
+    variable overrides it. An invalid override (not a positive integer)
+    is diagnosed on stderr and treated as unset. *)
 
 val run :
   ?jobs:int ->

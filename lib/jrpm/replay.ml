@@ -194,20 +194,51 @@ let replay_record ?hw ~path (entry : Trace_store.Index.entry) =
       in
       replay_current ?hw reader record)
 
-let replay_file ?hw ?(jobs = 1) path =
-  if jobs <= 1 || not Scheduler.fork_available then
-    replay_all ?hw (Trace_store.Reader.open_file path)
-  else
-    (* record-sharded parallel decode: records are self-contained, so
-       each worker seeks straight to its record and replays it in
-       isolation; results return in container order, keeping the
-       summary output byte-identical to a sequential pass *)
-    let entries = Trace_store.Index.of_file path in
-    Scheduler.map ~jobs
-      ~label:(fun _ (e : Trace_store.Index.entry) ->
-        "record " ^ e.Trace_store.Index.name)
-      (fun _ entry -> replay_record ?hw ~path entry)
-      entries
+let replay_entry ?hw ~src (entry : Trace_store.Index.entry) =
+  let reader = Trace_store.Reader.of_src src in
+  let record =
+    Trace_store.Reader.seek_record reader ~offset:entry.Trace_store.Index.offset
+  in
+  replay_current ?hw reader record
+
+type io = Mapped | Channel
+
+let record_label _ (e : Trace_store.Index.entry) =
+  "record " ^ e.Trace_store.Index.name
+
+let replay_file ?hw ?(jobs = 1) ?(io = Mapped) path =
+  match io with
+  | Channel ->
+      (* the pre-mapping read path, kept as the baseline `bench --
+         handoff` and the CI backend-identity gate compare against:
+         buffered channel decode, and one container open + header read
+         per parallel task *)
+      if jobs <= 1 || not Scheduler.fork_available then
+        replay_all ?hw (Trace_store.Reader.open_file path)
+      else
+        let entries = Trace_store.Index.of_file path in
+        Scheduler.map ~jobs ~label:record_label
+          (fun _ entry -> replay_record ?hw ~path entry)
+          entries
+  | Mapped ->
+      (* zero-copy handoff: the parent maps the container once and
+         parses the index from the mapped tail; forked workers inherit
+         the read-only pages, so a task is just (offset, length) into
+         the shared source — no per-task open, header read, or chunk
+         copy. Records are self-contained, so each worker seeks
+         straight to its record and replays it in isolation; results
+         return in container order, keeping the summary output
+         byte-identical to a sequential pass at any [jobs]. *)
+      let src = Trace_store.Bytesrc.map_file path in
+      let entries = Trace_store.Index.of_src src in
+      if jobs <= 1 || not Scheduler.fork_available then
+        List.map (replay_entry ?hw ~src) entries
+      else
+        Scheduler.map_adaptive ~jobs ~label:record_label
+          ~weights:(fun _ (e : Trace_store.Index.entry) ->
+            float_of_int e.Trace_store.Index.events)
+          (fun _ entry -> replay_entry ?hw ~src entry)
+          entries
 
 let replay_string ?hw s = replay_all ?hw (Trace_store.Reader.of_string s)
 

@@ -103,15 +103,41 @@ val replay_record :
     @raise Trace_store.Reader.Corrupt / [Failure] as {!replay_current};
     @raise Sys_error when the file cannot be opened. *)
 
-val replay_file : ?hw:Hydra.Config.t -> ?jobs:int -> string -> outcome list
+val replay_entry :
+  ?hw:Hydra.Config.t ->
+  src:Trace_store.Bytesrc.t ->
+  Trace_store.Index.entry ->
+  outcome
+(** {!replay_record} over an already-materialized byte source: build a
+    cheap cursor ({!Trace_store.Reader.of_src}), seek to the entry's
+    offset, replay in place. With [src] a {!Trace_store.Bytesrc.map_file}
+    mapping established before the scheduler forks, this is the
+    zero-copy worker task — the record handoff is the (offset, length)
+    pair in [entry]; the worker opens nothing and copies no chunk.
+    @raise Trace_store.Reader.Corrupt / [Failure] as {!replay_current}. *)
+
+type io = Mapped | Channel
+(** Which read path {!replay_file} drives. [Mapped] (the default) maps
+    the container once, indexes from the mapped tail, and fans records
+    out by offset over the shared source with adaptive (event-weighted)
+    task granularity. [Channel] is the buffered-channel baseline — one
+    container open + header read per parallel task, FIFO handout — kept
+    for `bench -- handoff` and the CI gate that the two backends
+    produce byte-identical output. *)
+
+val replay_file :
+  ?hw:Hydra.Config.t -> ?jobs:int -> ?io:io -> string -> outcome list
 (** Open a container and replay every record, returning outcomes in
     container order; [hw] overrides the hardware point as in
     {!replay_current}. [jobs > 1] shards records across that many
-    forked decoder workers via the {!Scheduler} (one {!replay_record}
-    task per index entry — the index is read from the embedded chunk or
-    recovered by scanning), lifting decode throughput past the
-    single-core ceiling while keeping the outcome list — and thus all
-    summary output — byte-identical to [jobs = 1]. Per-outcome
+    forked decoder workers via the {!Scheduler}: under [Mapped] the
+    workers inherit the parent's read-only mapping and run
+    {!replay_entry} tasks planned by {!Scheduler.plan_frames} with the
+    index's per-record event counts as weights (giant records dispatch
+    first and alone, tiny records coalesce into shared frames); under
+    [Channel] each task is a {!replay_record} against the path. Either
+    way the outcome list — and thus all summary output — is
+    byte-identical to [jobs = 1] and across backends. Per-outcome
     [elapsed_s] is each worker's own decode time, so wall-clock
     improves while the reported per-record timings stay comparable.
     @raise Trace_store.Reader.Corrupt / [Failure] as {!replay_current};

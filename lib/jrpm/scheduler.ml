@@ -1,28 +1,34 @@
 (* Dynamic work distribution over a persistent pool of forked workers.
 
-   The parent owns the task queue and hands out one item index at a
-   time over a per-worker task pipe; each worker loops — read an index,
-   run the task function, write one framed result on its result pipe —
-   until the parent closes the task pipe. A fast worker that finishes
-   its current task immediately receives the next pending one, so
-   skewed task durations never idle the pool the way static round-robin
-   sharding does. The static policy survives as [map_sharded_stats] so
-   `bench -- sched` can measure the difference on the same protocol.
+   The parent owns the task queue and hands out one *frame* (a batch of
+   item indices) at a time over a per-worker task pipe; each worker
+   loops — read a frame, run every task in it, write one framed result
+   on its result pipe — until the parent closes the task pipe. A fast
+   worker that finishes its current frame immediately receives the next
+   pending one, so skewed task durations never idle the pool the way
+   static round-robin sharding does. [map] dispatches singleton frames
+   in input order (plain FIFO stealing); [map_adaptive_stats] plans
+   frames from per-task weight estimates — heaviest first, tiny tasks
+   coalesced — via [plan_frames]. The static policy survives as
+   [map_sharded_stats] so `bench -- sched` can measure the difference
+   on the same protocol.
 
-   Only the *index* crosses the task pipe: workers are forks of this
-   executable, so the item array and the task closure are already in
-   the child's address space. Results cross back via [Marshal] with
-   [Closures] (safe for the same reason), framed by an 8-byte length so
-   the parent can multiplex many result pipes with [Unix.select] and
-   detect a dead worker as EOF (or a short read) where a frame was
-   expected. The parent writes results into a slot array keyed by item
-   index, so the returned list is in input order no matter which worker
-   finished first — downstream output stays byte-identical at any
+   Only *indices* cross the task pipe ([count, i1..in], 8-byte LE
+   each): workers are forks of this executable, so the item array and
+   the task closure are already in the child's address space. Results
+   cross back via [Marshal] with [Closures] (safe for the same reason),
+   framed by an 8-byte length so the parent can multiplex many result
+   pipes with [Unix.select] and detect a dead worker as EOF (or a short
+   read) where a frame was expected. The parent writes results into a
+   slot array keyed by item index, so the returned list is in input
+   order no matter which worker finished first or how tasks were
+   batched into frames — downstream output stays byte-identical at any
    [jobs]. *)
 
 type stats = {
   jobs : int;
   tasks : int;
+  frames : int;  (* task-pipe handouts: = tasks unless coalescing *)
   wall_s : float;
   busy_s : float;  (* sum over workers of in-task execution time *)
   max_worker_busy_s : float;
@@ -35,6 +41,59 @@ let idle_fraction s =
 let fork_available = not Sys.win32
 
 let default_label i _item = Printf.sprintf "task %d" i
+
+let core_count () = try Domain.recommended_domain_count () with _ -> 1
+
+(* ---------------- adaptive frame planning ---------------- *)
+
+(* Pure and deterministic: the same weights always yield the same
+   frames, so the dispatch order never threatens output byte-identity
+   (results are slotted by index regardless).
+
+   Policy: with [total] the clamped weight sum, the coalesce target is
+   [total / (jobs * frames_per_worker)] — enough frames per worker that
+   the dynamic queue can still rebalance. Items are taken heaviest
+   first (LPT dispatch order; ties by ascending index). An item at or
+   above the target becomes a singleton frame — the split threshold: a
+   giant record never shares a frame and is dispatched before anything
+   lighter, so it cannot land last and serialize the tail. Lighter
+   items accumulate into one frame until it reaches the target, turning
+   a long run of tiny records into a single handout. *)
+let plan_frames ~jobs ?(frames_per_worker = 4) weights =
+  let n = Array.length weights in
+  if n = 0 then []
+  else begin
+    let jobs = max 1 jobs and fpw = max 1 frames_per_worker in
+    let w i = Float.max 0. weights.(i) in
+    let total = ref 0. in
+    for i = 0 to n - 1 do
+      total := !total +. w i
+    done;
+    let target = !total /. float_of_int (jobs * fpw) in
+    let order =
+      List.stable_sort
+        (fun i j -> if w i <> w j then compare (w j) (w i) else compare i j)
+        (List.init n Fun.id)
+    in
+    let frames = ref [] in
+    let cur = ref [] in
+    let cur_w = ref 0. in
+    let seal () =
+      if !cur <> [] then begin
+        frames := List.rev !cur :: !frames;
+        cur := [];
+        cur_w := 0.
+      end
+    in
+    List.iter
+      (fun i ->
+        cur := i :: !cur;
+        cur_w := !cur_w +. w i;
+        if !cur_w >= target then seal ())
+      order;
+    seal ();
+    List.rev !frames
+  end
 
 (* ---------------- framed messages over raw fds ---------------- *)
 
@@ -77,19 +136,34 @@ let read_u64 fd =
 
 (* ---------------- worker side ---------------- *)
 
-(* One result frame per task: [len: 8 bytes LE][Marshal payload] where
-   the payload is [(index, elapsed_s, (Ok result | Error message))]. *)
+(* One result frame per task frame: [len: 8 bytes LE][Marshal payload]
+   where the payload is [(elapsed_s, [(index, Ok result | Error
+   message); ...])] covering every task of the handout. *)
 let worker_loop f items task_rfd result_wfd =
   let rec loop () =
     match read_u64 task_rfd with
     | Eof | Truncated -> Unix._exit 0
-    | Complete idx ->
+    | Complete count ->
+        if count <= 0 || count > Array.length items then Unix._exit 2;
+        let idxs =
+          List.init count (fun _ ->
+              match read_u64 task_rfd with
+              | Complete i -> i
+              | Eof | Truncated -> Unix._exit 2)
+        in
         let t0 = Unix.gettimeofday () in
-        let r =
-          try Ok (f idx items.(idx)) with e -> Error (Printexc.to_string e)
+        let results =
+          List.map
+            (fun idx ->
+              ( idx,
+                try Ok (f idx items.(idx))
+                with e -> Error (Printexc.to_string e) ))
+            idxs
         in
         let elapsed = Unix.gettimeofday () -. t0 in
-        let payload = Marshal.to_bytes (idx, elapsed, r) [ Marshal.Closures ] in
+        let payload =
+          Marshal.to_bytes (elapsed, results) [ Marshal.Closures ]
+        in
         write_u64 result_wfd (Bytes.length payload);
         write_all result_wfd payload;
         loop ()
@@ -105,14 +179,17 @@ type worker = {
   pid : int;
   task_wfd : Unix.file_descr;
   result_rfd : Unix.file_descr;
-  mutable queue : int list;  (* static policy: this worker's share *)
-  mutable current : int option;  (* in-flight item index *)
+  mutable queue : int list list;  (* static policy: this worker's share *)
+  mutable current : int list option;  (* in-flight frame *)
   mutable retired : bool;  (* task pipe closed: no further handouts *)
   mutable dead : bool;  (* already reaped after an abnormal EOF *)
   mutable busy_s : float;
 }
 
-type policy = Dynamic | Static
+(* [Shared frames]: one queue of planned frames handed out first-free,
+   first-served. [Sharded]: the classic round-robin shard (singleton
+   frames, item i only ever on worker i mod jobs). *)
+type dispatch = Shared of int list list | Sharded
 
 let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
@@ -122,7 +199,7 @@ let retire w =
     close_quietly w.task_wfd
   end
 
-let sequential f items =
+let sequential ~frames f items =
   let t0 = Unix.gettimeofday () in
   let busy = ref 0. in
   let results =
@@ -139,6 +216,7 @@ let sequential f items =
     {
       jobs = 1;
       tasks = List.length items;
+      frames;
       wall_s = wall;
       busy_s = !busy;
       max_worker_busy_s = !busy;
@@ -164,10 +242,20 @@ let describe_status = function
   | Unix.WSIGNALED sg -> Printf.sprintf "was killed by %s" (signal_name sg)
   | Unix.WSTOPPED sg -> Printf.sprintf "was stopped by %s" (signal_name sg)
 
-let map_core ~policy ~jobs ~label f items =
+let map_core ~dispatch ~jobs ~label f items =
   let n = List.length items in
-  let jobs = max 1 (min jobs n) in
-  if jobs <= 1 || (not fork_available) || n <= 1 then sequential f items
+  let frames =
+    match dispatch with
+    | Shared fs -> Array.of_list fs
+    | Sharded -> Array.init n (fun i -> [ i ])
+  in
+  let nframes = Array.length frames in
+  let jobs =
+    (* never more workers than frames: an extra worker could only idle *)
+    max 1 (min jobs nframes)
+  in
+  if jobs <= 1 || (not fork_available) || n <= 1 then
+    sequential ~frames:nframes f items
   else begin
     let arr = Array.of_list items in
     let t0 = Unix.gettimeofday () in
@@ -205,13 +293,13 @@ let map_core ~policy ~jobs ~label f items =
                 Unix.close task_rfd;
                 Unix.close result_wfd;
                 let queue =
-                  match policy with
-                  | Dynamic -> []
-                  | Static ->
+                  match dispatch with
+                  | Shared _ -> []
+                  | Sharded ->
                       (* the classic round-robin shard: item i belongs
                          to worker (i mod jobs) *)
-                      List.filter
-                        (fun i -> i mod jobs = w)
+                      List.filter_map
+                        (fun i -> if i mod jobs = w then Some [ i ] else None)
                         (List.init n Fun.id)
                 in
                 acc :=
@@ -235,9 +323,20 @@ let map_core ~policy ~jobs ~label f items =
            first *)
         let deaths = ref [] in
         let aborting = ref false in
-        let next_dynamic = ref 0 in
+        let next_frame = ref 0 in
+        let frame_label fr =
+          match fr with
+          | [] -> "empty frame"
+          | i :: rest ->
+              label i arr.(i)
+              ^
+              (match rest with
+              | [] -> ""
+              | _ ->
+                  Printf.sprintf " (+%d more in its frame)" (List.length rest))
+        in
         let mark_dead w =
-          let victim = Option.map (fun i -> label i arr.(i)) w.current in
+          let victim = Option.map frame_label w.current in
           w.current <- None;
           retire w;
           close_quietly w.result_rfd;
@@ -251,35 +350,39 @@ let map_core ~policy ~jobs ~label f items =
           aborting := true
         in
         let take_next w =
-          match policy with
-          | Dynamic ->
-              if !next_dynamic < n then begin
-                let i = !next_dynamic in
-                incr next_dynamic;
-                Some i
+          match dispatch with
+          | Shared _ ->
+              if !next_frame < nframes then begin
+                let fr = frames.(!next_frame) in
+                incr next_frame;
+                Some fr
               end
               else None
-          | Static -> (
+          | Sharded -> (
               match w.queue with
               | [] -> None
-              | i :: rest ->
+              | fr :: rest ->
                   w.queue <- rest;
-                  Some i)
+                  Some fr)
+        in
+        let send_frame w fr =
+          write_u64 w.task_wfd (List.length fr);
+          List.iter (fun i -> write_u64 w.task_wfd i) fr
         in
         let assign w =
           if !aborting then retire w
           else
             match take_next w with
             | None -> retire w
-            | Some i -> (
-                match write_u64 w.task_wfd i with
-                | () -> w.current <- Some i
+            | Some fr -> (
+                match send_frame w fr with
+                | () -> w.current <- Some fr
                 | exception Unix.Unix_error ((Unix.EPIPE | Unix.EBADF), _, _)
                   ->
                     (* the worker died before reading this handout;
-                       blame the task it never ran so the report names
+                       blame the frame it never ran so the report names
                        the point where progress stopped *)
-                    w.current <- Some i;
+                    w.current <- Some fr;
                     mark_dead w)
         in
         List.iter assign workers;
@@ -291,17 +394,21 @@ let map_core ~policy ~jobs ~label f items =
               match read_exact w.result_rfd len with
               | Eof | Truncated -> mark_dead w
               | Complete payload ->
-                  let idx, elapsed, r =
+                  let elapsed, frame_results =
                     (Marshal.from_bytes payload 0
-                      : int * float * (_, string) result)
+                      : float * (int * (_, string) result) list)
                   in
                   w.busy_s <- w.busy_s +. elapsed;
                   w.current <- None;
-                  (match r with
-                  | Ok v -> results.(idx) <- Some v
-                  | Error msg ->
-                      task_errors := (label idx arr.(idx), msg) :: !task_errors;
-                      aborting := true);
+                  List.iter
+                    (fun (idx, r) ->
+                      match r with
+                      | Ok v -> results.(idx) <- Some v
+                      | Error msg ->
+                          task_errors :=
+                            (label idx arr.(idx), msg) :: !task_errors;
+                          aborting := true)
+                    frame_results;
                   assign w;
                   if w.retired && not w.dead then close_quietly w.result_rfd)
         in
@@ -368,16 +475,33 @@ let map_core ~policy ~jobs ~label f items =
           {
             jobs;
             tasks = n;
+            frames = nframes;
             wall_s = wall;
             busy_s;
             max_worker_busy_s = max_busy;
           } ))
   end
 
+let fifo_frames n = List.init n (fun i -> [ i ])
+
 let map_stats ?(jobs = 1) ?(label = default_label) f items =
-  map_core ~policy:Dynamic ~jobs ~label f items
+  map_core ~dispatch:(Shared (fifo_frames (List.length items))) ~jobs ~label f
+    items
 
 let map ?jobs ?label f items = fst (map_stats ?jobs ?label f items)
 
 let map_sharded_stats ?(jobs = 1) ?(label = default_label) f items =
-  map_core ~policy:Static ~jobs ~label f items
+  map_core ~dispatch:Sharded ~jobs ~label f items
+
+let map_adaptive_stats ?(jobs = 1) ?(label = default_label) ?frames_per_worker
+    ~weights f items =
+  let warr = Array.of_list (List.mapi weights items) in
+  let frames =
+    plan_frames
+      ~jobs:(max 1 (min jobs (Array.length warr)))
+      ?frames_per_worker warr
+  in
+  map_core ~dispatch:(Shared frames) ~jobs ~label f items
+
+let map_adaptive ?jobs ?label ?frames_per_worker ~weights f items =
+  fst (map_adaptive_stats ?jobs ?label ?frames_per_worker ~weights f items)

@@ -1,32 +1,42 @@
 (** Work-stealing task scheduler over forked worker processes.
 
-    The parent keeps a queue of item indices and a persistent pool of
-    [jobs] forked workers. Each worker owns two pipes: a task pipe
-    (parent -> worker) carrying 8-byte little-endian item indices, and
+    The parent keeps a queue of task {e frames} — batches of item
+    indices — and a persistent pool of [jobs] forked workers. Each
+    worker owns two pipes: a task pipe (parent -> worker) carrying one
+    frame per handout ([count, i1..in], 8-byte little-endian each), and
     a result pipe (worker -> parent) carrying one framed
-    [Marshal]-encoded [(index, elapsed_s, (Ok v | Error msg))] per
-    task. Workers are forks of the calling process, so the item list
-    and the task closure never cross a pipe — only indices and results
-    do. When a worker reports a result the parent immediately hands it
-    the next pending index (dynamic policy), so a skewed task mix keeps
-    every worker busy until the queue drains; closing the task pipe is
-    the shutdown signal.
+    [Marshal]-encoded [(elapsed_s, [(index, Ok v | Error msg); ...])]
+    per frame. Workers are forks of the calling process, so the item
+    list and the task closure never cross a pipe — only indices and
+    results do. When a worker reports a frame the parent immediately
+    hands it the next pending one (dynamic policy), so a skewed task
+    mix keeps every worker busy until the queue drains; closing the
+    task pipe is the shutdown signal.
+
+    [map] dispatches singleton frames in input order (plain FIFO
+    stealing). [map_adaptive_stats] plans frames from caller-supplied
+    per-task weights via {!plan_frames}: heaviest tasks first (LPT),
+    tiny tasks coalesced into shared frames, so neither a giant task at
+    the tail nor per-task handout overhead on thousands of tiny tasks
+    dominates the wall-clock.
 
     {b Ordering guarantee.} Results are slotted by item index and
-    returned in input order: for a deterministic [f], [map ~jobs f xs]
-    is observably [List.mapi f xs] for every [jobs].
+    returned in input order: for a deterministic [f], every map variant
+    at every [jobs] is observably [List.mapi f xs].
 
-    {b Failure semantics.} A worker that exits or is killed mid-task is
-    detected as EOF (or a short frame) on its result pipe; the parent
-    then stops handing out work, drains in-flight tasks, reaps every
-    child, and raises [Failure] naming the task the dead worker was
-    running plus its wait status. A task function that raises is
-    reported the same way (label + exception text) without killing the
-    pool mid-drain. No worker processes outlive a call. *)
+    {b Failure semantics.} A worker that exits or is killed mid-frame
+    is detected as EOF (or a short frame) on its result pipe; the
+    parent then stops handing out work, drains in-flight frames, reaps
+    every child, and raises [Failure] naming the first task of the
+    frame the dead worker was running (plus how many more rode in that
+    frame) and its wait status. A task function that raises is reported
+    the same way (label + exception text) without killing the pool
+    mid-drain. No worker processes outlive a call. *)
 
 type stats = {
-  jobs : int;  (** workers actually used (capped at the task count) *)
+  jobs : int;  (** workers actually used (capped at the frame count) *)
   tasks : int;
+  frames : int;  (** task-pipe handouts; [= tasks] unless coalescing *)
   wall_s : float;  (** wall-clock for the whole map *)
   busy_s : float;  (** total in-task time summed over workers *)
   max_worker_busy_s : float;  (** busiest single worker *)
@@ -41,11 +51,35 @@ val idle_fraction : stats -> float
     in-process. *)
 val fork_available : bool
 
+(** Available hardware parallelism ([Domain.recommended_domain_count],
+    [1] when that is unavailable) — the default worker count for CLI
+    [--jobs 0] style requests and the gate benchmarks use before
+    asserting parallel speedups. *)
+val core_count : unit -> int
+
+(** [plan_frames ~jobs ?frames_per_worker weights] is the adaptive
+    granularity plan [map_adaptive_stats] executes: a partition of
+    [0 .. Array.length weights - 1] into dispatch-ordered frames.
+    Negative weights are clamped to [0]. With [total] the weight sum,
+    the coalesce target is [total / (jobs * frames_per_worker)]
+    ([frames_per_worker] defaults to [4] — enough frames per worker for
+    the dynamic queue to rebalance a bad estimate). Items are planned
+    heaviest first (ties by ascending index, so the plan is
+    deterministic): an item at or above the target becomes a singleton
+    frame — the split threshold keeping one giant task from sharing (or
+    trailing) a frame — and lighter items accumulate into one frame
+    until it reaches the target. All-zero weights degrade to singleton
+    frames in input order, i.e. FIFO. Every index appears in exactly
+    one frame. *)
+val plan_frames :
+  jobs:int -> ?frames_per_worker:int -> float array -> int list list
+
 (** [map ?jobs ?label f items] maps [f] over [items] on a forked worker
-    pool with dynamic (work-stealing) handout, returning results in
-    input order. [jobs <= 1], a singleton/empty list, or a platform
-    without fork all degrade to an in-process [List.mapi f]. [label]
-    names a task for failure reports (default ["task %d"]).
+    pool with dynamic (work-stealing) handout of singleton frames in
+    input order, returning results in input order. [jobs <= 1], a
+    singleton/empty list, or a platform without fork all degrade to an
+    in-process [List.mapi f]. [label] names a task for failure reports
+    (default ["task %d"]).
     @raise Failure if a worker dies or any task raises. *)
 val map :
   ?jobs:int -> ?label:(int -> 'a -> string) -> (int -> 'a -> 'b) ->
@@ -55,6 +89,23 @@ val map :
 val map_stats :
   ?jobs:int -> ?label:(int -> 'a -> string) -> (int -> 'a -> 'b) ->
   'a list -> 'b list * stats
+
+(** [map_adaptive_stats ~weights f items] is [map_stats] with the frame
+    plan of {!plan_frames} over [List.mapi weights items] instead of
+    FIFO singletons: longest-processing-time-first dispatch, tiny tasks
+    coalesced, one frame handout per batch. Weights only shape the
+    schedule — results are still slotted by index, so output is
+    identical to [map] for a deterministic [f]. *)
+val map_adaptive_stats :
+  ?jobs:int -> ?label:(int -> 'a -> string) -> ?frames_per_worker:int ->
+  weights:(int -> 'a -> float) -> (int -> 'a -> 'b) ->
+  'a list -> 'b list * stats
+
+(** [map_adaptive_stats] without the stats. *)
+val map_adaptive :
+  ?jobs:int -> ?label:(int -> 'a -> string) -> ?frames_per_worker:int ->
+  weights:(int -> 'a -> float) -> (int -> 'a -> 'b) ->
+  'a list -> 'b list
 
 (** Same protocol and guarantees, but the static round-robin policy of
     the pre-scheduler sweep: item [i] may only ever run on worker

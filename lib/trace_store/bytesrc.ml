@@ -1,0 +1,52 @@
+type bigstring =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = Str of string | Big of bigstring
+
+let of_string s = Str s
+let of_bigstring b = Big b
+
+let length = function
+  | Str s -> String.length s
+  | Big b -> Bigarray.Array1.dim b
+
+(* The decoder's innermost loop reads one byte per call through this;
+   the two-constructor match compiles to a single test and both arms
+   use the unchecked accessor, so a mapped container decodes at the
+   same per-byte cost as an in-memory string. Callers check bounds. *)
+let[@inline] unsafe_get t i =
+  match t with
+  | Str s -> String.unsafe_get s i
+  | Big b -> Bigarray.Array1.unsafe_get b i
+
+let get t i =
+  if i < 0 || i >= length t then invalid_arg "Trace_store.Bytesrc.get";
+  unsafe_get t i
+
+let sub_string t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > length t then
+    invalid_arg "Trace_store.Bytesrc.sub_string";
+  match t with
+  | Str s -> String.sub s pos len
+  | Big b ->
+      String.init len (fun i -> Bigarray.Array1.unsafe_get b (pos + i))
+
+(* Read the whole file through a channel — the fallback when the file
+   cannot be mapped (empty files make mmap fail with EINVAL, and some
+   filesystems refuse mappings outright). *)
+let read_whole_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> Str (really_input_string ic (in_channel_length ic)))
+
+let map_file path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  match
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        Unix.map_file fd Bigarray.char Bigarray.c_layout false [| -1 |])
+  with
+  | genarray -> Big (Bigarray.array1_of_genarray genarray)
+  | exception (Unix.Unix_error _ | Sys_error _) -> read_whole_file path

@@ -1,0 +1,38 @@
+(** Backing bytes for a trace container: an in-memory [string] or a
+    read-only file mapping ([Unix.map_file] into a char {!Bigarray}).
+
+    The mapping is what makes zero-copy record handoff work: the parent
+    maps the container once, forked decoder workers inherit the pages,
+    and a task is just an (offset, length) pair into the shared bytes —
+    no per-task [open], header re-read, or chunk copy. The reader's
+    hot path decodes {e in place} over either constructor through
+    {!unsafe_get}, so the two backends produce byte-identical results
+    by construction. *)
+
+type bigstring =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = Str of string | Big of bigstring
+
+val of_string : string -> t
+val of_bigstring : bigstring -> t
+
+val length : t -> int
+
+val unsafe_get : t -> int -> char
+(** Unchecked byte access — the decode hot path, inlined to a
+    constructor test plus an unchecked load. The caller must have
+    bounds-checked [i] against {!length}. *)
+
+val get : t -> int -> char
+(** Checked byte access. @raise Invalid_argument out of bounds. *)
+
+val sub_string : t -> pos:int -> len:int -> string
+(** Copy a range out as a string (metadata-sized uses only — the event
+    hot path never calls this). @raise Invalid_argument out of range. *)
+
+val map_file : string -> t
+(** Map a file read-only ([Big]); falls back to reading the whole file
+    into a [Str] when mapping fails (empty file, or a filesystem
+    without mmap), so callers never see the difference.
+    @raise Unix.Unix_error when the file cannot even be opened. *)

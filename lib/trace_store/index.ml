@@ -2,8 +2,8 @@ type entry = { name : string; offset : int; bytes : int; events : int }
 
 let corrupt fmt = Printf.ksprintf (fun s -> raise (Reader.Corrupt s)) fmt
 
-let rd_uvarint s pos what =
-  match Varint.read_unsigned s pos with
+let rd_uvarint b ~limit pos what =
+  match Varint.read_unsigned_src b ~limit pos with
   | v -> v
   | exception Varint.Overflow -> corrupt "varint overflow in %s" what
   | exception Invalid_argument _ -> corrupt "truncated varint in %s" what
@@ -12,68 +12,69 @@ let rd_uvarint s pos what =
 
 (* Read one chunk frame at [!pos]; returns (tag, payload offset,
    payload length) with [pos] advanced past the payload. *)
-let read_frame s pos =
-  if !pos >= String.length s then
-    corrupt "truncated container (EOF at chunk tag)";
-  let tag = Char.code s.[!pos] in
+let read_frame b pos =
+  let limit = Bytesrc.length b in
+  if !pos >= limit then corrupt "truncated container (EOF at chunk tag)";
+  let tag = Char.code (Bytesrc.unsafe_get b !pos) in
   incr pos;
-  let len = rd_uvarint s pos "chunk length" in
+  let len = rd_uvarint b ~limit pos "chunk length" in
   let payload_off = !pos in
-  if payload_off + len > String.length s then
+  if payload_off + len > limit then
     corrupt "truncated container (EOF in chunk payload)";
   pos := payload_off + len;
   (tag, payload_off, len)
 
-let skip_header s =
+let skip_header b =
   let mlen = String.length Layout.magic in
-  if String.length s < mlen + 1 then corrupt "truncated container header";
-  if not (String.equal (String.sub s 0 mlen) Layout.magic) then
-    corrupt "bad magic (not a trace container)";
-  let v = Char.code s.[mlen] in
+  let limit = Bytesrc.length b in
+  if limit < mlen + 1 then corrupt "truncated container header";
+  if not (String.equal (Bytesrc.sub_string b ~pos:0 ~len:mlen) Layout.magic)
+  then corrupt "bad magic (not a trace container)";
+  let v = Char.code (Bytesrc.get b mlen) in
   if v <> Layout.version then
     corrupt "unsupported trace format version %d (this reader speaks %d)" v
       Layout.version;
   let pos = ref (mlen + 1) in
-  let ext = rd_uvarint s pos "header extension" in
-  if !pos + ext > String.length s then
+  let ext = rd_uvarint b ~limit pos "header extension" in
+  if !pos + ext > limit then
     corrupt "truncated container (EOF in header extension)";
   pos := !pos + ext;
   !pos
 
 (* Parse the record name out of a record-begin payload. *)
-let record_name s poff plen =
+let record_name b poff plen =
   let p = ref poff in
-  let nlen = rd_uvarint s p "record name length" in
+  let nlen = rd_uvarint b ~limit:(poff + plen) p "record name length" in
   if !p + nlen > poff + plen then corrupt "record name overruns its chunk";
-  String.sub s !p nlen
+  Bytesrc.sub_string b ~pos:!p ~len:nlen
 
 (* Consume frames from [!pos] until the record end; returns the
    declared event count. Only frame lengths are walked — no event
    decoding, which is what makes indexing a large container cheap. *)
-let finish_record s pos =
+let finish_record b pos =
   let rec go () =
-    let tag, ipoff, _ = read_frame s pos in
+    let tag, ipoff, iplen = read_frame b pos in
     if tag = Layout.tag_record_end then
-      rd_uvarint s (ref ipoff) "record event count"
+      rd_uvarint b ~limit:(ipoff + iplen) (ref ipoff) "record event count"
     else if tag = Layout.tag_record_begin || tag = Layout.tag_container_end
     then corrupt "record not terminated before tag 0x%02x" tag
     else go ()
   in
   go ()
 
-let scan_from s start =
+let scan_from b start =
   let pos = ref start in
   let entries = ref [] in
   let rec loop () =
     let frame_start = !pos in
-    let tag, poff, plen = read_frame s pos in
+    let tag, poff, plen = read_frame b pos in
     if tag = Layout.tag_container_end then begin
-      if !pos <> String.length s then
+      if !pos <> Bytesrc.length b then
         corrupt "trailing bytes after the container end"
     end
     else if tag = Layout.tag_record_begin then begin
-      let name = record_name s poff plen in
-      let events = finish_record s pos in
+      let name = record_name b poff plen in
+      let events = finish_record b pos in
       entries :=
         { name; offset = frame_start; bytes = !pos - frame_start; events }
         :: !entries;
@@ -86,7 +87,8 @@ let scan_from s start =
   loop ();
   List.rev !entries
 
-let scan_string s = scan_from s (skip_header s)
+let scan_src b = scan_from b (skip_header b)
+let scan_string s = scan_src (Bytesrc.Str s)
 
 (* ---------------- embedded index chunk ---------------- *)
 
@@ -103,11 +105,11 @@ let chunk_payload entries =
     entries;
   Buffer.contents b
 
-let decode_chunk_payload s poff plen =
+let decode_chunk_payload b poff plen =
   let stop = poff + plen in
   let p = ref poff in
   let uv what =
-    let v = rd_uvarint s p what in
+    let v = rd_uvarint b ~limit:stop p what in
     if !p > stop then corrupt "%s overruns the index chunk" what;
     v
   in
@@ -116,7 +118,7 @@ let decode_chunk_payload s poff plen =
   for _ = 1 to count do
     let nlen = uv "index name length" in
     if !p + nlen > stop then corrupt "index name overruns the index chunk";
-    let name = String.sub s !p nlen in
+    let name = Bytesrc.sub_string b ~pos:!p ~len:nlen in
     p := !p + nlen;
     let offset = uv "index offset" in
     let bytes = uv "index record size" in
@@ -127,50 +129,144 @@ let decode_chunk_payload s poff plen =
     corrupt "%d trailing bytes in the index chunk" (stop - !p);
   List.rev !entries
 
-let of_string s =
-  let after_header = skip_header s in
-  if after_header < String.length s
-     && Char.code s.[after_header] = Layout.tag_index
+let embedded_chunk_size b =
+  let after_header = skip_header b in
+  if after_header < Bytesrc.length b
+     && Char.code (Bytesrc.unsafe_get b after_header) = Layout.tag_index
+  then
+    let pos = ref after_header in
+    let _tag, _poff, plen = read_frame b pos in
+    Some plen
+  else None
+
+let of_src b =
+  let after_header = skip_header b in
+  if after_header < Bytesrc.length b
+     && Char.code (Bytesrc.unsafe_get b after_header) = Layout.tag_index
   then begin
     let pos = ref after_header in
-    let _tag, poff, plen = read_frame s pos in
+    let _tag, poff, plen = read_frame b pos in
     let base = !pos in
     let entries =
       List.map
         (fun e -> { e with offset = base + e.offset })
-        (decode_chunk_payload s poff plen)
+        (decode_chunk_payload b poff plen)
     in
     (* trust but verify: a stale or hand-edited index must not send the
-       sharded decoder into the middle of a chunk *)
+       sharded decoder into the middle of a chunk. Only one byte per
+       record is touched — the mapped tail parses without reading the
+       container body. *)
     List.iter
       (fun e ->
         if
           e.offset < 0 || e.bytes < 0
-          || e.offset + e.bytes > String.length s
-          || e.offset >= String.length s
-          || Char.code s.[e.offset] <> Layout.tag_record_begin
+          || e.offset + e.bytes > Bytesrc.length b
+          || e.offset >= Bytesrc.length b
+          || Char.code (Bytesrc.unsafe_get b e.offset)
+             <> Layout.tag_record_begin
         then corrupt "index entry for %S does not point at a record" e.name)
       entries;
     entries
   end
-  else scan_from s after_header
+  else scan_from b after_header
+
+let of_string s = of_src (Bytesrc.Str s)
+let of_bigstring b = of_src (Bytesrc.Big b)
+
+(* [of_file] reads only the header and the index chunk through the
+   channel (plus one seek per record to validate its offset), never the
+   container body — `trace info --records` on a multi-GB archive costs
+   a few KB of IO. Containers without the chunk fall back to reading
+   the file once and scanning its frames. *)
+
+let ch_uvarint ic what =
+  let rec go acc shift =
+    if shift > 56 then corrupt "varint too long in %s" what;
+    let c =
+      match input_char ic with
+      | c -> Char.code c
+      | exception End_of_file -> corrupt "truncated container (EOF in %s)" what
+    in
+    let acc = acc lor ((c land 0x7f) lsl shift) in
+    if c land 0x80 = 0 then acc else go acc (shift + 7)
+  in
+  let v = go 0 0 in
+  if v < 0 then corrupt "varint overflow in %s" what;
+  v
 
 let of_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+    (fun () ->
+      let flen = in_channel_length ic in
+      let header =
+        let mlen = String.length Layout.magic in
+        match really_input_string ic (mlen + 1) with
+        | s ->
+            if not (String.equal (String.sub s 0 mlen) Layout.magic) then
+              corrupt "bad magic (not a trace container)";
+            let v = Char.code s.[mlen] in
+            if v <> Layout.version then
+              corrupt
+                "unsupported trace format version %d (this reader speaks %d)"
+                v Layout.version;
+            let ext = ch_uvarint ic "header extension" in
+            if pos_in ic + ext > flen then
+              corrupt "truncated container (EOF in header extension)";
+            seek_in ic (pos_in ic + ext);
+            pos_in ic
+        | exception End_of_file -> corrupt "truncated container header"
+      in
+      ignore (header : int);
+      match input_char ic with
+      | tag when Char.code tag = Layout.tag_index ->
+          let plen = ch_uvarint ic "chunk length" in
+          if pos_in ic + plen > flen then
+            corrupt "truncated container (EOF in chunk payload)";
+          let payload =
+            match really_input_string ic plen with
+            | s -> s
+            | exception End_of_file ->
+                corrupt "truncated container (EOF in chunk payload)"
+          in
+          let base = pos_in ic in
+          let entries =
+            List.map
+              (fun e -> { e with offset = base + e.offset })
+              (decode_chunk_payload (Bytesrc.Str payload) 0 plen)
+          in
+          List.iter
+            (fun e ->
+              let points_at_record =
+                e.offset >= 0 && e.bytes >= 0
+                && e.offset + e.bytes <= flen
+                && e.offset < flen
+                &&
+                (seek_in ic e.offset;
+                 match input_char ic with
+                 | c -> Char.code c = Layout.tag_record_begin
+                 | exception End_of_file -> false)
+              in
+              if not points_at_record then
+                corrupt "index entry for %S does not point at a record" e.name)
+            entries;
+          entries
+      | _ | (exception End_of_file) ->
+          seek_in ic 0;
+          of_src (Bytesrc.Str (really_input_string ic flen)))
 
 (* ---------------- writer support ---------------- *)
 
 (* Validate that [r] is exactly one framed record and summarize it. *)
 let summarize_record r =
+  let b = Bytesrc.Str r in
   let pos = ref 0 in
-  let tag, poff, plen = read_frame r pos in
+  let tag, poff, plen = read_frame b pos in
   if tag <> Layout.tag_record_begin then
     corrupt "record bytes do not start with a record-begin chunk";
-  let name = record_name r poff plen in
-  let events = finish_record r pos in
+  let name = record_name b poff plen in
+  let events = finish_record b pos in
   if !pos <> String.length r then corrupt "trailing bytes after the record end";
   (name, events)
 

@@ -27,19 +27,38 @@ type entry = {
   events : int;  (** event count declared by the record-end chunk *)
 }
 
-val of_string : string -> entry list
-(** Index in-memory container bytes: the embedded index chunk when it
-    is present (verified), a frame scan otherwise. Entries are in
+val of_src : Bytesrc.t -> entry list
+(** Index a byte source: the embedded index chunk when it is present
+    (verified — each offset is checked to land on a record-begin tag,
+    touching one byte per record, so a mapped container's tail parses
+    without reading the body), a frame scan otherwise. Entries are in
     container order. @raise Reader.Corrupt on a malformed container or
     a lying index. *)
 
-val of_file : string -> entry list
-(** {!of_string} over a whole file. @raise Sys_error when the file
-    cannot be read. *)
+val of_string : string -> entry list
+(** [of_src (Bytesrc.Str s)]. *)
 
-val scan_string : string -> entry list
+val of_bigstring : Bytesrc.bigstring -> entry list
+(** [of_src (Bytesrc.Big b)]. *)
+
+val of_file : string -> entry list
+(** Like {!of_src}, reading only the header and the index chunk (plus
+    one validating seek per record) through a channel — never the
+    container body, so indexing a large archive costs a few KB of IO.
+    Only a container with no index chunk is read whole and scanned.
+    @raise Sys_error when the file cannot be read. *)
+
+val embedded_chunk_size : Bytesrc.t -> int option
+(** Payload size in bytes of the embedded index chunk, or [None] for a
+    legacy container that has none (`jrpm trace info` reports this).
+    @raise Reader.Corrupt on a malformed header or chunk frame. *)
+
+val scan_src : Bytesrc.t -> entry list
 (** Always scan the frames, ignoring any embedded index chunk — the
     recovery path, exposed so tests can pin scan/embedded agreement. *)
+
+val scan_string : string -> entry list
+(** [scan_src (Bytesrc.Str s)]. *)
 
 (**/**)
 

@@ -56,3 +56,25 @@ let fnv32 h s =
     h := (!h lxor Char.code (String.unsafe_get s i)) * 0x01000193 land 0xffffffff
   done;
   !h
+
+(* Same hash over a byte-source range; the backend match is hoisted out
+   of the byte loop so checksumming a mapped chunk costs the same as a
+   string chunk. Bounds are the caller's contract, as with [fnv32]. *)
+let fnv32_src h b ~pos ~len =
+  match b with
+  | Bytesrc.Str s ->
+      let h = ref h in
+      for i = pos to pos + len - 1 do
+        h :=
+          (!h lxor Char.code (String.unsafe_get s i))
+          * 0x01000193 land 0xffffffff
+      done;
+      !h
+  | Bytesrc.Big a ->
+      let h = ref h in
+      for i = pos to pos + len - 1 do
+        h :=
+          (!h lxor Char.code (Bigarray.Array1.unsafe_get a i))
+          * 0x01000193 land 0xffffffff
+      done;
+      !h

@@ -165,5 +165,11 @@ val fnv32 : int -> string -> int
     {!fnv32_init}); the record checksum chains this over every
     event-chunk payload. *)
 
+val fnv32_src : int -> Bytesrc.t -> pos:int -> len:int -> int
+(** {!fnv32} over a byte-source range — how the reader checksums an
+    event chunk in place from a mapped container without copying it.
+    [pos]/[len] must be in range (unchecked, like {!fnv32}'s use of the
+    whole string). *)
+
 val fnv32_init : int
 (** [0x811c9dc5], the FNV-1a-32 offset basis. *)

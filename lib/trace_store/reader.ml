@@ -5,7 +5,14 @@ let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
 type record = { name : string; meta : Obs.Json.t }
 type replay_stats = { events : int; record_bytes : int }
 
-type source = Channel of in_channel | Str of string
+(* A reader either streams a channel (legacy path: every event chunk is
+   copied into a string before decoding) or decodes *in place* over a
+   byte source — container bytes already in memory, or a read-only file
+   mapping shared with forked decoder workers. The Direct path never
+   copies an event chunk: payloads are decoded and checksummed at their
+   container offsets, and the RLE reference segment is an (offset, len)
+   span into the source instead of a copied string. *)
+type source = Channel of in_channel | Direct of Bytesrc.t
 
 type cursor = Header_done | In_record | Record_done | Container_done
 
@@ -14,7 +21,11 @@ type t = {
   mutable off : int;  (* bytes consumed so far, container start = 0 *)
   mutable cursor : cursor;
   state : Layout.state;
-  mutable prev_seg : string;
+  (* reference segment for op_repeat, as a span into [seg_src];
+     seg_len = 0 means none is set (framed segments are never empty) *)
+  mutable seg_src : Bytesrc.t;
+  mutable seg_off : int;
+  mutable seg_len : int;
   mutable record_start : int;
   mutable events : int;
   mutable checksum : int;
@@ -35,12 +46,12 @@ let read_byte_opt t =
           t.off <- t.off + 1;
           Some (Char.code c)
       | exception End_of_file -> None)
-  | Str s ->
-      if t.off >= String.length s then None
+  | Direct b ->
+      if t.off >= Bytesrc.length b then None
       else begin
-        let b = Char.code s.[t.off] in
+        let v = Char.code (Bytesrc.unsafe_get b t.off) in
         t.off <- t.off + 1;
-        Some b
+        Some v
       end
 
 let read_byte t what =
@@ -57,14 +68,25 @@ let read_exact t n what =
           t.off <- t.off + n;
           s
       | exception End_of_file -> corrupt "truncated container (EOF in %s)" what)
-  | Str s ->
-      if t.off + n > String.length s then
+  | Direct b ->
+      if t.off + n > Bytesrc.length b then
         corrupt "truncated container (EOF in %s)" what
       else begin
-        let r = String.sub s t.off n in
+        let r = Bytesrc.sub_string b ~pos:t.off ~len:n in
         t.off <- t.off + n;
         r
       end
+
+(* Skip [n] payload bytes without materializing them (Direct sources
+   just advance the cursor — skipping a record is free on a mapping). *)
+let skip_exact t n what =
+  match t.src with
+  | Channel _ -> ignore (read_exact t n what : string)
+  | Direct b ->
+      if n > max_chunk then corrupt "%s length %d is implausible" what n;
+      if t.off + n > Bytesrc.length b then
+        corrupt "truncated container (EOF in %s)" what
+      else t.off <- t.off + n
 
 let read_uvarint t what =
   let rec go acc shift =
@@ -79,13 +101,13 @@ let read_uvarint t what =
 
 (* in-payload varints: bounds/overflow failures are corruption, and the
    narrow handlers here must not catch anything a sink callback raises *)
-let rd_signed s pos =
-  try Varint.read_signed s pos with
+let rd_signed b ~limit pos =
+  try Varint.read_signed_src b ~limit pos with
   | Varint.Overflow -> corrupt "varint overflow in event payload"
   | Invalid_argument _ -> corrupt "truncated varint in event payload"
 
-let rd_unsigned s pos =
-  try Varint.read_unsigned s pos with
+let rd_unsigned b ~limit pos =
+  try Varint.read_unsigned_src b ~limit pos with
   | Varint.Overflow -> corrupt "varint overflow in event payload"
   | Invalid_argument _ -> corrupt "truncated varint in event payload"
 
@@ -98,7 +120,9 @@ let init src =
       off = 0;
       cursor = Header_done;
       state = Layout.create_state ();
-      prev_seg = "";
+      seg_src = Bytesrc.Str "";
+      seg_off = 0;
+      seg_len = 0;
       record_start = 0;
       events = 0;
       checksum = Layout.fnv32_init;
@@ -112,144 +136,148 @@ let init src =
     corrupt "unsupported trace format version %d (this reader speaks %d)" v
       Layout.version;
   let ext = read_uvarint t "header extension" in
-  ignore (read_exact t ext "header extension" : string);
+  skip_exact t ext "header extension";
   t
 
 let open_file path = init (Channel (open_in_bin path))
-let of_string s = init (Str s)
+let of_src b = init (Direct b)
+let of_string s = of_src (Bytesrc.Str s)
+let of_bigstring b = of_src (Bytesrc.Big b)
+let open_mapped path = of_src (Bytesrc.map_file path)
 
-let close t = match t.src with Channel ic -> close_in ic | Str _ -> ()
+let close t = match t.src with Channel ic -> close_in ic | Direct _ -> ()
 
 (* ---------------- event decoding ---------------- *)
 
-(* Hot-path zigzag varint over the chunk string. Bounds are checked
-   against [len] explicitly (String.unsafe_get after the check), and
-   failures raise Corrupt directly — no exception translation, so sink
-   callbacks can never be mistaken for decode errors. The common
+(* Hot-path zigzag varint over the byte source. Bounds are checked
+   against [limit] explicitly ([Bytesrc.unsafe_get] after the check),
+   and failures raise Corrupt directly — no exception translation, so
+   sink callbacks can never be mistaken for decode errors. The common
    single-byte delta returns without entering the multi-byte loop. *)
-let[@inline] rd_delta s pos len =
+let[@inline] rd_delta b pos limit =
   let p = !pos in
-  if p >= len then corrupt "truncated varint in event payload";
-  let b = Char.code (String.unsafe_get s p) in
-  if b < 0x80 then begin
+  if p >= limit then corrupt "truncated varint in event payload";
+  let c = Char.code (Bytesrc.unsafe_get b p) in
+  if c < 0x80 then begin
     pos := p + 1;
-    (b lsr 1) lxor (-(b land 1))
+    (c lsr 1) lxor (-(c land 1))
   end
   else begin
-    let acc = ref (b land 0x7f) in
+    let acc = ref (c land 0x7f) in
     let shift = ref 7 in
     let p = ref (p + 1) in
     let continue = ref true in
     while !continue do
       if !shift > 56 then corrupt "varint overflow in event payload";
-      if !p >= len then corrupt "truncated varint in event payload";
-      let b = Char.code (String.unsafe_get s !p) in
+      if !p >= limit then corrupt "truncated varint in event payload";
+      let c = Char.code (Bytesrc.unsafe_get b !p) in
       incr p;
-      acc := !acc lor ((b land 0x7f) lsl !shift);
+      acc := !acc lor ((c land 0x7f) lsl !shift);
       shift := !shift + 7;
-      if b < 0x80 then continue := false
+      if c < 0x80 then continue := false
     done;
     pos := !p;
     let z = !acc in
     (z lsr 1) lxor (-(z land 1))
   end
 
-(* [operand st slot s pos len]: delta-decode one operand against its
+(* [operand st slot b pos limit]: delta-decode one operand against its
    predictor slot, kept a top-level function (not a per-event closure)
    so the event loop allocates nothing. *)
-let[@inline] operand st slot s pos len =
-  let v = st.Layout.preds.(slot) + rd_delta s pos len in
+let[@inline] operand st slot b pos limit =
+  let v = st.Layout.preds.(slot) + rd_delta b pos limit in
   st.Layout.preds.(slot) <- v;
   v
 
-let decode_event t op s pos len sink =
+let decode_event t op b pos limit sink =
   let st = t.state in
-  let dnow = rd_delta s pos len in
+  let dnow = rd_delta b pos limit in
   let now = st.Layout.last_now + dnow in
   st.Layout.last_now <- now;
   t.events <- t.events + 1;
   if op = Layout.op_heap_load then begin
-    let addr = operand st Layout.p_heap_load_addr s pos len in
-    let pc = operand st Layout.p_heap_load_pc s pos len in
+    let addr = operand st Layout.p_heap_load_addr b pos limit in
+    let pc = operand st Layout.p_heap_load_pc b pos limit in
     sink.Hydra.Trace.on_heap_load ~addr ~pc ~now
   end
   else if op = Layout.op_heap_store then begin
-    let addr = operand st Layout.p_heap_store_addr s pos len in
+    let addr = operand st Layout.p_heap_store_addr b pos limit in
     sink.Hydra.Trace.on_heap_store ~addr ~now
   end
   else if op = Layout.op_local_load then begin
-    let frame = operand st Layout.p_local_load_frame s pos len in
-    let slot = operand st Layout.p_local_load_slot s pos len in
-    let pc = operand st Layout.p_local_load_pc s pos len in
+    let frame = operand st Layout.p_local_load_frame b pos limit in
+    let slot = operand st Layout.p_local_load_slot b pos limit in
+    let pc = operand st Layout.p_local_load_pc b pos limit in
     sink.Hydra.Trace.on_local_load ~frame ~slot ~pc ~now
   end
   else if op = Layout.op_local_store then begin
-    let frame = operand st Layout.p_local_store_frame s pos len in
-    let slot = operand st Layout.p_local_store_slot s pos len in
+    let frame = operand st Layout.p_local_store_frame b pos limit in
+    let slot = operand st Layout.p_local_store_slot b pos limit in
     sink.Hydra.Trace.on_local_store ~frame ~slot ~now
   end
   else if op = Layout.op_eoi then begin
-    let stl = operand st Layout.p_eoi_stl s pos len in
+    let stl = operand st Layout.p_eoi_stl b pos limit in
     sink.Hydra.Trace.on_eoi ~stl ~now
   end
   else if op = Layout.op_sloop then begin
-    let stl = operand st Layout.p_sloop_stl s pos len in
-    let nlocals = operand st Layout.p_sloop_nlocals s pos len in
-    let frame = operand st Layout.p_sloop_frame s pos len in
+    let stl = operand st Layout.p_sloop_stl b pos limit in
+    let nlocals = operand st Layout.p_sloop_nlocals b pos limit in
+    let frame = operand st Layout.p_sloop_frame b pos limit in
     sink.Hydra.Trace.on_sloop ~stl ~nlocals ~frame ~now
   end
   else if op = Layout.op_eloop then begin
-    let stl = operand st Layout.p_eloop_stl s pos len in
+    let stl = operand st Layout.p_eloop_stl b pos limit in
     sink.Hydra.Trace.on_eloop ~stl ~now
   end
   else if op = Layout.op_read_stats then begin
-    let stl = operand st Layout.p_read_stats_stl s pos len in
+    let stl = operand st Layout.p_read_stats_stl b pos limit in
     sink.Hydra.Trace.on_read_stats ~stl ~now
   end
   else if op = Layout.op_call then begin
-    let callee = operand st Layout.p_call_callee s pos len in
+    let callee = operand st Layout.p_call_callee b pos limit in
     sink.Hydra.Trace.on_call ~callee ~now
   end
   else if op = Layout.op_return then sink.Hydra.Trace.on_return ~now
   else corrupt "unknown event opcode 0x%02x" op
 
 (* a framed segment contains bare event ops only *)
-let decode_bare t s sink =
-  let pos = ref 0 in
-  let len = String.length s in
-  while !pos < len do
-    let op = Char.code (String.unsafe_get s !pos) in
+let decode_bare t b start stop sink =
+  let pos = ref start in
+  while !pos < stop do
+    let op = Char.code (Bytesrc.unsafe_get b !pos) in
     incr pos;
     if op = Layout.op_seg || op = Layout.op_repeat then
       corrupt "framed opcode 0x%02x inside a segment" op;
-    decode_event t op s pos len sink
+    decode_event t op b pos stop sink
   done
 
-let decode_payload t s sink =
-  let pos = ref 0 in
-  let len = String.length s in
-  while !pos < len do
-    let op = Char.code s.[!pos] in
+let decode_payload t b start stop sink =
+  let pos = ref start in
+  while !pos < stop do
+    let op = Char.code (Bytesrc.unsafe_get b !pos) in
     incr pos;
     if op = Layout.op_seg then begin
-      let slen = rd_unsigned s pos in
-      if !pos + slen > len then corrupt "segment overruns its event chunk";
-      let seg = String.sub s !pos slen in
-      pos := !pos + slen;
-      decode_bare t seg sink;
-      t.prev_seg <- seg
+      let slen = rd_unsigned b ~limit:stop pos in
+      if !pos + slen > stop then corrupt "segment overruns its event chunk";
+      let soff = !pos in
+      pos := soff + slen;
+      decode_bare t b soff (soff + slen) sink;
+      (* zero-copy reference: the span stays addressable because the
+         chunk bytes (mapped pages or the chunk string) outlive it *)
+      t.seg_src <- b;
+      t.seg_off <- soff;
+      t.seg_len <- slen
     end
     else if op = Layout.op_repeat then begin
-      let count = rd_unsigned s pos in
+      let count = rd_unsigned b ~limit:stop pos in
       if count = 0 || count > max_repeat then
         corrupt "implausible repeat count %d" count;
-      if String.equal t.prev_seg "" then
-        corrupt "repeat op with no reference segment";
+      if t.seg_len = 0 then corrupt "repeat op with no reference segment";
       for _ = 1 to count do
-        decode_bare t t.prev_seg sink
+        decode_bare t t.seg_src t.seg_off (t.seg_off + t.seg_len) sink
       done
     end
-    else decode_event t op s pos len sink
+    else decode_event t op b pos stop sink
   done
 
 (* ---------------- cursor ---------------- *)
@@ -258,7 +286,7 @@ let skip_rest_of_record t =
   let rec go () =
     let tag = read_byte t "chunk tag" in
     let len = read_uvarint t "chunk length" in
-    ignore (read_exact t len "skipped chunk" : string);
+    skip_exact t len "skipped chunk";
     if tag = Layout.tag_record_end then ()
     else if tag = Layout.tag_record_begin || tag = Layout.tag_container_end then
       corrupt "record not terminated before tag 0x%02x" tag
@@ -269,7 +297,7 @@ let skip_rest_of_record t =
 let parse_record_begin payload =
   let pos = ref 0 in
   let take what =
-    let n = rd_unsigned payload pos in
+    let n = rd_unsigned (Bytesrc.Str payload) ~limit:(String.length payload) pos in
     if !pos + n > String.length payload then
       corrupt "%s overruns the record-begin chunk" what;
     let s = String.sub payload !pos n in
@@ -297,7 +325,7 @@ let rec next_record t =
       let tag = read_byte t "chunk tag" in
       if tag = Layout.tag_container_end then begin
         let len = read_uvarint t "chunk length" in
-        ignore (read_exact t len "container-end chunk" : string);
+        skip_exact t len "container-end chunk";
         (match read_byte_opt t with
         | Some b -> corrupt "trailing byte 0x%02x after the container end" b
         | None -> ());
@@ -309,7 +337,9 @@ let rec next_record t =
         let payload = read_exact t len "record-begin chunk" in
         let r = parse_record_begin payload in
         Layout.reset_state t.state;
-        t.prev_seg <- "";
+        t.seg_src <- Bytesrc.Str "";
+        t.seg_off <- 0;
+        t.seg_len <- 0;
         t.events <- 0;
         t.checksum <- Layout.fnv32_init;
         t.record_start <- frame_start;
@@ -321,7 +351,7 @@ let rec next_record t =
       else begin
         (* unknown chunk kind: skip by declared length (forward compat) *)
         let len = read_uvarint t "chunk length" in
-        ignore (read_exact t len "unknown chunk" : string);
+        skip_exact t len "unknown chunk";
         next_record t
       end)
 
@@ -329,8 +359,8 @@ let seek_record t ~offset =
   if offset < 0 then corrupt "seek offset %d is negative" offset;
   (match t.src with
   | Channel ic -> seek_in ic offset
-  | Str s ->
-      if offset > String.length s then
+  | Direct b ->
+      if offset > Bytesrc.length b then
         corrupt "seek offset %d is past the container end" offset);
   t.off <- offset;
   t.cursor <- Record_done;
@@ -339,9 +369,11 @@ let seek_record t ~offset =
   | None -> corrupt "no record at offset %d" offset
 
 let verify_record_end t payload =
+  let b = Bytesrc.Str payload in
+  let limit = String.length payload in
   let pos = ref 0 in
-  let count = rd_unsigned payload pos in
-  let final_now = rd_signed payload pos in
+  let count = rd_unsigned b ~limit pos in
+  let final_now = rd_signed b ~limit pos in
   if !pos + 4 > String.length payload then
     corrupt "record-end chunk too short for its checksum";
   let byte i = Char.code payload.[!pos + i] in
@@ -372,9 +404,22 @@ let replay t sink =
     let tag = read_byte t "chunk tag" in
     let len = read_uvarint t "chunk length" in
     if tag = Layout.tag_events then begin
-      let payload = read_exact t len "event chunk" in
-      t.checksum <- Layout.fnv32 t.checksum payload;
-      decode_payload t payload sink;
+      (match t.src with
+      | Direct b ->
+          (* zero-copy: checksum and decode the chunk at its container
+             offset; nothing is materialized per chunk or per task *)
+          if len > max_chunk then
+            corrupt "event chunk length %d is implausible" len;
+          if t.off + len > Bytesrc.length b then
+            corrupt "truncated container (EOF in event chunk)";
+          let start = t.off in
+          t.off <- start + len;
+          t.checksum <- Layout.fnv32_src t.checksum b ~pos:start ~len;
+          decode_payload t b start (start + len) sink
+      | Channel _ ->
+          let payload = read_exact t len "event chunk" in
+          t.checksum <- Layout.fnv32 t.checksum payload;
+          decode_payload t (Bytesrc.Str payload) 0 (String.length payload) sink);
       go ()
     end
     else if tag = Layout.tag_record_end then begin
@@ -385,7 +430,7 @@ let replay t sink =
     else if tag = Layout.tag_record_begin || tag = Layout.tag_container_end then
       corrupt "record not terminated before tag 0x%02x" tag
     else begin
-      ignore (read_exact t len "unknown chunk" : string);
+      skip_exact t len "unknown chunk";
       go ()
     end
   in

@@ -6,7 +6,20 @@
     A reader is a cursor over the container: {!next_record} yields the
     next record's name and metadata (skipping the rest of the current
     record if its events were not consumed), {!replay} decodes the
-    current record's event stream into a sink. Every structural
+    current record's event stream into a sink.
+
+    Two byte-source backends share one decoder: a buffered channel
+    ({!open_file} — every event chunk is copied into a string before
+    decoding) and a {e direct} source ({!of_string} / {!of_bigstring} /
+    {!open_mapped} — the inlined-varint hot path decodes in place from
+    the {!Bytesrc.t}, allocation-free per event, and skipping a record
+    just advances an offset). The direct form over {!Bytesrc.map_file}
+    is the zero-copy handoff path: the parent maps the container once,
+    forked workers inherit the read-only pages, and each worker builds
+    a cheap cursor with {!of_src} + {!seek_record} — no per-task file
+    open, header read, or chunk copy. Both backends produce identical
+    results for identical bytes; CI cmp-gates that equivalence at the
+    CLI level. Every structural
     violation — bad magic or version, truncation, an unknown opcode, a
     varint overflowing the native int, an [op_repeat] with no reference
     segment, or an end-chunk event-count / final-timestamp / checksum
@@ -45,8 +58,23 @@ val open_file : string -> t
     @raise Sys_error when the file cannot be opened. *)
 
 val of_string : string -> t
-(** A reader over in-memory container bytes ({!Writer.container}
-    output) — what the tests and property checks drive. *)
+(** A direct reader over in-memory container bytes
+    ({!Writer.container} output) — what the tests and property checks
+    drive. Equivalent to [of_src (Bytesrc.Str s)]. *)
+
+val of_src : Bytesrc.t -> t
+(** A direct reader over any byte source. Cheap (validates the header,
+    copies nothing): the record-sharded decoder builds one per task
+    over the shared mapping. @raise Corrupt on a bad header. *)
+
+val of_bigstring : Bytesrc.bigstring -> t
+(** [of_src (Bytesrc.Big b)]. *)
+
+val open_mapped : string -> t
+(** Map the container with {!Bytesrc.map_file} and read it in place —
+    the default CLI read path. Falls back to reading the whole file
+    when the mapping fails, so behavior matches {!open_file} minus the
+    per-chunk copies. @raise Corrupt on a bad header. *)
 
 val next_record : t -> record option
 (** Advance to the next record and return its identity, or [None] at

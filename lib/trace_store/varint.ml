@@ -37,3 +37,25 @@ let zigzag n = (n lsl 1) lxor (n asr 62)
 let unzigzag z = (z lsr 1) lxor (-(z land 1))
 let write_signed buf n = write_raw buf (zigzag n)
 let read_signed s pos = unzigzag (read_raw s pos)
+
+(* Same readers over a byte source, bounded by an explicit [limit] so
+   chunk-relative decodes cannot run past their frame. *)
+
+let read_raw_src b ~limit pos =
+  let rec go acc shift =
+    if shift > 56 then raise Overflow;
+    if !pos >= limit then
+      invalid_arg "Trace_store.Varint: truncated varint in byte source";
+    let c = Char.code (Bytesrc.unsafe_get b !pos) in
+    incr pos;
+    let acc = acc lor ((c land 0x7f) lsl shift) in
+    if c land 0x80 = 0 then acc else go acc (shift + 7)
+  in
+  go 0 0
+
+let read_unsigned_src b ~limit pos =
+  let v = read_raw_src b ~limit pos in
+  if v < 0 then raise Overflow;
+  v
+
+let read_signed_src b ~limit pos = unzigzag (read_raw_src b ~limit pos)

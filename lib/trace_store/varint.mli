@@ -34,6 +34,16 @@ val read_signed : string -> int ref -> int
 (** Decode a zigzag varint at [!pos], advancing [pos] past it; inverse
     of {!write_signed}. Raises like {!read_unsigned}. *)
 
+val read_unsigned_src : Bytesrc.t -> limit:int -> int ref -> int
+(** {!read_unsigned} over a {!Bytesrc.t}, never reading at or past
+    [limit] (an absolute offset, at most the source length) — how the
+    reader and index decode varints in place from a mapped container.
+    Raises like {!read_unsigned}. *)
+
+val read_signed_src : Bytesrc.t -> limit:int -> int ref -> int
+(** {!read_signed} over a {!Bytesrc.t}, bounded like
+    {!read_unsigned_src}. *)
+
 val zigzag : int -> int
 (** [0 → 0, -1 → 1, 1 → 2, -2 → 3, …]: maps small-magnitude signed ints
     to small unsigned ints. Exposed for the format spec's test vectors. *)

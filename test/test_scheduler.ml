@@ -79,6 +79,82 @@ let test_stats_accounting () =
   let f = S.idle_fraction st in
   Alcotest.(check bool) "idle fraction in [0,1]" true (f >= 0. && f <= 1.)
 
+(* ---------------- adaptive frame planning ---------------- *)
+
+let sorted_concat frames = List.sort compare (List.concat frames)
+
+let frame_weight w fr = List.fold_left (fun acc i -> acc +. w.(i)) 0. fr
+
+let prop_plan_frames_partition =
+  QCheck.Test.make
+    ~name:"plan_frames partitions the indices, for any jobs / weights"
+    ~count:100
+    QCheck.(
+      pair (int_range 1 8)
+        (list_of_size Gen.(int_range 0 40) (float_range (-10.) 100.)))
+    (fun (jobs, weights) ->
+      let w = Array.of_list weights in
+      let frames = S.plan_frames ~jobs w in
+      sorted_concat frames = List.init (Array.length w) Fun.id
+      && List.for_all (fun fr -> fr <> []) frames)
+
+let test_plan_frames_policy () =
+  (* one giant item among tiny ones: the giant is a singleton frame and
+     dispatches first (LPT + split threshold), the tiny items coalesce *)
+  let w = Array.append (Array.make 16 1.) [| 100. |] in
+  let frames = S.plan_frames ~jobs:4 w in
+  (match frames with
+  | [ 16 ] :: _ -> ()
+  | _ -> Alcotest.fail "giant item must lead as a singleton frame");
+  Alcotest.(check bool) "tiny items coalesce below one-per-frame" true
+    (List.length frames < Array.length w);
+  (* every coalesced frame stays near the target: no frame except the
+     giant's exceeds target + one item's weight *)
+  let target = Array.fold_left ( +. ) 0. w /. float_of_int (4 * 4) in
+  List.iter
+    (fun fr ->
+      if fr <> [ 16 ] then
+        Alcotest.(check bool) "coalesced frame near target" true
+          (frame_weight w fr <= target +. 1.))
+    frames;
+  (* all-zero weights degrade to FIFO singletons in index order *)
+  Alcotest.(check bool) "zero weights = FIFO singletons" true
+    (S.plan_frames ~jobs:4 (Array.make 5 0.) = List.init 5 (fun i -> [ i ]));
+  (* negative weights are clamped, not propagated *)
+  Alcotest.(check bool) "negative weights still partition" true
+    (sorted_concat (S.plan_frames ~jobs:2 [| -1.; 3.; -5.; 2. |])
+    = [ 0; 1; 2; 3 ]);
+  (* deterministic: same weights, same plan *)
+  let w2 = Array.init 23 (fun i -> float_of_int ((i * 7) mod 11)) in
+  Alcotest.(check bool) "plan is deterministic" true
+    (S.plan_frames ~jobs:3 w2 = S.plan_frames ~jobs:3 w2)
+
+let prop_adaptive_equals_mapi =
+  QCheck.Test.make
+    ~name:"map_adaptive equals in-process mapi for any jobs / weights"
+    ~count:20
+    QCheck.(
+      pair (int_range 1 8) (list_of_size Gen.(int_range 0 20) (int_range 0 1000)))
+    (fun (jobs, items) ->
+      S.map_adaptive ~jobs
+        ~weights:(fun _ x -> float_of_int x)
+        slow_double items
+      = List.mapi slow_double items)
+
+let test_adaptive_stats_frames () =
+  let items = List.init 32 (fun i -> if i = 0 then 100 else 1) in
+  let _, st =
+    S.map_adaptive_stats ~jobs:4
+      ~weights:(fun _ x -> float_of_int x)
+      (fun _ x -> x)
+      items
+  in
+  Alcotest.(check int) "tasks counted" 32 st.S.tasks;
+  Alcotest.(check bool) "coalescing hands out fewer frames than tasks" true
+    (st.S.frames < st.S.tasks);
+  let _, st_fifo = S.map_stats ~jobs:4 (fun _ x -> x) items in
+  Alcotest.(check int) "FIFO frames = tasks" 32 st_fifo.S.frames
+
 (* ---------------- failure semantics ---------------- *)
 
 let test_task_error_names_task () =
@@ -131,6 +207,45 @@ let test_killed_worker_names_task () =
           true
           (contains ~needle:"SIGKILL" msg)
 
+let test_frame_failures () =
+  if not S.fork_available then ()
+  else begin
+    (* equal weights, frames_per_worker 1 → two 4-item frames; an error
+       inside a coalesced frame still names the erring task itself *)
+    let items = List.init 8 Fun.id in
+    let weights _ _ = 1. in
+    (match
+       S.map_adaptive ~jobs:2 ~frames_per_worker:1 ~weights
+         (fun i x -> if i = 2 then failwith "boom" else x)
+         items
+     with
+    | _ -> Alcotest.fail "expected Failure"
+    | exception Failure msg ->
+        Alcotest.(check bool)
+          ("frame error names the erring task: " ^ msg)
+          true
+          (contains ~needle:"task 2" msg));
+    (* a worker killed mid-frame is blamed on the frame's first task,
+       with the coalesced stowaways counted *)
+    match
+      S.map_adaptive ~jobs:2 ~frames_per_worker:1 ~weights
+        (fun i x ->
+          if i = 0 then Unix.kill (Unix.getpid ()) Sys.sigkill;
+          x)
+        items
+    with
+    | _ -> Alcotest.fail "expected Failure after a killed worker"
+    | exception Failure msg ->
+        Alcotest.(check bool)
+          ("death blames the frame head: " ^ msg)
+          true
+          (contains ~needle:"task 0" msg);
+        Alcotest.(check bool)
+          ("death counts the rest of the frame: " ^ msg)
+          true
+          (contains ~needle:"(+3 more in its frame)" msg)
+  end
+
 let suites =
   [
     ( "scheduler.order",
@@ -143,6 +258,15 @@ let suites =
         Alcotest.test_case "edge cases" `Quick test_edges;
         Alcotest.test_case "stats accounting" `Quick test_stats_accounting;
       ] );
+    ( "scheduler.adaptive",
+      [
+        QCheck_alcotest.to_alcotest prop_plan_frames_partition;
+        Alcotest.test_case "LPT, coalesce, split, zero-weight policy" `Quick
+          test_plan_frames_policy;
+        QCheck_alcotest.to_alcotest prop_adaptive_equals_mapi;
+        Alcotest.test_case "coalescing shows in frame stats" `Quick
+          test_adaptive_stats_frames;
+      ] );
     ( "scheduler.failure",
       [
         Alcotest.test_case "task error names the task" `Quick
@@ -151,5 +275,7 @@ let suites =
           test_custom_labels;
         Alcotest.test_case "killed worker surfaces cleanly" `Quick
           test_killed_worker_names_task;
+        Alcotest.test_case "failures through coalesced frames" `Quick
+          test_frame_failures;
       ] );
   ]

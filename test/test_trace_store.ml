@@ -412,6 +412,189 @@ let test_lying_index_rejected () =
   expect_corrupt "truncated index payload" (fun () ->
       I.of_string (Buffer.contents b2))
 
+(* ---------------- byte-source backends: string / bigstring / file ---- *)
+
+module B = Trace_store.Bytesrc
+
+(* the mapped backend without the filesystem: copy container bytes into
+   a bigarray, exactly what Unix.map_file hands back *)
+let big_of_string s =
+  let b =
+    Bigarray.Array1.create Bigarray.char Bigarray.c_layout (String.length s)
+  in
+  String.iteri (fun i c -> Bigarray.Array1.set b i c) s;
+  b
+
+let both_backends container =
+  [ ("string", B.of_string container);
+    ("bigstring", B.of_bigstring (big_of_string container)) ]
+
+let collect_record src ~offset =
+  let r = R.of_src src in
+  let record = R.seek_record r ~offset in
+  let sink, events = E.collector () in
+  let stats = R.replay r sink in
+  (record.R.name, stats.R.events, events ())
+
+(* Byte-merged container: records lifted out of two independently
+   captured containers and concatenated into one (the §7 merge
+   operation — records are self-contained, so a merge is a byte copy).
+   The merged file has no index chunk; both backends must scan it,
+   seek any record, and decode exactly what the source captures held. *)
+let test_merged_captures_both_backends () =
+  let capture_a = W.container [ snd (encode_record ~name:"a1" (loop_events ~iters:4 ~body:3));
+                                snd (encode_record ~name:"a2" [ E.Return { now = 5 } ]) ]
+  and capture_b = W.container [ snd (encode_record ~name:"b1" (loop_events ~iters:2 ~body:5)) ] in
+  let lift c = List.map (fun (e : I.entry) -> String.sub c e.I.offset e.I.bytes)
+      (I.of_string c) in
+  let merged = legacy_container (lift capture_a @ lift capture_b) in
+  List.iter
+    (fun (backend, src) ->
+      Alcotest.(check bool)
+        (backend ^ ": merged container has no index chunk")
+        true
+        (I.embedded_chunk_size src = None);
+      let entries = I.of_src src in
+      Alcotest.(check (list string))
+        (backend ^ ": merged order is concatenation order")
+        [ "a1"; "a2"; "b1" ]
+        (List.map (fun (e : I.entry) -> e.I.name) entries);
+      Alcotest.(check bool)
+        (backend ^ ": scan agrees with of_src")
+        true
+        (entries = I.scan_src src);
+      (* each merged record decodes byte-identically to its decode out
+         of the original capture *)
+      let from_original name =
+        let find c =
+          List.find_opt (fun (e : I.entry) -> e.I.name = name) (I.of_string c)
+          |> Option.map (fun (e : I.entry) ->
+                 collect_record (B.of_string c) ~offset:e.I.offset)
+        in
+        match (find capture_a, find capture_b) with
+        | Some got, None | None, Some got -> got
+        | _ -> Alcotest.fail ("record in neither capture: " ^ name)
+      in
+      List.iter
+        (fun (e : I.entry) ->
+          Alcotest.(check bool)
+            (backend ^ ": merged decode = original decode: " ^ e.I.name)
+            true
+            (collect_record src ~offset:e.I.offset = from_original e.I.name))
+        entries)
+    (both_backends merged)
+
+(* A legacy (pre-index-chunk) container with the index chunk present in
+   a sibling: entry shapes agree across layouts and across backends,
+   and seek+replay out of the indexed container matches over both. *)
+let test_index_backends_agree () =
+  let records = three_records () in
+  let indexed = W.container records in
+  let legacy = legacy_container records in
+  let reference = I.of_string indexed in
+  List.iter
+    (fun (backend, src) ->
+      Alcotest.(check bool)
+        (backend ^ ": embedded index parses identically")
+        true
+        (I.of_src src = reference);
+      Alcotest.(check bool)
+        (backend ^ ": index chunk size agrees")
+        true
+        (I.embedded_chunk_size src <> None);
+      List.iter
+        (fun (e : I.entry) ->
+          let name, events, got = collect_record src ~offset:e.I.offset in
+          Alcotest.(check string) (backend ^ ": seek name") e.I.name name;
+          Alcotest.(check int) (backend ^ ": seek events") e.I.events events;
+          Alcotest.(check bool)
+            (backend ^ ": decode agrees with string backend")
+            true
+            (got
+            = (let _, _, ref_events =
+                 collect_record (B.of_string indexed) ~offset:e.I.offset
+               in
+               ref_events)))
+        reference)
+    (both_backends indexed);
+  List.iter
+    (fun (backend, src) ->
+      Alcotest.(check bool)
+        (backend ^ ": legacy scan shape matches indexed")
+        true
+        (shape (I.of_src src) = shape reference))
+    (both_backends legacy)
+
+let with_temp_container bytes f =
+  let path = Filename.temp_file "jrpm_test" ".jtrc" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc bytes);
+      f path)
+
+(* of_file's partial read (header + index chunk + one validating seek
+   per record) must agree exactly with the in-memory parse, on both the
+   indexed and the legacy layout; a lying on-disk index must raise
+   through the same partial-read path; and the mapped reader must
+   decode a real file identically to the string backend. *)
+let test_of_file_and_mapped_agree () =
+  let records = three_records () in
+  let indexed = W.container records in
+  let legacy = legacy_container records in
+  with_temp_container indexed (fun path ->
+      Alcotest.(check bool)
+        "of_file = of_string (indexed)" true
+        (I.of_file path = I.of_string indexed);
+      let e = List.hd (I.of_file path) in
+      let mapped = B.map_file path in
+      Alcotest.(check int) "mapping covers the file" (String.length indexed)
+        (B.length mapped);
+      Alcotest.(check bool)
+        "mapped decode = string decode" true
+        (collect_record mapped ~offset:e.I.offset
+        = collect_record (B.of_string indexed) ~offset:e.I.offset);
+      (* open_mapped drains the whole container like open_file *)
+      let drain_with open_ =
+        let r = open_ path in
+        let rec go acc =
+          match R.next_record r with
+          | None -> List.rev acc
+          | Some record ->
+              let sink, events = E.collector () in
+              ignore (R.replay r sink : R.replay_stats);
+              go ((record.R.name, events ()) :: acc)
+        in
+        let out = go [] in
+        R.close r;
+        out
+      in
+      Alcotest.(check bool)
+        "open_mapped = open_file" true
+        (drain_with R.open_mapped = drain_with R.open_file));
+  with_temp_container legacy (fun path ->
+      Alcotest.(check bool)
+        "of_file = of_string (legacy, scan fallback)" true
+        (I.of_file path = I.of_string legacy));
+  (* lying index on disk: offset points one byte past the record *)
+  let _, record = encode_record ~name:"x" [ E.Return { now = 3 } ] in
+  let entry =
+    { I.name = "x"; offset = 1; bytes = String.length record; events = 1 }
+  in
+  let payload = I.chunk_payload [ entry ] in
+  let b = Buffer.create 256 in
+  Buffer.add_string b "JTRC\x01\x00";
+  Buffer.add_char b '\x04';
+  V.write_unsigned b (String.length payload);
+  Buffer.add_string b payload;
+  Buffer.add_string b record;
+  Buffer.add_string b "\x00\x00";
+  with_temp_container (Buffer.contents b) (fun path ->
+      expect_corrupt "lying on-disk index" (fun () -> I.of_file path))
+
 (* ---------------- replay determinism vs the golden sweep ---------------- *)
 
 (* The same subset test_sweep pins against golden_sweep_summaries.json:
@@ -505,6 +688,15 @@ let suites =
           test_seek_record_decodes_in_isolation;
         Alcotest.test_case "lying or truncated index rejected" `Quick
           test_lying_index_rejected;
+      ] );
+    ( "trace_store.bytesrc",
+      [
+        Alcotest.test_case "byte-merged captures over both backends" `Quick
+          test_merged_captures_both_backends;
+        Alcotest.test_case "index agrees across backends and layouts" `Quick
+          test_index_backends_agree;
+        Alcotest.test_case "of_file partial read and mapped reader" `Quick
+          test_of_file_and_mapped_agree;
       ] );
     ( "trace_store.replay",
       [
