@@ -24,7 +24,9 @@
                                                diff the summaries against
                                                test/baseline_sweep_
                                                summaries.json — override
-                                               with --baseline FILE; exits
+                                               with --baseline FILE and the
+                                               fail threshold with
+                                               --tolerance PCT; exits
                                                non-zero on any field past
                                                the fail tolerance)
           dune exec bench/main.exe -- replay   (trace-store benchmark:
@@ -53,7 +55,16 @@
                                                vs FIFO handout with per-task
                                                container opens on a skewed
                                                record mix; --smoke is the CI
-                                               variant gating both ratios) *)
+                                               variant gating both ratios)
+          dune exec bench/main.exe -- serve    (serve benchmark: repeated
+                                               replay requests against the
+                                               resident jrpm daemon's warm
+                                               pool + mapping cache vs
+                                               forking a fresh replay
+                                               process per request; --smoke
+                                               is the CI variant gating the
+                                               warm-pool speedup on >= 4
+                                               cores) *)
 
 let line = String.make 72 '='
 
@@ -856,7 +867,7 @@ let replay_bench ~smoke () =
    baseline. The same gate as `jrpm sweep --baseline`, packaged for CI
    and for a quick local "did my change move any benchmark?" check. *)
 
-let regress ~jobs ~baseline () =
+let regress ~jobs ?tolerance ~baseline () =
   section
     (Printf.sprintf "Benchmark-regression gate (baseline: %s)" baseline);
   let base =
@@ -875,7 +886,7 @@ let regress ~jobs ~baseline () =
       (fun (o : Jrpm.Parallel_sweep.outcome) -> o.Jrpm.Parallel_sweep.summary)
       outcomes
   in
-  let d = Jrpm.Regression.diff ~baseline:base ~current () in
+  let d = Jrpm.Regression.diff ?tolerance ~baseline:base ~current () in
   print_string (Jrpm.Regression.render d);
   if Jrpm.Regression.failed d then begin
     prerr_endline "bench regress: benchmark regression past tolerance";
@@ -1311,6 +1322,156 @@ let handoff_bench ~smoke () =
       end)
 
 (* ------------------------------------------------------------------ *)
+(* Serve benchmark (`bench -- serve`): what does the resident daemon's
+   warm pool buy over forking a fresh replay process per request?
+
+   The one-shot path pays per request for a process fork, a fresh
+   container mapping, and a fresh worker-pool spawn; `jrpm serve` pays
+   them once and amortizes across requests, answering each replay from
+   the long-lived pool and the LRU mapping cache. The container is
+   deliberately small (tiny records) so per-request setup dominates
+   decode work — the worst case for fork-per-call and precisely what
+   the daemon exists to amortize. Warm throughput is gated
+   (>= serve_warm_floor x fork-per-call) only on >= 4 core machines,
+   like the sched decode and handoff parallel gates. *)
+
+let serve_warm_floor = 2.0
+
+let serve_bench ~smoke () =
+  section
+    (if smoke then "Serve benchmark (smoke: warm-pool floor)"
+     else "Serve benchmark (resident daemon vs fork-per-call)");
+  if not Jrpm.Scheduler.fork_available then begin
+    print_endline "fork unavailable on this platform; nothing to measure";
+    exit 0
+  end;
+  let requests = if smoke then 8 else 20 in
+  let jobs = 2 in
+  let capture name =
+    let w = Workloads.Registry.find_exn name in
+    let src = Workloads.Registry.default_source w in
+    let _report, record = Jrpm.Replay.capture_run ~name src in
+    record
+  in
+  let records = List.init 3 (fun _ -> capture "fft") in
+  let container = Trace_store.Writer.container records in
+  let path = Filename.temp_file "jrpm_serve" ".jtrc" in
+  let sock = Filename.temp_file "jrpm_serve" ".sock" in
+  Sys.remove sock;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ path; sock ])
+    (fun () ->
+      Trace_store.Atomic_io.write_string ~path container;
+      Printf.printf "\n%d tiny records, %d bytes on disk, %d requests\n\n"
+        (List.length records) (String.length container) requests;
+      let failed = ref false in
+      (* -------- fork-per-call: the one-shot CLI cost model -------- *)
+      let one_shot () =
+        match Unix.fork () with
+        | 0 ->
+            (match Jrpm.Replay.replay_file ~jobs path with
+            | outcomes ->
+                Unix._exit
+                  (if
+                     List.for_all
+                       (fun (o : Jrpm.Replay.outcome) -> o.Jrpm.Replay.matches)
+                       outcomes
+                   then 0
+                   else 1)
+            | exception _ -> Unix._exit 1)
+        | pid -> (
+            match snd (Unix.waitpid [] pid) with
+            | Unix.WEXITED 0 -> ()
+            | _ ->
+                failed := true;
+                prerr_endline "serve bench: one-shot replay child failed")
+      in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to requests do
+        one_shot ()
+      done;
+      let cold_s = Unix.gettimeofday () -. t0 in
+      (* -------- warm daemon: one pool + cached mapping -------- *)
+      let daemon_pid =
+        match Unix.fork () with
+        | 0 ->
+            (try Jrpm.Daemon.serve ~jobs (Jrpm.Daemon.Socket sock)
+             with _ -> ());
+            Unix._exit 0
+        | pid -> pid
+      in
+      let client =
+        let rec connect tries =
+          match Jrpm.Daemon.Client.connect sock with
+          | c -> c
+          | exception Failure _ when tries > 0 ->
+              Unix.sleepf 0.05;
+              connect (tries - 1)
+        in
+        connect 100
+      in
+      let replay_rpc () =
+        let r =
+          Jrpm.Daemon.Client.rpc client
+            (Jrpm.Daemon.Replay { path; record = None })
+        in
+        match r.Jrpm.Daemon.rsp with
+        | Ok _ -> ()
+        | Error msg ->
+            failed := true;
+            Printf.eprintf "serve bench: daemon replay failed: %s\n" msg
+      in
+      replay_rpc () (* warm the mapping cache and the pool, untimed *);
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to requests do
+        replay_rpc ()
+      done;
+      let warm_s = Unix.gettimeofday () -. t0 in
+      (match Jrpm.Daemon.Client.rpc client Jrpm.Daemon.Shutdown with
+      | _ -> ()
+      | exception Failure _ -> ());
+      Jrpm.Daemon.Client.close client;
+      ignore (Unix.waitpid [] daemon_pid);
+      let cold_rps = float_of_int requests /. cold_s in
+      let warm_rps = float_of_int requests /. warm_s in
+      let speedup = cold_s /. warm_s in
+      let cores = Jrpm.Scheduler.core_count () in
+      let gated = cores >= 4 in
+      let ok = (not gated) || speedup >= serve_warm_floor in
+      if not ok then failed := true;
+      Util.Text_table.print
+        ~aligns:Util.Text_table.[ Left; Right; Right; Right; Left ]
+        ~header:[ "replay service"; "wall s"; "req/s"; "speedup"; "status" ]
+        [
+          [
+            "fork per call";
+            Printf.sprintf "%.3f" cold_s;
+            Printf.sprintf "%.1f" cold_rps;
+            "1.0x";
+            "";
+          ];
+          [
+            "warm daemon pool";
+            Printf.sprintf "%.3f" warm_s;
+            Printf.sprintf "%.1f" warm_rps;
+            Printf.sprintf "%.2fx" speedup;
+            (if not gated then "not gated (<4 cores)"
+             else if ok then "ok"
+             else "UNDER FLOOR");
+          ];
+        ];
+      if !failed then begin
+        prerr_endline
+          (Printf.sprintf
+             "serve bench: below the %.1fx warm-pool floor (>=4 cores)"
+             serve_warm_floor);
+        exit 1
+      end)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment kernel. *)
 
 let bechamel_suite () =
@@ -1454,8 +1615,33 @@ let () =
     handoff_bench ~smoke:(has_arg "--smoke") ();
     exit 0
   end;
+  if has_arg "serve" then begin
+    serve_bench ~smoke:(has_arg "--smoke") ();
+    exit 0
+  end;
   if has_arg "regress" then begin
-    regress ~jobs:(jobs_arg ())
+    (* like `jrpm sweep --tolerance`: negative, non-finite (NaN), and
+       non-numeric thresholds are user errors, not gates *)
+    let tolerance =
+      match string_arg "--tolerance" "" with
+      | "" -> None
+      | s -> (
+          match float_of_string_opt s with
+          | None ->
+              Printf.eprintf
+                "bench: --tolerance must be a non-negative percentage, got %S\n"
+                s;
+              exit 2
+          | Some pct -> (
+              try Some (Jrpm.Regression.tolerance_of_fail_pct pct)
+              with Invalid_argument _ ->
+                Printf.eprintf
+                  "bench: --tolerance must be a non-negative percentage, got \
+                   %S\n"
+                  s;
+                exit 2))
+    in
+    regress ~jobs:(jobs_arg ()) ?tolerance
       ~baseline:(string_arg "--baseline" "test/baseline_sweep_summaries.json")
       ();
     exit 0

@@ -120,6 +120,20 @@ let jobs_arg =
           "number of worker processes (default: core count; 1 = run \
            sequentially in-process; must be positive)")
 
+(* Containers are written atomically (temp + fsync + rename) so a
+   crash mid-capture never leaves a truncated container where a good
+   one stood. *)
+let write_container_file ~file bytes =
+  match Trace_store.Atomic_io.write_string ~path:file bytes with
+  | () -> ()
+  | exception Sys_error msg ->
+      Printf.eprintf "jrpm: cannot write trace container: %s\n" msg;
+      exit 1
+  | exception Unix.Unix_error (err, _, _) ->
+      Printf.eprintf "jrpm: cannot write trace container: %s\n"
+        (Unix.error_message err);
+      exit 1
+
 let write_text_file ~what file contents =
   match open_out file with
   | oc ->
@@ -583,17 +597,10 @@ let sweep_cmd =
     in
     let wall_s = Unix.gettimeofday () -. t0 in
     (match (trace, Jrpm.Parallel_sweep.container outcomes) with
-    | Some file, Some bytes -> (
-        match open_out_bin file with
-        | oc ->
-            Fun.protect
-              ~finally:(fun () -> close_out oc)
-              (fun () -> output_string oc bytes);
-            Printf.eprintf "jrpm: trace container %s: %d workloads, %d bytes\n"
-              file (List.length outcomes) (String.length bytes)
-        | exception Sys_error msg ->
-            Printf.eprintf "jrpm: cannot write trace container: %s\n" msg;
-            exit 1)
+    | Some file, Some bytes ->
+        write_container_file ~file bytes;
+        Printf.eprintf "jrpm: trace container %s: %d workloads, %d bytes\n"
+          file (List.length outcomes) (String.length bytes)
     | _ -> ());
     (* stdout is deterministic (registry order, simulated cycles only);
        wall-clock timing goes to stderr *)
@@ -786,17 +793,10 @@ let trace_record_cmd =
     | None ->
         Printf.eprintf "jrpm: capture produced no records\n";
         exit 1
-    | Some bytes -> (
-        match open_out_bin file with
-        | oc ->
-            Fun.protect
-              ~finally:(fun () -> close_out oc)
-              (fun () -> output_string oc bytes);
-            Printf.eprintf "jrpm: recorded %d workloads, %d bytes -> %s\n"
-              (List.length outcomes) (String.length bytes) file
-        | exception Sys_error msg ->
-            Printf.eprintf "jrpm: cannot write trace container: %s\n" msg;
-            exit 1)
+    | Some bytes ->
+        write_container_file ~file bytes;
+        Printf.eprintf "jrpm: recorded %d workloads, %d bytes -> %s\n"
+          (List.length outcomes) (String.length bytes) file
   in
   Cmd.v
     (Cmd.info "record"
@@ -1102,6 +1102,417 @@ let explore_cmd =
       const explore $ trace_file_arg $ grid_arg $ grid_pos_arg $ jobs_arg
       $ matrix_json_arg $ default_summary_json_arg)
 
+(* ---------------- serve / client: profiling as a service ---------- *)
+
+let serve_cmd =
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "listen on a Unix-domain socket at $(docv) (a stale socket file \
+             is replaced); talk to it with $(b,jrpm client --socket) $(docv)")
+  in
+  let stdio_arg =
+    Arg.(
+      value & flag
+      & info [ "stdio" ]
+          ~doc:
+            "serve length-framed requests on stdin/stdout instead of a \
+             socket (one client; exits at stdin EOF)")
+  in
+  let serve socket stdio jobs =
+    let jobs =
+      match jobs with Some n -> n | None -> Jrpm.Parallel_sweep.default_jobs ()
+    in
+    let transport =
+      match (socket, stdio) with
+      | Some path, false -> Jrpm.Daemon.Socket path
+      | None, true -> Jrpm.Daemon.Stdio
+      | Some _, true ->
+          Printf.eprintf "jrpm: serve takes --socket PATH or --stdio, not both\n";
+          exit 2
+      | None, false ->
+          Printf.eprintf "jrpm: serve needs --socket PATH or --stdio\n";
+          exit 2
+    in
+    match Jrpm.Daemon.serve ~jobs transport with
+    | () -> ()
+    | exception Unix.Unix_error (err, _, arg) ->
+        Printf.eprintf "jrpm: serve: %s%s\n" (Unix.error_message err)
+          (if arg = "" then "" else ": " ^ arg);
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "run the profiling daemon: a resident worker pool serving \
+          concurrent profile/replay/explore requests over a Unix-domain \
+          socket (protocol: ARCHITECTURE.md §9). Results are byte-identical \
+          to the one-shot CLI commands; containers stay mapped across \
+          requests")
+    Term.(const serve $ socket_arg $ stdio_arg $ jobs_arg)
+
+(* The client subcommands render and write results with exactly the
+   code paths of the one-shot commands (same Text_table columns, same
+   pretty-JSON writer), so CI can `cmp` daemon output against `jrpm
+   sweep` / `jrpm trace replay` / `jrpm explore`. *)
+
+let client_socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"daemon socket path (the $(b,jrpm serve --socket) argument)")
+
+let with_client socket f =
+  match Jrpm.Daemon.Client.connect socket with
+  | exception Failure msg ->
+      Printf.eprintf "jrpm: %s\n" msg;
+      exit 1
+  | c ->
+      Fun.protect
+        ~finally:(fun () -> Jrpm.Daemon.Client.close c)
+        (fun () ->
+          try f c
+          with Failure msg ->
+            Printf.eprintf "jrpm: %s\n" msg;
+            exit 1)
+
+(* One blocking round-trip; a daemon-side error is fatal to the client
+   (the daemon itself keeps serving). *)
+let client_rpc c req =
+  let r = Jrpm.Daemon.Client.rpc c req in
+  match r.Jrpm.Daemon.rsp with
+  | Ok json -> (json, r)
+  | Error msg ->
+      Printf.eprintf "jrpm: daemon error: %s\n" msg;
+      exit 1
+
+let summary_of_member ~what json =
+  match Obs.Json.member "summary" json with
+  | Some sj -> (
+      try Jrpm.Report_summary.of_json sj
+      with Failure msg ->
+        Printf.eprintf "jrpm: %s: %s\n" what msg;
+        exit 1)
+  | None ->
+      Printf.eprintf "jrpm: %s: malformed daemon result\n" what;
+      exit 1
+
+let client_ping_cmd =
+  let ping socket =
+    with_client socket (fun c ->
+        let json, r = client_rpc c Jrpm.Daemon.Ping in
+        (match json with
+        | Obs.Json.String s -> print_endline s
+        | j -> print_endline (Obs.Json.to_string j));
+        Printf.eprintf "client: %.3fs round-trip, queue depth %d\n%!"
+          r.Jrpm.Daemon.elapsed_s r.Jrpm.Daemon.queue_depth)
+  in
+  Cmd.v
+    (Cmd.info "ping" ~doc:"round-trip one request; prints $(b,pong)")
+    Term.(const ping $ client_socket_arg)
+
+let client_profile_cmd =
+  let workloads_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"WORKLOAD" ~doc:"registered workload names")
+  in
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:
+            "profile every bundled benchmark, in registry order — the \
+             daemon-side equivalent of $(b,jrpm sweep)")
+  in
+  let profile socket names all summary_json =
+    let names =
+      if all then
+        List.map (fun (w : Workloads.Workload.t) -> w.Workloads.Workload.name)
+          Workloads.Registry.all
+      else names
+    in
+    if names = [] then begin
+      Printf.eprintf "jrpm: client profile needs WORKLOAD names or --all\n";
+      exit 2
+    end;
+    with_client socket (fun c ->
+        (* pipeline every request up front; the daemon's pool runs them
+           concurrently and responds out of order — match by id *)
+        let ids =
+          List.map (fun n -> (Jrpm.Daemon.Client.send c (Jrpm.Daemon.Profile n), n))
+            names
+        in
+        let responses = Hashtbl.create 16 in
+        List.iter
+          (fun _ ->
+            let r = Jrpm.Daemon.Client.recv c in
+            Hashtbl.replace responses r.Jrpm.Daemon.rsp_id r)
+          ids;
+        let summaries =
+          List.map
+            (fun (id, n) ->
+              match Hashtbl.find_opt responses id with
+              | None ->
+                  Printf.eprintf "jrpm: no response for workload %s\n" n;
+                  exit 1
+              | Some { Jrpm.Daemon.rsp = Error msg; _ } ->
+                  Printf.eprintf "jrpm: %s: %s\n" n msg;
+                  exit 1
+              | Some { Jrpm.Daemon.rsp = Ok json; _ } ->
+                  summary_of_member ~what:n json)
+            ids
+        in
+        (* the jrpm sweep table, byte for byte *)
+        Util.Text_table.print
+          ~aligns:
+            Util.Text_table.
+              [ Left; Right; Right; Right; Right; Right; Right; Left ]
+          ~header:
+            [
+              "Benchmark"; "Plain cycles"; "TLS cycles"; "Actual x"; "Pred x";
+              "STLs"; "Violations"; "Outputs";
+            ]
+          (List.map
+             (fun (s : Jrpm.Report_summary.t) ->
+               [
+                 s.Jrpm.Report_summary.name;
+                 string_of_int s.Jrpm.Report_summary.plain_cycles;
+                 string_of_int s.Jrpm.Report_summary.tls_cycles;
+                 Printf.sprintf "%.2f" s.Jrpm.Report_summary.actual_speedup;
+                 Printf.sprintf "%.2f" s.Jrpm.Report_summary.predicted_speedup;
+                 string_of_int s.Jrpm.Report_summary.selected_stls;
+                 string_of_int s.Jrpm.Report_summary.violations;
+                 (if s.Jrpm.Report_summary.outputs_match then "match"
+                  else "MISMATCH");
+               ])
+             summaries);
+        match summary_json with
+        | Some file ->
+            let doc =
+              Obs.Json.List (List.map Jrpm.Report_summary.to_json summaries)
+            in
+            write_text_file ~what:"summary JSON" file
+              (Obs.Json.to_string ~pretty:true doc)
+        | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "profile registered workloads through the daemon's warm pool; \
+          $(b,--all --summary-json) output is byte-identical to $(b,jrpm \
+          sweep --summary-json)")
+    Term.(
+      const profile $ client_socket_arg $ workloads_arg $ all_arg
+      $ summary_json_arg)
+
+let client_file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"trace-store container path (daemon-side)")
+
+let client_replay_cmd =
+  let record_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "record" ] ~docv:"NAME"
+          ~doc:"replay only the record named $(docv)")
+  in
+  let replay socket file record summary_json =
+    with_client socket (fun c ->
+        let json, _r =
+          client_rpc c (Jrpm.Daemon.Replay { path = file; record })
+        in
+        let jlist what = function
+          | Some (Obs.Json.List l) -> l
+          | _ ->
+              Printf.eprintf "jrpm: malformed daemon result (no %s)\n" what;
+              exit 1
+        in
+        let records = jlist "records" (Obs.Json.member "records" json) in
+        let summaries =
+          List.map
+            (fun sj ->
+              try Jrpm.Report_summary.of_json sj
+              with Failure msg ->
+                Printf.eprintf "jrpm: %s\n" msg;
+                exit 1)
+            (jlist "summaries" (Obs.Json.member "summaries" json))
+        in
+        let jint j k =
+          match Obs.Json.member k j with
+          | Some (Obs.Json.Int n) -> n
+          | _ ->
+              Printf.eprintf "jrpm: malformed daemon result (no %s)\n" k;
+              exit 1
+        in
+        let matches j =
+          match Obs.Json.member "matches" j with
+          | Some (Obs.Json.Bool b) -> b
+          | _ -> false
+        in
+        (* the jrpm trace replay table, byte for byte *)
+        Util.Text_table.print
+          ~aligns:
+            Util.Text_table.
+              [ Left; Right; Right; Right; Right; Right; Right; Left ]
+          ~header:
+            [
+              "Benchmark"; "Events"; "Bytes"; "B/event"; "Ratio"; "Pred x";
+              "STLs"; "Replay";
+            ]
+          (List.map2
+             (fun rj (s : Jrpm.Report_summary.t) ->
+               let events = jint rj "events" in
+               let record_bytes = jint rj "record_bytes" in
+               let reference_bytes = jint rj "reference_bytes" in
+               [
+                 s.Jrpm.Report_summary.name;
+                 string_of_int events;
+                 string_of_int record_bytes;
+                 Printf.sprintf "%.2f"
+                   (float_of_int record_bytes /. float_of_int (max 1 events));
+                 Printf.sprintf "%.1f"
+                   (float_of_int reference_bytes
+                   /. float_of_int (max 1 record_bytes));
+                 Printf.sprintf "%.2f" s.Jrpm.Report_summary.predicted_speedup;
+                 string_of_int s.Jrpm.Report_summary.selected_stls;
+                 (if matches rj then "match" else "DIVERGED");
+               ])
+             records summaries);
+        (match summary_json with
+        | Some out ->
+            let doc =
+              Obs.Json.List (List.map Jrpm.Report_summary.to_json summaries)
+            in
+            write_text_file ~what:"summary JSON" out
+              (Obs.Json.to_string ~pretty:true doc)
+        | None -> ());
+        if List.exists (fun rj -> not (matches rj)) records then begin
+          Printf.eprintf
+            "jrpm: replayed analysis DIVERGED from the recorded summaries\n";
+          exit 1
+        end)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "replay a container's records through the daemon's cached mapping; \
+          $(b,--summary-json) output is byte-identical to $(b,jrpm trace \
+          replay --summary-json)")
+    Term.(
+      const replay $ client_socket_arg $ client_file_arg $ record_arg
+      $ summary_json_arg)
+
+let client_explore_cmd =
+  let grid_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "grid" ] ~docv:"AXIS=V1,V2,..."
+          ~doc:"grid axes, the $(b,jrpm explore --grid) syntax (repeatable)")
+  in
+  let matrix_json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "summary-json" ] ~docv:"FILE"
+          ~doc:
+            "write the machine-readable matrix to $(docv) — byte-identical \
+             to $(b,jrpm explore --summary-json) for the same container and \
+             grid")
+  in
+  let explore socket file grid matrix_json =
+    with_client socket (fun c ->
+        let json, r =
+          client_rpc c (Jrpm.Daemon.Explore { path = file; grid })
+        in
+        (match matrix_json with
+        | Some out ->
+            write_text_file ~what:"explore matrix JSON" out
+              (Obs.Json.to_string ~pretty:true json)
+        | None -> ());
+        let count k =
+          match Obs.Json.member k json with
+          | Some (Obs.Json.List l) -> List.length l
+          | _ -> 0
+        in
+        Printf.printf
+          "explore: %d config point(s) x %d workload(s), %d verdict flip(s)\n"
+          (count "points") (count "workloads") (count "flips");
+        Printf.eprintf "client: %d pool task(s), %.2fs\n%!" r.Jrpm.Daemon.tasks
+          r.Jrpm.Daemon.elapsed_s)
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"evaluate a config grid over a container through the daemon")
+    Term.(
+      const explore $ client_socket_arg $ client_file_arg $ grid_arg
+      $ matrix_json_arg)
+
+let client_stats_cmd =
+  let stats socket =
+    with_client socket (fun c ->
+        let json, _ = client_rpc c Jrpm.Daemon.Stats in
+        print_endline (Obs.Json.to_string ~pretty:true json))
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "print the daemon's status JSON: worker pids and busyness, queue \
+          depths, mapping-cache hit/miss/eviction counts, request metrics")
+    Term.(const stats $ client_socket_arg)
+
+let client_sleep_cmd =
+  let seconds_arg =
+    Arg.(
+      required
+      & pos 0 (some float) None
+      & info [] ~docv:"SECONDS" ~doc:"how long the worker task sleeps")
+  in
+  let sleep socket seconds =
+    with_client socket (fun c ->
+        let _json, r = client_rpc c (Jrpm.Daemon.Sleep seconds) in
+        Printf.printf "slept %.3fs (daemon elapsed %.3fs)\n" seconds
+          r.Jrpm.Daemon.elapsed_s)
+  in
+  Cmd.v
+    (Cmd.info "sleep"
+       ~doc:
+         "occupy one daemon worker for $(i,SECONDS) — a diagnostic hook for \
+          exercising queueing and worker-death handling")
+    Term.(const sleep $ client_socket_arg $ seconds_arg)
+
+let client_shutdown_cmd =
+  let shutdown socket =
+    with_client socket (fun c ->
+        let json, _ = client_rpc c Jrpm.Daemon.Shutdown in
+        match json with
+        | Obs.Json.String s -> print_endline s
+        | j -> print_endline (Obs.Json.to_string j))
+  in
+  Cmd.v
+    (Cmd.info "shutdown"
+       ~doc:"ask the daemon to finish in-flight requests and exit")
+    Term.(const shutdown $ client_socket_arg)
+
+let client_cmd =
+  Cmd.group
+    (Cmd.info "client"
+       ~doc:
+         "talk to a running $(b,jrpm serve) daemon; each subcommand's output \
+          is byte-identical to its one-shot equivalent (CI cmp-gates this)")
+    [
+      client_ping_cmd; client_profile_cmd; client_replay_cmd;
+      client_explore_cmd; client_stats_cmd; client_sleep_cmd;
+      client_shutdown_cmd;
+    ]
+
 let list_cmd =
   let list () =
     Util.Text_table.print
@@ -1163,7 +1574,7 @@ let main =
     (Cmd.info "jrpm" ~version:"1.0.0" ~doc)
     [
       run_cmd; profile_cmd; deps_cmd; dump_cmd; auto_cmd; bench_cmd; sweep_cmd;
-      trace_cmd; explore_cmd; list_cmd;
+      trace_cmd; explore_cmd; serve_cmd; client_cmd; list_cmd;
     ]
 
 let () = exit (Cmd.eval main)

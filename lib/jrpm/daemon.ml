@@ -1,0 +1,891 @@
+(* Profiling-as-a-service: a resident server owning one long-lived
+   Scheduler.Pool, fed by length-framed JSON requests over a
+   Unix-domain socket (or stdio). Protocol spec: ARCHITECTURE.md §9.
+
+   The request surface is the one-shot CLI's, re-plumbed through a warm
+   pool: [profile] runs a registered workload's pipeline, [replay]
+   replays records from a .jtrc container, [explore] evaluates a config
+   grid — all returning the existing Report_summary / Obs JSON, plus
+   per-request timing and queue-depth metrics. Results are
+   byte-identical to the equivalent one-shot invocation (CI cmp-gates
+   this): the daemon runs the same Replay.replay_entry /
+   Explore.eval_cell / Pipeline.run units and assembles them in the
+   same order; only the transport differs.
+
+   Containers are mapped once per process and cached in an LRU
+   ([Mapping_cache]): the parent maps to parse the index at request
+   time, each worker maps on first touching a path (mappings made
+   after the fork cannot be inherited) and then serves every later
+   request on that container from its cache. *)
+
+let fail fmt = Printf.ksprintf failwith fmt
+
+(* ---------------- LRU of open container mappings ---------------- *)
+
+module Mapping_cache = struct
+  type entry = {
+    src : Trace_store.Bytesrc.t;
+    entries : Trace_store.Index.entry list;
+    size : int;
+    mtime : float;
+  }
+
+  type t = {
+    capacity : int;
+    mutable items : (string * entry) list;  (* most-recent first *)
+    mutable hits : int;
+    mutable misses : int;
+    mutable evictions : int;
+  }
+
+  let create ?(capacity = 8) () =
+    { capacity = max 1 capacity; items = []; hits = 0; misses = 0;
+      evictions = 0 }
+
+  let cached t = List.map fst t.items
+  let stats t = (t.hits, t.misses, t.evictions)
+
+  (* Staleness: a cached mapping is only valid while the file on disk
+     is the one we mapped. Capture rewrites are atomic renames
+     (Atomic_io), so a changed (size, mtime) pair means a wholly new
+     file — remap. *)
+  let fresh_stat path =
+    match Unix.stat path with
+    | st -> (st.Unix.st_size, st.Unix.st_mtime)
+    | exception Unix.Unix_error (err, _, _) ->
+        raise
+          (Trace_store.Reader.Corrupt
+             (path ^ ": cannot stat: " ^ Unix.error_message err))
+
+  let load path =
+    let size, mtime = fresh_stat path in
+    let src = Trace_store.Bytesrc.map_file path in
+    { src; entries = Trace_store.Index.of_src src; size; mtime }
+
+  let lookup t path =
+    let size, mtime = fresh_stat path in
+    match List.assoc_opt path t.items with
+    | Some e when e.size = size && e.mtime = mtime ->
+        t.hits <- t.hits + 1;
+        t.items <-
+          (path, e) :: List.filter (fun (p, _) -> p <> path) t.items;
+        e
+    | stale ->
+        t.misses <- t.misses + 1;
+        let e = load path in
+        let rest = List.filter (fun (p, _) -> p <> path) t.items in
+        let rest =
+          if stale = None && List.length rest >= t.capacity then begin
+            t.evictions <- t.evictions + 1;
+            (* drop the least-recently-used tail entry *)
+            List.filteri (fun i _ -> i < t.capacity - 1) rest
+          end
+          else rest
+        in
+        t.items <- (path, e) :: rest;
+        e
+
+  let get t path = (lookup t path).src
+  let get_entries t path = (lookup t path).entries
+end
+
+(* ---------------- wire framing ---------------- *)
+
+(* [len: 8-byte LE][JSON payload], both directions — the scheduler's
+   result-pipe framing applied to a socket. *)
+
+let max_frame = 1 lsl 30
+
+let rec restart_eintr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> restart_eintr f
+
+let write_all fd bytes =
+  let len = Bytes.length bytes in
+  let pos = ref 0 in
+  while !pos < len do
+    let n = restart_eintr (fun () -> Unix.write fd bytes !pos (len - !pos)) in
+    if n <= 0 then raise (Unix.Unix_error (Unix.EPIPE, "write", ""));
+    pos := !pos + n
+  done
+
+let read_exact_opt fd n =
+  let buf = Bytes.create n in
+  let pos = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !pos < n do
+    let k = restart_eintr (fun () -> Unix.read fd buf !pos (n - !pos)) in
+    if k = 0 then eof := true else pos := !pos + k
+  done;
+  if !pos = n then Some buf else None
+
+let frame_bytes json =
+  let payload = Obs.Json.to_string json in
+  let n = String.length payload in
+  let b = Bytes.create (8 + n) in
+  Bytes.set_int64_le b 0 (Int64.of_int n);
+  Bytes.blit_string payload 0 b 8 n;
+  b
+
+let write_frame fd json = write_all fd (frame_bytes json)
+
+let read_frame fd =
+  match read_exact_opt fd 8 with
+  | None -> None
+  | Some hdr -> (
+      let len = Int64.to_int (Bytes.get_int64_le hdr 0) in
+      if len < 0 || len > max_frame then
+        fail "Jrpm.Daemon: oversized frame (%d bytes)" len;
+      match read_exact_opt fd len with
+      | None -> fail "Jrpm.Daemon: truncated frame"
+      | Some payload -> Some (Obs.Json.parse_exn (Bytes.to_string payload)))
+
+(* ---------------- request / response codec ---------------- *)
+
+type request =
+  | Ping
+  | Profile of string
+  | Replay of { path : string; record : string option }
+  | Explore of { path : string; grid : string list }
+  | Stats
+  | Sleep of float
+  | Shutdown
+
+type envelope = { id : Obs.Json.t; req : request }
+
+let request_to_json { id; req } =
+  let open Obs.Json in
+  let fields =
+    match req with
+    | Ping -> [ ("op", String "ping") ]
+    | Profile w -> [ ("op", String "profile"); ("workload", String w) ]
+    | Replay { path; record } ->
+        [ ("op", String "replay"); ("path", String path) ]
+        @ (match record with
+          | Some r -> [ ("record", String r) ]
+          | None -> [])
+    | Explore { path; grid } ->
+        [
+          ("op", String "explore");
+          ("path", String path);
+          ("grid", List (List.map (fun g -> String g) grid));
+        ]
+    | Stats -> [ ("op", String "stats") ]
+    | Sleep s -> [ ("op", String "sleep"); ("seconds", Float s) ]
+    | Shutdown -> [ ("op", String "shutdown") ]
+  in
+  Obj (("id", id) :: fields)
+
+let request_of_json json =
+  let open Obs.Json in
+  let id = Option.value (member "id" json) ~default:Null in
+  let str key =
+    match Option.bind (member key json) to_string_opt with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "missing or mistyped field %S" key)
+  in
+  let ( let* ) = Result.bind in
+  let req =
+    match Option.bind (member "op" json) to_string_opt with
+    | None -> Error "missing or mistyped field \"op\""
+    | Some "ping" -> Ok Ping
+    | Some "stats" -> Ok Stats
+    | Some "shutdown" -> Ok Shutdown
+    | Some "profile" ->
+        let* w = str "workload" in
+        Ok (Profile w)
+    | Some "replay" ->
+        let* path = str "path" in
+        let record =
+          Option.bind (member "record" json) to_string_opt
+        in
+        Ok (Replay { path; record })
+    | Some "explore" ->
+        let* path = str "path" in
+        let* grid =
+          match Option.bind (member "grid" json) to_list with
+          | None -> Error "missing or mistyped field \"grid\""
+          | Some items -> (
+              let specs = List.filter_map to_string_opt items in
+              if List.length specs = List.length items then Ok specs
+              else Error "non-string entry in \"grid\"")
+        in
+        Ok (Explore { path; grid })
+    | Some "sleep" -> (
+        match Option.bind (member "seconds" json) to_float with
+        | Some s when Float.is_finite s && s >= 0. -> Ok (Sleep s)
+        | Some _ | None -> Error "missing or mistyped field \"seconds\"")
+    | Some op -> Error (Printf.sprintf "unknown op %S" op)
+  in
+  Result.map (fun req -> { id; req }) req
+
+type response = {
+  rsp_id : Obs.Json.t;
+  rsp : (Obs.Json.t, string) result;
+  elapsed_s : float;
+  queue_depth : int;  (** pool backlog when the request was accepted *)
+  tasks : int;  (** pool tasks the request fanned into *)
+}
+
+let response_to_json r =
+  let open Obs.Json in
+  Obj
+    [
+      ("id", r.rsp_id);
+      ("ok", Bool (Result.is_ok r.rsp));
+      (match r.rsp with
+      | Ok result -> ("result", result)
+      | Error msg -> ("error", String msg));
+      ( "metrics",
+        Obj
+          [
+            ("elapsed_s", Float r.elapsed_s);
+            ("queue_depth", Int r.queue_depth);
+            ("tasks", Int r.tasks);
+          ] );
+    ]
+
+let response_of_json json =
+  let open Obs.Json in
+  let id = Option.value (member "id" json) ~default:Null in
+  let metric key conv default =
+    Option.value
+      (Option.bind (member "metrics" json) (fun m ->
+           Option.bind (member key m) conv))
+      ~default
+  in
+  let rsp =
+    match Option.bind (member "ok" json) (function
+            | Bool b -> Some b
+            | _ -> None)
+    with
+    | Some true ->
+        Ok (Option.value (member "result" json) ~default:Null)
+    | Some false | None ->
+        Error
+          (Option.value
+             (Option.bind (member "error" json) to_string_opt)
+             ~default:"malformed response")
+  in
+  {
+    rsp_id = id;
+    rsp;
+    elapsed_s = metric "elapsed_s" to_float 0.;
+    queue_depth = metric "queue_depth" to_int 0;
+    tasks = metric "tasks" to_int 0;
+  }
+
+(* ---------------- pool tasks ---------------- *)
+
+type task =
+  | T_profile of string
+  | T_replay of { path : string; entry : Trace_store.Index.entry }
+  | T_explore_cell of {
+      path : string;
+      config : Hydra.Config.t;
+      entry : Trace_store.Index.entry;
+    }
+  | T_sleep of float
+
+type task_result =
+  | R_summary of Report_summary.t
+  | R_outcome of Replay.outcome
+  | R_cell of Explore.cell
+  | R_slept of float
+
+(* Per-worker mapping cache: forked workers cannot inherit mappings
+   the parent established after the fork, so each worker maps a
+   container on first touch and serves every later task on it from
+   its own LRU. *)
+let worker_cache = lazy (Mapping_cache.create ())
+
+let run_task = function
+  | T_profile name -> (
+      match Workloads.Registry.find name with
+      | None -> fail "unknown workload %S" name
+      | Some w ->
+          let report =
+            Pipeline.run ~name (Workloads.Registry.default_source w)
+          in
+          R_summary (Report_summary.of_report report))
+  | T_replay { path; entry } ->
+      let src = Mapping_cache.get (Lazy.force worker_cache) path in
+      R_outcome (Replay.replay_entry ~src entry)
+  | T_explore_cell { path; config; entry } ->
+      let src = Mapping_cache.get (Lazy.force worker_cache) path in
+      R_cell (Explore.eval_cell ~src config entry)
+  | T_sleep s ->
+      Unix.sleepf s;
+      R_slept s
+
+(* ---------------- result assembly ---------------- *)
+
+let summary_json s = Report_summary.to_json s
+
+let replay_result ~path (outcomes : Replay.outcome list) =
+  let open Obs.Json in
+  Obj
+    [
+      ("path", String path);
+      ( "matches",
+        Bool (List.for_all (fun (o : Replay.outcome) -> o.Replay.matches)
+                outcomes) );
+      ( "records",
+        List
+          (List.map
+             (fun (o : Replay.outcome) ->
+               Obj
+                 [
+                   ("name", String o.Replay.name);
+                   ("events", Int o.Replay.events);
+                   ("record_bytes", Int o.Replay.record_bytes);
+                   ("reference_bytes", Int o.Replay.reference_bytes);
+                   ("predicted_speedup",
+                    Float
+                      o.Replay.replayed.Report_summary.predicted_speedup);
+                   ("selected_stls",
+                    Int o.Replay.replayed.Report_summary.selected_stls);
+                   ("matches", Bool o.Replay.matches);
+                 ])
+             outcomes) );
+      ( "summaries",
+        List
+          (List.map (fun (o : Replay.outcome) -> summary_json o.Replay.replayed)
+             outcomes) );
+    ]
+
+(* ---------------- server ---------------- *)
+
+type transport = Socket of string | Stdio
+
+type conn = {
+  in_fd : Unix.file_descr;
+  out_fd : Unix.file_descr;  (* = in_fd except for stdio *)
+  inbuf : Buffer.t;
+  outq : (Bytes.t * int ref) Queue.t;
+  mutable conn_closed : bool;
+}
+
+type pending_kind =
+  | K_one  (* single-task ops: profile / sleep *)
+  | K_replay of { rpath : string }
+  | K_explore of {
+      archive : string;
+      configs : Hydra.Config.t list;
+      records : int;
+    }
+
+type pending = {
+  preq_id : Obs.Json.t;
+  pconn : conn;
+  pkind : pending_kind;
+  pslots : task_result option array;
+  mutable premaining : int;
+  mutable presponded : bool;
+  pt0 : float;
+  pqueue_depth : int;
+}
+
+type server = {
+  pool : (task, task_result) Scheduler.Pool.t;
+  cache : Mapping_cache.t;
+  metrics : Obs.Metrics.t;
+  tickets : (int, pending * int) Hashtbl.t;  (* ticket -> (req, slot) *)
+  mutable conns : conn list;
+  mutable stopping : bool;
+  started_at : float;
+}
+
+let enqueue_frame conn json =
+  if not conn.conn_closed then
+    Queue.push (frame_bytes json, ref 0) conn.outq
+
+(* Opportunistic nonblocking flush; the select loop retries when the
+   socket is writable again. *)
+let flush_conn conn =
+  (try
+     while not (Queue.is_empty conn.outq) do
+       let b, pos = Queue.peek conn.outq in
+       let n =
+         Unix.write conn.out_fd b !pos (Bytes.length b - !pos)
+       in
+       if n <= 0 then raise Exit;
+       pos := !pos + n;
+       if !pos = Bytes.length b then ignore (Queue.pop conn.outq)
+     done
+   with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | Exit -> ()
+  | Unix.Unix_error (Unix.EPIPE, _, _) | Sys_error _ ->
+      conn.conn_closed <- true);
+  ()
+
+let close_conn srv conn =
+  if not conn.conn_closed then begin
+    conn.conn_closed <- true;
+    (try Unix.close conn.in_fd with Unix.Unix_error _ -> ());
+    if conn.out_fd <> conn.in_fd then
+      try Unix.close conn.out_fd with Unix.Unix_error _ -> ()
+  end;
+  srv.conns <- List.filter (fun c -> c != conn) srv.conns
+
+let respond srv (p : pending) rsp =
+  if not p.presponded then begin
+    p.presponded <- true;
+    let elapsed_s = Unix.gettimeofday () -. p.pt0 in
+    Obs.Metrics.observe srv.metrics "daemon.request_seconds" elapsed_s;
+    if Result.is_error rsp then
+      Obs.Metrics.incr srv.metrics "daemon.requests_failed";
+    enqueue_frame p.pconn
+      (response_to_json
+         {
+           rsp_id = p.preq_id;
+           rsp;
+           elapsed_s;
+           queue_depth = p.pqueue_depth;
+           tasks = Array.length p.pslots;
+         });
+    flush_conn p.pconn
+  end
+
+let respond_now srv conn ~id ~queue_depth rsp =
+  let p =
+    {
+      preq_id = id;
+      pconn = conn;
+      pkind = K_one;
+      pslots = [||];
+      premaining = 0;
+      presponded = false;
+      pt0 = Unix.gettimeofday ();
+      pqueue_depth = queue_depth;
+    }
+  in
+  respond srv p rsp
+
+let submit_fanout srv conn ~id ~kind ~labels tasks =
+  let n = List.length tasks in
+  let p =
+    {
+      preq_id = id;
+      pconn = conn;
+      pkind = kind;
+      pslots = Array.make n None;
+      premaining = n;
+      presponded = false;
+      pt0 = Unix.gettimeofday ();
+      pqueue_depth = Scheduler.Pool.pending srv.pool;
+    }
+  in
+  Obs.Metrics.incr ~by:n srv.metrics "daemon.tasks";
+  Obs.Metrics.observe srv.metrics "daemon.queue_depth"
+    (float_of_int p.pqueue_depth);
+  List.iteri
+    (fun slot (label, task) ->
+      let ticket = Scheduler.Pool.submit ~label srv.pool task in
+      Hashtbl.replace srv.tickets ticket (p, slot))
+    (List.combine labels tasks)
+
+let stats_result srv =
+  let open Obs.Json in
+  let busy = Scheduler.Pool.busy_pids srv.pool in
+  let hits, misses, evictions = Mapping_cache.stats srv.cache in
+  Obs.Metrics.set_gauge srv.metrics "daemon.worker_deaths"
+    (float_of_int (Scheduler.Pool.deaths srv.pool));
+  Obj
+    [
+      ("pid", Int (Unix.getpid ()));
+      ("jobs", Int (Scheduler.Pool.jobs srv.pool));
+      ( "workers",
+        List
+          (List.map
+             (fun pid ->
+               Obj [ ("pid", Int pid); ("busy", Bool (List.mem pid busy)) ])
+             (Scheduler.Pool.worker_pids srv.pool)) );
+      ("queued", Int (Scheduler.Pool.queued srv.pool));
+      ("in_flight", Int (Scheduler.Pool.in_flight srv.pool));
+      ("worker_deaths", Int (Scheduler.Pool.deaths srv.pool));
+      ("uptime_s", Float (Unix.gettimeofday () -. srv.started_at));
+      ( "mapping_cache",
+        Obj
+          [
+            ("hits", Int hits);
+            ("misses", Int misses);
+            ("evictions", Int evictions);
+            ( "cached",
+              List
+                (List.map (fun p -> String p)
+                   (Mapping_cache.cached srv.cache)) );
+          ] );
+      ("metrics", Obs.Metrics.to_json srv.metrics);
+    ]
+
+let handle_request srv conn json =
+  Obs.Metrics.incr srv.metrics "daemon.requests";
+  let queue_depth = Scheduler.Pool.pending srv.pool in
+  match request_of_json json with
+  | Error msg ->
+      let id =
+        Option.value (Obs.Json.member "id" json) ~default:Obs.Json.Null
+      in
+      respond_now srv conn ~id ~queue_depth (Error ("bad request: " ^ msg))
+  | Ok { id; req } -> (
+      let error fmt =
+        Printf.ksprintf
+          (fun msg -> respond_now srv conn ~id ~queue_depth (Error msg))
+          fmt
+      in
+      match req with
+      | Ping -> respond_now srv conn ~id ~queue_depth (Ok (Obs.Json.String "pong"))
+      | Stats -> respond_now srv conn ~id ~queue_depth (Ok (stats_result srv))
+      | Shutdown ->
+          srv.stopping <- true;
+          respond_now srv conn ~id ~queue_depth (Ok (Obs.Json.String "bye"))
+      | Sleep s ->
+          submit_fanout srv conn ~id ~kind:K_one
+            ~labels:[ Printf.sprintf "sleep %.3fs" s ]
+            [ T_sleep s ]
+      | Profile w -> (
+          match Workloads.Registry.find w with
+          | None -> error "unknown workload %S" w
+          | Some _ ->
+              submit_fanout srv conn ~id ~kind:K_one
+                ~labels:[ "workload " ^ w ]
+                [ T_profile w ])
+      | Replay { path; record } -> (
+          match Mapping_cache.get_entries srv.cache path with
+          | exception Trace_store.Reader.Corrupt msg ->
+              error "corrupt container: %s" msg
+          | entries -> (
+              let entries =
+                match record with
+                | None -> entries
+                | Some name ->
+                    List.filter
+                      (fun (e : Trace_store.Index.entry) ->
+                        e.Trace_store.Index.name = name)
+                      entries
+              in
+              match entries with
+              | [] ->
+                  error "no record%s in %s"
+                    (match record with
+                    | Some r -> Printf.sprintf " named %S" r
+                    | None -> "s")
+                    path
+              | entries ->
+                  submit_fanout srv conn ~id ~kind:(K_replay { rpath = path })
+                    ~labels:
+                      (List.map
+                         (fun (e : Trace_store.Index.entry) ->
+                           "record " ^ e.Trace_store.Index.name)
+                         entries)
+                    (List.map
+                       (fun entry -> T_replay { path; entry })
+                       entries)))
+      | Explore { path; grid } -> (
+          match
+            let configs = Explore.configs_of_grid (Explore.parse_grid grid) in
+            (configs, Mapping_cache.get_entries srv.cache path)
+          with
+          | exception Failure msg -> error "%s" msg
+          | exception Invalid_argument msg -> error "%s" msg
+          | exception Trace_store.Reader.Corrupt msg ->
+              error "corrupt container: %s" msg
+          | configs, entries ->
+              let tasks = Explore.cell_tasks configs entries in
+              submit_fanout srv conn ~id
+                ~kind:
+                  (K_explore
+                     {
+                       archive = path;
+                       configs;
+                       records = List.length entries;
+                     })
+                ~labels:
+                  (List.map
+                     (fun ((c, e) : _ * Trace_store.Index.entry) ->
+                       Printf.sprintf "grid point %s / record %s"
+                         (Hydra.Config.label c) e.Trace_store.Index.name)
+                     tasks)
+                (List.map
+                   (fun (config, entry) ->
+                     T_explore_cell { path; config; entry })
+                   tasks)))
+
+(* A completed pool ticket: slot the result; when the whole fan-out is
+   in, assemble the op-specific response. A worker death (or task
+   error) fails only this request — the other tickets keep running and
+   their completions are dropped here. *)
+let finish_request srv (p : pending) =
+  let slot i =
+    match p.pslots.(i) with
+    | Some r -> r
+    | None -> fail "Jrpm.Daemon: missing slot %d" i
+  in
+  let rsp =
+    match p.pkind with
+    | K_one -> (
+        match slot 0 with
+        | R_summary s ->
+            Ok
+              (Obs.Json.Obj
+                 [ ("summary", summary_json s) ])
+        | R_slept s -> Ok (Obs.Json.Obj [ ("slept", Obs.Json.Float s) ])
+        | R_outcome _ | R_cell _ -> Error "internal: mismatched task result")
+    | K_replay { rpath } -> (
+        let outcomes =
+          List.init (Array.length p.pslots) (fun i ->
+              match slot i with
+              | R_outcome o -> Some o
+              | _ -> None)
+        in
+        match
+          List.map (function Some o -> o | None -> raise Exit) outcomes
+        with
+        | outcomes -> Ok (replay_result ~path:rpath outcomes)
+        | exception Exit -> Error "internal: mismatched task result")
+    | K_explore { archive; configs; records } -> (
+        let cells =
+          List.init (Array.length p.pslots) (fun i ->
+              match slot i with R_cell c -> Some c | _ -> None)
+        in
+        match
+          List.map (function Some c -> c | None -> raise Exit) cells
+        with
+        | cells ->
+            Ok (Explore.to_json (Explore.assemble ~archive ~configs ~records cells))
+        | exception Exit -> Error "internal: mismatched task result")
+  in
+  respond srv p rsp
+
+let on_completion srv (c : task_result Scheduler.Pool.completion) =
+  match Hashtbl.find_opt srv.tickets c.Scheduler.Pool.ticket with
+  | None -> ()
+  | Some (p, slot) -> (
+      Hashtbl.remove srv.tickets c.Scheduler.Pool.ticket;
+      match c.Scheduler.Pool.outcome with
+      | Error msg ->
+          (* fail only the affected request; sibling tickets of the
+             same request become no-ops on arrival *)
+          respond srv p (Error msg)
+      | Ok r ->
+          p.pslots.(slot) <- Some r;
+          p.premaining <- p.premaining - 1;
+          if p.premaining = 0 && not p.presponded then finish_request srv p)
+
+(* One readable client fd: accumulate, then peel off complete frames. *)
+let feed_conn srv conn =
+  let chunk = Bytes.create 65536 in
+  (match restart_eintr (fun () -> Unix.read conn.in_fd chunk 0 65536) with
+  | 0 -> close_conn srv conn
+  | n -> Buffer.add_subbytes conn.inbuf chunk 0 n
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error _ -> close_conn srv conn);
+  let progress = ref (not conn.conn_closed) in
+  while !progress do
+    progress := false;
+    let have = Buffer.length conn.inbuf in
+    if have >= 8 then begin
+      let hdr = Bytes.of_string (Buffer.sub conn.inbuf 0 8) in
+      let len = Int64.to_int (Bytes.get_int64_le hdr 0) in
+      if len < 0 || len > max_frame then close_conn srv conn
+      else if have >= 8 + len then begin
+        let payload = Buffer.sub conn.inbuf 8 len in
+        let rest = Buffer.sub conn.inbuf (8 + len) (have - 8 - len) in
+        Buffer.clear conn.inbuf;
+        Buffer.add_string conn.inbuf rest;
+        (match Obs.Json.parse_exn payload with
+        | json -> handle_request srv conn json
+        | exception Failure msg ->
+            enqueue_frame conn
+              (response_to_json
+                 {
+                   rsp_id = Obs.Json.Null;
+                   rsp = Error ("bad request: " ^ msg);
+                   elapsed_s = 0.;
+                   queue_depth = Scheduler.Pool.pending srv.pool;
+                   tasks = 0;
+                 }));
+        progress := not conn.conn_closed
+      end
+    end
+  done
+
+let make_conn ?(out_fd : Unix.file_descr option) fd =
+  {
+    in_fd = fd;
+    out_fd = Option.value out_fd ~default:fd;
+    inbuf = Buffer.create 256;
+    outq = Queue.create ();
+    conn_closed = false;
+  }
+
+let serve ?(jobs = 1) transport =
+  (* EPIPE from a vanished client or worker must surface at the write
+     site, not kill the daemon *)
+  (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore : Sys.signal_behavior)
+   with Invalid_argument _ | Sys_error _ -> ());
+  let listen_fd, sock_path, conns0 =
+    match transport with
+    | Socket path ->
+        if Sys.file_exists path then (try Unix.unlink path with _ -> ());
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        Unix.listen fd 64;
+        (Some fd, Some path, [])
+    | Stdio -> (None, None, [ make_conn ~out_fd:Unix.stdout Unix.stdin ])
+  in
+  let srv_ref = ref None in
+  (* Respawned workers fork from a parent that now holds the listening
+     socket and client connections; close them in the child so the
+     socket dies with the daemon, not with the last worker. *)
+  let child_cleanup () =
+    (match listen_fd with
+    | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+    | None -> ());
+    match !srv_ref with
+    | None -> ()
+    | Some srv ->
+        List.iter
+          (fun c ->
+            (try Unix.close c.in_fd with Unix.Unix_error _ -> ());
+            if c.out_fd <> c.in_fd then
+              try Unix.close c.out_fd with Unix.Unix_error _ -> ())
+          srv.conns
+  in
+  let pool = Scheduler.Pool.create ~jobs ~child_cleanup run_task in
+  let srv =
+    {
+      pool;
+      cache = Mapping_cache.create ();
+      metrics = Obs.Metrics.create ();
+      tickets = Hashtbl.create 64;
+      conns = conns0;
+      stopping = false;
+      started_at = Unix.gettimeofday ();
+    }
+  in
+  srv_ref := Some srv;
+  (* Teardown on every exit path — normal return, [exit] from a signal
+     handler, an escaping exception: close the task pipes (workers exit
+     on EOF), reap the pool, remove the socket file. SIGKILL needs no
+     handler: the kernel closes our pipe ends and the workers' EOF
+     handling does the rest. *)
+  let torn_down = ref false in
+  let teardown () =
+    if not !torn_down then begin
+      torn_down := true;
+      Scheduler.Pool.shutdown pool;
+      (match listen_fd with
+      | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+      | None -> ());
+      match sock_path with
+      | Some p -> ( try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
+      | None -> ()
+    end
+  in
+  at_exit teardown;
+  List.iter
+    (fun sg ->
+      try Sys.set_signal sg (Sys.Signal_handle (fun _ -> exit 130))
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigterm; Sys.sigint ];
+  let finished () =
+    srv.stopping
+    && Hashtbl.length srv.tickets = 0
+    && List.for_all (fun c -> Queue.is_empty c.outq) srv.conns
+  in
+  let stdio_done () =
+    match transport with Stdio -> srv.conns = [] | Socket _ -> false
+  in
+  Fun.protect ~finally:teardown (fun () ->
+      while not (finished () || stdio_done ()) do
+        let listen_set =
+          match listen_fd with
+          | Some fd when not srv.stopping -> [ fd ]
+          | _ -> []
+        in
+        let read_set =
+          listen_set
+          @ List.map (fun c -> c.in_fd) srv.conns
+          @ Scheduler.Pool.result_fds srv.pool
+        in
+        let write_set =
+          List.filter_map
+            (fun c -> if Queue.is_empty c.outq then None else Some c.out_fd)
+            srv.conns
+        in
+        let readable, writable, _ =
+          restart_eintr (fun () -> Unix.select read_set write_set [] (-1.))
+        in
+        (* pool completions first: a completed request's response can
+           ride the same writability event *)
+        List.iter
+          (fun fd ->
+            if List.exists (fun pfd -> pfd = fd)
+                 (Scheduler.Pool.result_fds srv.pool)
+            then Scheduler.Pool.drain_fd srv.pool fd)
+          readable;
+        List.iter (on_completion srv) (Scheduler.Pool.poll srv.pool);
+        (match listen_fd with
+        | Some lfd when List.mem lfd readable -> (
+            match restart_eintr (fun () -> Unix.accept lfd) with
+            | fd, _ ->
+                Unix.set_nonblock fd;
+                srv.conns <- make_conn fd :: srv.conns;
+                Obs.Metrics.incr srv.metrics "daemon.connections"
+            | exception Unix.Unix_error _ -> ())
+        | _ -> ());
+        List.iter
+          (fun conn ->
+            if List.mem conn.in_fd readable then feed_conn srv conn)
+          (List.filter (fun c -> not c.conn_closed) srv.conns);
+        List.iter
+          (fun conn ->
+            if List.mem conn.out_fd writable then flush_conn conn)
+          srv.conns;
+        srv.conns <- List.filter (fun c -> not c.conn_closed) srv.conns
+      done)
+
+(* ---------------- blocking client ---------------- *)
+
+module Client = struct
+  type t = { fd : Unix.file_descr; mutable next_id : int }
+
+  let connect path =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> ()
+    | exception Unix.Unix_error (err, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        fail "Jrpm.Daemon.Client: cannot connect to %s: %s" path
+          (Unix.error_message err));
+    { fd; next_id = 0 }
+
+  let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+  let send ?id t req =
+    let id =
+      match id with
+      | Some id -> id
+      | None ->
+          let n = t.next_id in
+          t.next_id <- n + 1;
+          Obs.Json.Int n
+    in
+    write_frame t.fd (request_to_json { id; req });
+    id
+
+  let recv t =
+    match read_frame t.fd with
+    | Some json -> response_of_json json
+    | None -> fail "Jrpm.Daemon.Client: server closed the connection"
+
+  let rpc ?id t req =
+    let id = send ?id t req in
+    let rec await () =
+      let r = recv t in
+      if r.rsp_id = id then r else await ()
+    in
+    await ()
+end

@@ -1,0 +1,118 @@
+(** Profiling-as-a-service: [jrpm serve]'s resident server.
+
+    One long-lived {!Scheduler.Pool} of forked workers serves
+    concurrent requests over a Unix-domain socket (or stdio):
+    [profile] a registered workload, [replay] records from a [.jtrc]
+    container, [explore] a config grid. Wire protocol — [len: 8-byte
+    LE][JSON payload] frames, request/response schemas, failure
+    semantics — is specified in ARCHITECTURE.md §9.
+
+    {b Byte identity.} A daemon response carries the same
+    {!Report_summary} / {!Obs.Json} documents the equivalent one-shot
+    CLI run produces, assembled in the same order: [profile] matches
+    [jrpm sweep]'s per-workload summary, [replay] matches [jrpm trace
+    replay] (container record order), [explore] matches
+    [jrpm explore]'s matrix. CI [cmp]-gates this through
+    [jrpm client].
+
+    {b Failure isolation.} A worker SIGKILLed mid-request errors only
+    the request whose task it was running; the pool forks a
+    replacement and every other queued/in-flight request proceeds.
+    Worker-side and daemon-side state survive; the client sees an
+    [ok: false] response naming the wait status.
+
+    {b Lifecycle.} Containers are mapped once per process and held in
+    an LRU ({!Mapping_cache}) keyed by path, revalidated by
+    (size, mtime) stat so an atomically re-captured container remaps.
+    Teardown (normal exit, SIGTERM/SIGINT, or an escaping exception)
+    closes the pool's task pipes, reaps every worker, and removes the
+    socket file; if the daemon is SIGKILLed, the kernel's closing of
+    the pipe ends makes blocked workers exit on EOF rather than
+    linger. *)
+
+(** LRU of open container mappings: path -> (mapped bytes, parsed
+    index), revalidated against the file's (size, mtime) on every
+    lookup. Exposed for eviction-correctness tests. *)
+module Mapping_cache : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** Default capacity 8 (mappings retained); min 1. *)
+
+  val get : t -> string -> Trace_store.Bytesrc.t
+  val get_entries : t -> string -> Trace_store.Index.entry list
+
+  val cached : t -> string list
+  (** Cached paths, most recently used first. *)
+
+  val stats : t -> int * int * int
+  (** [(hits, misses, evictions)]. A stale remap counts as a miss, not
+      an eviction. *)
+end
+
+(** {2 Protocol model and codec} — exercised directly by the qcheck
+    round-trip tests; the server and {!Client} speak through these. *)
+
+type request =
+  | Ping
+  | Profile of string  (** registered workload name *)
+  | Replay of { path : string; record : string option }
+      (** all records of the container, or just [record] *)
+  | Explore of { path : string; grid : string list }
+      (** [--grid] specs as in [jrpm explore] *)
+  | Stats
+  | Sleep of float  (** diagnostic: occupy a worker for N seconds *)
+  | Shutdown
+
+type envelope = { id : Obs.Json.t; req : request }
+(** [id] is echoed verbatim in the response — clients pipelining
+    requests match responses by it. *)
+
+val request_to_json : envelope -> Obs.Json.t
+val request_of_json : Obs.Json.t -> (envelope, string) result
+
+type response = {
+  rsp_id : Obs.Json.t;
+  rsp : (Obs.Json.t, string) result;  (** [result] or [error] *)
+  elapsed_s : float;
+  queue_depth : int;  (** pool backlog when the request was accepted *)
+  tasks : int;  (** pool tasks the request fanned into *)
+}
+
+val response_to_json : response -> Obs.Json.t
+val response_of_json : Obs.Json.t -> response
+
+(** {2 Server} *)
+
+type transport =
+  | Socket of string  (** Unix-domain socket path (unlinked if stale) *)
+  | Stdio  (** frames on stdin/stdout; exits at stdin EOF *)
+
+val serve : ?jobs:int -> transport -> unit
+(** Run the server until a [shutdown] request (or stdin EOF under
+    {!Stdio}). [jobs] (default 1) sizes the worker pool. Blocks;
+    callers fork first if they need it in the background. *)
+
+(** {2 Blocking client} — [jrpm client], the benches, and the tests
+    speak to a server through this. *)
+module Client : sig
+  type t
+
+  val connect : string -> t
+  (** @raise Failure when the socket cannot be connected. *)
+
+  val close : t -> unit
+
+  val send : ?id:Obs.Json.t -> t -> request -> Obs.Json.t
+  (** Frame and send one request, returning its id (auto-assigned
+      sequential [Int] when not supplied). *)
+
+  val recv : t -> response
+  (** Next response on the wire, whatever its id.
+      @raise Failure at EOF. *)
+
+  val rpc : ?id:Obs.Json.t -> t -> request -> response
+  (** [send] then [recv] until the matching id arrives (responses to
+      other in-flight ids are discarded — don't mix [rpc] with
+      pipelined [send]s on one connection). *)
+end

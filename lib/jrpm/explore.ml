@@ -169,38 +169,19 @@ let find_flips points =
             p.cells)
         rest
 
-let run ?jobs ~grid ~path () =
-  let jobs =
-    match jobs with Some n -> max 1 n | None -> Parallel_sweep.default_jobs ()
-  in
-  let configs = configs_of_grid (parse_grid grid) in
-  (* map the archive once; workers inherit the read-only pages across
-     fork, so a grid cell's record handoff is just the index entry's
-     (offset, length) — no per-task container open or header read *)
-  let src = Trace_store.Bytesrc.map_file path in
-  let entries = Trace_store.Index.of_src src in
-  (* one scheduler task per (config point × record): finer work units
-     than a whole grid point, so the pool stays busy even when the grid
-     is narrower than the worker count or one record dominates; the
-     index's event counts weight the frame plan so a dominant record's
-     cells dispatch first and tiny cells coalesce *)
-  let tasks =
-    List.concat_map (fun c -> List.map (fun e -> (c, e)) entries) configs
-  in
-  let cells =
-    Scheduler.map_adaptive ~jobs
-      ~label:(fun _ (c, (e : Trace_store.Index.entry)) ->
-        Printf.sprintf "grid point %s / record %s" (Hydra.Config.label c)
-          e.Trace_store.Index.name)
-      ~weights:(fun _ ((_, e) : _ * Trace_store.Index.entry) ->
-        float_of_int e.Trace_store.Index.events)
-      (fun _ (config, entry) -> eval_cell ~src config entry)
-      tasks
-  in
-  (* regroup the flat cell list: tasks were emitted config-major, so
-     each config point owns the next [List.length entries] cells, in
-     archive record order — exactly what eval-point-at-a-time built *)
-  let nrec = List.length entries in
+(* One work unit per (config point × record), emitted config-major:
+   finer work units than a whole grid point, so the pool stays busy
+   even when the grid is narrower than the worker count or one record
+   dominates. *)
+let cell_tasks configs entries =
+  List.concat_map (fun c -> List.map (fun e -> (c, e)) entries) configs
+
+(* Regroup a flat config-major cell list (the [cell_tasks] order) into
+   per-point results: each config point owns the next [records] cells,
+   in archive record order — exactly what eval-point-at-a-time built.
+   Shared by [run] and the serve daemon, which evaluates the same
+   tasks through its persistent pool and reassembles here. *)
+let assemble ~archive ~configs ~records cells =
   let rec take n l =
     if n = 0 then ([], l)
     else
@@ -214,7 +195,7 @@ let run ?jobs ~grid ~path () =
   let points =
     List.map
       (fun config ->
-        let mine, tl = take nrec !rest in
+        let mine, tl = take records !rest in
         rest := tl;
         {
           config;
@@ -224,7 +205,32 @@ let run ?jobs ~grid ~path () =
         })
       configs
   in
-  { archive = path; points; flips = find_flips points }
+  if !rest <> [] then fail "internal: cell count mismatch";
+  { archive; points; flips = find_flips points }
+
+let run ?jobs ~grid ~path () =
+  let jobs =
+    match jobs with Some n -> max 1 n | None -> Parallel_sweep.default_jobs ()
+  in
+  let configs = configs_of_grid (parse_grid grid) in
+  (* map the archive once; workers inherit the read-only pages across
+     fork, so a grid cell's record handoff is just the index entry's
+     (offset, length) — no per-task container open or header read *)
+  let src = Trace_store.Bytesrc.map_file path in
+  let entries = Trace_store.Index.of_src src in
+  (* the index's event counts weight the frame plan so a dominant
+     record's cells dispatch first and tiny cells coalesce *)
+  let cells =
+    Scheduler.map_adaptive ~jobs
+      ~label:(fun _ (c, (e : Trace_store.Index.entry)) ->
+        Printf.sprintf "grid point %s / record %s" (Hydra.Config.label c)
+          e.Trace_store.Index.name)
+      ~weights:(fun _ ((_, e) : _ * Trace_store.Index.entry) ->
+        float_of_int e.Trace_store.Index.events)
+      (fun _ (config, entry) -> eval_cell ~src config entry)
+      (cell_tasks configs entries)
+  in
+  assemble ~archive:path ~configs ~records:(List.length entries) cells
 
 let default_point t =
   match t.points with

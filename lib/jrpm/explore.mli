@@ -75,6 +75,31 @@ type t = {
           differs from the default column *)
 }
 
+val eval_cell :
+  src:Trace_store.Bytesrc.t -> Hydra.Config.t -> Trace_store.Index.entry ->
+  cell
+(** Replay one record at one config point over a pre-mapped container
+    ({!Replay.replay_entry} with [?hw]) — the grid's unit of work,
+    exposed so the serve daemon can submit cells to its persistent
+    pool against a cached mapping.
+    @raise Trace_store.Reader.Corrupt / [Failure] as
+    {!Replay.replay_current}. *)
+
+val cell_tasks :
+  Hydra.Config.t list -> Trace_store.Index.entry list ->
+  (Hydra.Config.t * Trace_store.Index.entry) list
+(** The config-major (point × record) task order [run] evaluates and
+    {!assemble} expects. *)
+
+val assemble :
+  archive:string -> configs:Hydra.Config.t list -> records:int ->
+  cell list -> t
+(** Regroup a flat config-major cell list ({!cell_tasks} order, i.e.
+    [records] cells per config in archive record order) into the full
+    matrix with fingerprints, labels, and verdict flips.
+    @raise Failure when the cell count is not
+    [configs * records]. *)
+
 val run : ?jobs:int -> grid:string list -> path:string -> unit -> t
 (** Parse [grid], evaluate {!configs_of_grid} over the container at
     [path] — one scheduler task per (point × record) across [jobs]

@@ -206,6 +206,22 @@ type io = Mapped | Channel
 let record_label _ (e : Trace_store.Index.entry) =
   "record " ^ e.Trace_store.Index.name
 
+(* The pre-mapped entry point: callers that already hold a mapping
+   (the daemon's LRU of open containers) fan the given entries over
+   the pool without re-mapping or re-indexing. Records are
+   self-contained, so each worker seeks straight to its record and
+   replays it in isolation; results return in entry order, keeping the
+   summary output byte-identical to a sequential pass at any [jobs]. *)
+let replay_entries ?hw ?(jobs = 1) ~src entries =
+  if jobs <= 1 || not Scheduler.fork_available then
+    List.map (replay_entry ?hw ~src) entries
+  else
+    Scheduler.map_adaptive ~jobs ~label:record_label
+      ~weights:(fun _ (e : Trace_store.Index.entry) ->
+        float_of_int e.Trace_store.Index.events)
+      (fun _ entry -> replay_entry ?hw ~src entry)
+      entries
+
 let replay_file ?hw ?(jobs = 1) ?(io = Mapped) path =
   match io with
   | Channel ->
@@ -225,20 +241,9 @@ let replay_file ?hw ?(jobs = 1) ?(io = Mapped) path =
          parses the index from the mapped tail; forked workers inherit
          the read-only pages, so a task is just (offset, length) into
          the shared source — no per-task open, header read, or chunk
-         copy. Records are self-contained, so each worker seeks
-         straight to its record and replays it in isolation; results
-         return in container order, keeping the summary output
-         byte-identical to a sequential pass at any [jobs]. *)
+         copy. *)
       let src = Trace_store.Bytesrc.map_file path in
-      let entries = Trace_store.Index.of_src src in
-      if jobs <= 1 || not Scheduler.fork_available then
-        List.map (replay_entry ?hw ~src) entries
-      else
-        Scheduler.map_adaptive ~jobs ~label:record_label
-          ~weights:(fun _ (e : Trace_store.Index.entry) ->
-            float_of_int e.Trace_store.Index.events)
-          (fun _ entry -> replay_entry ?hw ~src entry)
-          entries
+      replay_entries ?hw ~jobs ~src (Trace_store.Index.of_src src)
 
 let replay_string ?hw s = replay_all ?hw (Trace_store.Reader.of_string s)
 

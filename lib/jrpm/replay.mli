@@ -116,6 +116,22 @@ val replay_entry :
     pair in [entry]; the worker opens nothing and copies no chunk.
     @raise Trace_store.Reader.Corrupt / [Failure] as {!replay_current}. *)
 
+val replay_entries :
+  ?hw:Hydra.Config.t ->
+  ?jobs:int ->
+  src:Trace_store.Bytesrc.t ->
+  Trace_store.Index.entry list ->
+  outcome list
+(** Replay the given records of an already-mapped container, returning
+    outcomes in entry order. This is {!replay_file}'s [Mapped] body
+    split out for callers that hold the mapping themselves — the serve
+    daemon's LRU of open containers submits per-record
+    {!replay_entry} work against a cached [src] without re-mapping or
+    re-indexing per request. [jobs > 1] fans out over the {!Scheduler}
+    with event-count weights; output is byte-identical at any [jobs].
+    @raise Trace_store.Reader.Corrupt / [Failure] as
+    {!replay_current}. *)
+
 type io = Mapped | Channel
 (** Which read path {!replay_file} drives. [Mapped] (the default) maps
     the container once, indexes from the mapped tail, and fans records

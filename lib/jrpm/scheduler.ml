@@ -505,3 +505,293 @@ let map_adaptive_stats ?(jobs = 1) ?(label = default_label) ?frames_per_worker
 
 let map_adaptive ?jobs ?label ?frames_per_worker ~weights f items =
   fst (map_adaptive_stats ?jobs ?label ?frames_per_worker ~weights f items)
+
+(* ---------------- persistent pool ---------------- *)
+
+(* The map variants above fork a pool per call; [Pool] keeps one alive
+   across calls so a resident server pays the fork cost once. Tasks
+   (not indices) cross the task pipe as framed [Marshal] payloads —
+   pool tasks arrive over a socket long after the fork, so there is no
+   shared item array to index into. One task per worker in flight;
+   completing a task immediately pulls the next queued one. *)
+module Pool = struct
+  type 'res completion = {
+    ticket : int;
+    label : string;
+    elapsed_s : float;
+    outcome : ('res, string) result;
+  }
+
+  type pworker = {
+    mutable ppid : int;
+    mutable ptask_wfd : Unix.file_descr;
+    mutable presult_rfd : Unix.file_descr;
+    mutable pcurrent : (int * string) option;  (* in-flight ticket *)
+  }
+
+  type ('task, 'res) t = {
+    run : 'task -> 'res;
+    pjobs : int;
+    child_cleanup : unit -> unit;
+    mutable pws : pworker list;
+    pqueue : (int * string * 'task) Queue.t;
+    mutable next_ticket : int;
+    mutable done_rev : 'res completion list;  (* undelivered, newest first *)
+    mutable pdeaths : int;
+    mutable pdown : bool;
+    inline : bool;  (* no fork on this platform: run tasks at submit *)
+  }
+
+  (* Worker loop: read one framed Marshal'd task, run it, write one
+     framed Marshal'd [(elapsed_s, Ok res | Error msg)]. EOF on the
+     task pipe — the parent closed it, or died and the kernel closed
+     it — is the shutdown signal, even if it arrives mid-frame. *)
+  let pool_worker_loop run task_rfd result_wfd =
+    let rec loop () =
+      match read_u64 task_rfd with
+      | Eof | Truncated -> Unix._exit 0
+      | Complete len ->
+          if len <= 0 || len > 1 lsl 30 then Unix._exit 2;
+          let task =
+            match read_exact task_rfd len with
+            | Complete payload -> (Marshal.from_bytes payload 0 : _)
+            | Eof | Truncated -> Unix._exit 2
+          in
+          let t0 = Unix.gettimeofday () in
+          let outcome =
+            try Ok (run task) with e -> Error (Printexc.to_string e)
+          in
+          let elapsed = Unix.gettimeofday () -. t0 in
+          let payload =
+            Marshal.to_bytes
+              ((elapsed, outcome) : float * (_, string) result)
+              [ Marshal.Closures ]
+          in
+          write_u64 result_wfd (Bytes.length payload);
+          write_all result_wfd payload;
+          loop ()
+    in
+    (try loop () with _ -> ());
+    Unix._exit 2
+
+  (* Fork one worker. The child keeps only its own task-read /
+     result-write ends; every other worker's parent-side fd — and
+     whatever the embedding server registered via [child_cleanup]
+     (listening sockets, client connections) — is closed so that the
+     parent's death closes the last copy of each task pipe's write end
+     and blocked workers see EOF instead of lingering forever.
+     [others] excludes a worker being replaced: its parent-side fds
+     are already closed and their numbers may have been reused by the
+     new pipes. *)
+  let spawn ~run ~child_cleanup ~others =
+    let task_rfd, task_wfd = Unix.pipe ~cloexec:false () in
+    let result_rfd, result_wfd = Unix.pipe ~cloexec:false () in
+    match Unix.fork () with
+    | 0 ->
+        Unix.close task_wfd;
+        Unix.close result_rfd;
+        List.iter
+          (fun w ->
+            close_quietly w.ptask_wfd;
+            close_quietly w.presult_rfd)
+          others;
+        (try child_cleanup () with _ -> ());
+        pool_worker_loop run task_rfd result_wfd
+    | pid ->
+        Unix.close task_rfd;
+        Unix.close result_wfd;
+        { ppid = pid; ptask_wfd = task_wfd; presult_rfd = result_rfd;
+          pcurrent = None }
+
+  let create ?(jobs = 1) ?(child_cleanup = fun () -> ()) run =
+    let jobs = max 1 jobs in
+    let inline = (not fork_available) || jobs < 1 in
+    let t =
+      {
+        run;
+        pjobs = jobs;
+        child_cleanup;
+        pws = [];
+        pqueue = Queue.create ();
+        next_ticket = 0;
+        done_rev = [];
+        pdeaths = 0;
+        pdown = false;
+        inline;
+      }
+    in
+    if not inline then
+      for _ = 1 to jobs do
+        t.pws <- t.pws @ [ spawn ~run ~child_cleanup ~others:t.pws ]
+      done;
+    t
+
+  let jobs t = t.pjobs
+  let worker_pids t = List.map (fun w -> w.ppid) t.pws
+
+  let busy_pids t =
+    List.filter_map
+      (fun w -> if w.pcurrent <> None then Some w.ppid else None)
+      t.pws
+
+  let queued t = Queue.length t.pqueue
+  let in_flight t = List.length (List.filter (fun w -> w.pcurrent <> None) t.pws)
+  let pending t = queued t + in_flight t
+  let deaths t = t.pdeaths
+  let result_fds t = List.map (fun w -> w.presult_rfd) t.pws
+
+  (* A dead worker: complete its in-flight ticket as an [Error] naming
+     the wait status, then fork a replacement in place — the pool keeps
+     serving and only the affected request sees the failure. *)
+  let reap_describe pid =
+    match restart_eintr (fun () -> Unix.waitpid [] pid) with
+    | _, st -> describe_status st
+    | exception Unix.Unix_error _ -> "vanished"
+
+  let handle_death t w =
+    t.pdeaths <- t.pdeaths + 1;
+    close_quietly w.ptask_wfd;
+    close_quietly w.presult_rfd;
+    let status = reap_describe w.ppid in
+    (match w.pcurrent with
+    | Some (ticket, label) ->
+        w.pcurrent <- None;
+        t.done_rev <-
+          {
+            ticket;
+            label;
+            elapsed_s = 0.;
+            outcome =
+              Error (Printf.sprintf "worker running %s %s" label status);
+          }
+          :: t.done_rev
+    | None -> ());
+    if not t.pdown then begin
+      let fresh =
+        spawn ~run:t.run ~child_cleanup:t.child_cleanup
+          ~others:(List.filter (fun o -> o != w) t.pws)
+      in
+      w.ppid <- fresh.ppid;
+      w.ptask_wfd <- fresh.ptask_wfd;
+      w.presult_rfd <- fresh.presult_rfd;
+      w.pcurrent <- None
+    end
+
+  let send_task t w (ticket, label, task) =
+    let payload = Marshal.to_bytes task [ Marshal.Closures ] in
+    match
+      write_u64 w.ptask_wfd (Bytes.length payload);
+      write_all w.ptask_wfd payload
+    with
+    | () -> w.pcurrent <- Some (ticket, label)
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.EBADF), _, _) ->
+        (* the worker died before reading this handout: it never ran,
+           so requeue at the front and let the replacement take it *)
+        let q = Queue.create () in
+        Queue.push (ticket, label, task) q;
+        Queue.transfer t.pqueue q;
+        Queue.transfer q t.pqueue;
+        handle_death t w
+
+  let rec dispatch t =
+    if not (Queue.is_empty t.pqueue) then
+      match List.find_opt (fun w -> w.pcurrent = None) t.pws with
+      | None -> ()
+      | Some w ->
+          send_task t w (Queue.pop t.pqueue);
+          dispatch t
+
+  let submit ?(label = "task") t task =
+    if t.pdown then invalid_arg "Jrpm.Scheduler.Pool.submit: pool is shut down";
+    let ticket = t.next_ticket in
+    t.next_ticket <- ticket + 1;
+    if t.inline then begin
+      let t0 = Unix.gettimeofday () in
+      let outcome =
+        try Ok (t.run task) with e -> Error (Printexc.to_string e)
+      in
+      t.done_rev <-
+        { ticket; label; elapsed_s = Unix.gettimeofday () -. t0; outcome }
+        :: t.done_rev
+    end
+    else begin
+      Queue.push (ticket, label, task) t.pqueue;
+      dispatch t
+    end;
+    ticket
+
+  (* One readable result fd: a framed result, or EOF/garbage meaning
+     the worker died. Either way the worker becomes free and the queue
+     is re-dispatched. *)
+  let receive t w =
+    (match read_u64 w.presult_rfd with
+    | Eof | Truncated -> handle_death t w
+    | Complete len when len < 0 || len > 1 lsl 30 -> handle_death t w
+    | Complete len -> (
+        match read_exact w.presult_rfd len with
+        | Eof | Truncated -> handle_death t w
+        | Complete payload -> (
+            let elapsed_s, outcome =
+              (Marshal.from_bytes payload 0 : float * (_, string) result)
+            in
+            match w.pcurrent with
+            | None -> ()  (* spurious frame from a worker we reset *)
+            | Some (ticket, label) ->
+                w.pcurrent <- None;
+                t.done_rev <-
+                  { ticket; label; elapsed_s; outcome } :: t.done_rev)));
+    dispatch t
+
+  let drain_fd t fd =
+    match List.find_opt (fun w -> w.presult_rfd = fd) t.pws with
+    | Some w -> receive t w
+    | None -> ()
+
+  let take_completions t =
+    let out = List.rev t.done_rev in
+    t.done_rev <- [];
+    out
+
+  let poll ?(timeout_s = 0.) t =
+    if not t.inline then begin
+      dispatch t;
+      match List.filter (fun w -> w.pcurrent <> None) t.pws with
+      | [] -> ()
+      | busy ->
+          let fds = List.map (fun w -> w.presult_rfd) busy in
+          let ready, _, _ =
+            restart_eintr (fun () -> Unix.select fds [] [] timeout_s)
+          in
+          List.iter (drain_fd t) ready
+    end;
+    take_completions t
+
+  let rec wait t =
+    match take_completions t with
+    | _ :: _ as out -> out
+    | [] -> (
+        if pending t = 0 then []
+        else
+          match poll ~timeout_s:(-1.) t with
+          | _ :: _ as out -> out
+          | [] -> wait t)
+
+  let drain t =
+    let acc = ref (take_completions t) in
+    while pending t > 0 do
+      acc := !acc @ poll ~timeout_s:(-1.) t
+    done;
+    !acc
+
+  let shutdown t =
+    if not t.pdown then begin
+      t.pdown <- true;
+      List.iter
+        (fun w ->
+          close_quietly w.ptask_wfd;
+          close_quietly w.presult_rfd)
+        t.pws;
+      List.iter (fun w -> ignore (reap_describe w.ppid : string)) t.pws;
+      t.pws <- []
+    end
+end

@@ -114,3 +114,93 @@ val map_adaptive :
 val map_sharded_stats :
   ?jobs:int -> ?label:(int -> 'a -> string) -> (int -> 'a -> 'b) ->
   'a list -> 'b list * stats
+
+(** A persistent forked worker pool that survives across calls — the
+    substrate for [jrpm serve]. Where the map variants fork per call,
+    [Pool.create] forks once and tasks stream in over time: each task
+    crosses the task pipe as one framed [Marshal] payload, each result
+    comes back as a framed [(elapsed_s, Ok res | Error msg)].
+
+    {b Failure semantics.} A worker that dies mid-task is detected as
+    EOF (or a short frame) on its result pipe; its in-flight ticket
+    completes as [Error] naming the wait status, a replacement worker
+    is forked in place, and every other queued or in-flight task is
+    unaffected — the pool never raises on a worker death. A task that
+    was handed to a worker that died {e before reading it} is requeued
+    (it never ran). A task function that raises completes its ticket
+    as [Error] with the exception text.
+
+    {b Lifecycle.} Workers exit on task-pipe EOF, and each fork closes
+    every other worker's parent-side pipe fds plus whatever the
+    embedder's [child_cleanup] closes (sockets), so the parent's death
+    — even by SIGKILL — closes the last write end of every task pipe
+    and blocked workers exit rather than linger. [shutdown] closes the
+    pipes and reaps every worker explicitly. On platforms without
+    [fork], tasks run inline at [submit] and complete immediately. *)
+module Pool : sig
+  type ('task, 'res) t
+
+  type 'res completion = {
+    ticket : int;  (** as returned by {!submit} *)
+    label : string;
+    elapsed_s : float;  (** in-task time ([0.] for a worker death) *)
+    outcome : ('res, string) result;
+  }
+
+  val create :
+    ?jobs:int -> ?child_cleanup:(unit -> unit) -> ('task -> 'res) ->
+    ('task, 'res) t
+  (** Fork [jobs] (default 1, min 1) workers running [run] per task.
+      [child_cleanup] runs in every forked child (including respawns)
+      before its task loop — close inherited server fds there. *)
+
+  val jobs : _ t -> int
+  val worker_pids : _ t -> int list
+  val busy_pids : _ t -> int list
+  (** Pids currently running a task — a test that wants to SIGKILL a
+      worker mid-request picks from these. *)
+
+  val submit : ?label:string -> ('task, 'res) t -> 'task -> int
+  (** Queue a task and return its ticket. Dispatches immediately if a
+      worker is idle. [label] names the task in [Error] outcomes.
+      @raise Invalid_argument after {!shutdown}. *)
+
+  val queued : _ t -> int
+  (** Tasks waiting for a free worker. *)
+
+  val in_flight : _ t -> int
+  (** Tasks currently on a worker. *)
+
+  val pending : _ t -> int
+  (** [queued + in_flight]. *)
+
+  val deaths : _ t -> int
+  (** Workers replaced since [create]. *)
+
+  val result_fds : _ t -> Unix.file_descr list
+  (** Current result-pipe read ends, for embedding in an external
+      [Unix.select] loop. Invalidated by a worker death (respawning
+      replaces the dead worker's pipes) — re-query after every
+      {!poll}/{!drain_fd}. *)
+
+  val drain_fd : ('task, 'res) t -> Unix.file_descr -> unit
+  (** Consume one readable result fd (completions are buffered; collect
+      them with {!poll} — a zero-timeout call never blocks). Unknown
+      fds are ignored. *)
+
+  val poll : ?timeout_s:float -> ('task, 'res) t -> 'res completion list
+  (** Buffered completions, after waiting up to [timeout_s] (default
+      [0.] — non-blocking; negative waits indefinitely) for busy
+      workers to report. Order: completion order, not ticket order. *)
+
+  val wait : ('task, 'res) t -> 'res completion list
+  (** Block until at least one completion is available (immediately
+      [[]] when nothing is pending or buffered). *)
+
+  val drain : ('task, 'res) t -> 'res completion list
+  (** Block until every queued and in-flight task has completed. *)
+
+  val shutdown : _ t -> unit
+  (** Close every task pipe (workers exit on EOF) and reap the pool.
+      Idempotent. In-flight results are discarded. *)
+end

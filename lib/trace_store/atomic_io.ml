@@ -1,0 +1,29 @@
+(* Crash-safe whole-file writes: stage into [<path>.tmp] in the same
+   directory, fsync, then [Unix.rename] over the target. A crash at any
+   point leaves either the old file or the new one — never a truncated
+   container that readers only reject deep into decode. *)
+
+let tmp_path path = path ^ ".tmp"
+
+let write ~path f =
+  let tmp = tmp_path path in
+  let oc = open_out_bin tmp in
+  (match
+     (* Flush and fsync before rename: rename is atomic on the
+        directory entry, but only a synced temp file guarantees the
+        bytes behind the new entry survive a power cut. *)
+     f oc;
+     flush oc;
+     Unix.fsync (Unix.descr_of_out_channel oc)
+   with
+  | () -> close_out oc
+  | exception e ->
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e);
+  try Unix.rename tmp path
+  with e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
+
+let write_string ~path s = write ~path (fun oc -> output_string oc s)

@@ -40,13 +40,40 @@ let read_whole_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> Str (really_input_string ic (in_channel_length ic)))
 
+let corrupt path fmt =
+  Printf.ksprintf (fun msg -> raise (Corrupt.Corrupt (path ^ ": " ^ msg))) fmt
+
 let map_file path =
-  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
-  match
-    Fun.protect
-      ~finally:(fun () -> Unix.close fd)
-      (fun () ->
-        Unix.map_file fd Bigarray.char Bigarray.c_layout false [| -1 |])
-  with
-  | genarray -> Big (Bigarray.array1_of_genarray genarray)
-  | exception (Unix.Unix_error _ | Sys_error _) -> read_whole_file path
+  (* Stat first: [openfile] succeeds on directories (read fails later
+     with a baffling [Sys_error]) and blocks forever on FIFOs, and a
+     missing path used to escape as a raw [Unix_error]. All of those
+     are "not a trace container" to the caller — say so, with the
+     path, before touching the file. *)
+  (match Unix.stat path with
+  | { Unix.st_kind = Unix.S_REG; _ } -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      corrupt path "is a directory, not a trace container"
+  | { Unix.st_kind = _; _ } ->
+      corrupt path "is not a regular file"
+  | exception Unix.Unix_error (err, _, _) ->
+      corrupt path "cannot stat: %s" (Unix.error_message err));
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error (err, _, _) ->
+      corrupt path "cannot open: %s" (Unix.error_message err)
+  | fd -> (
+      match
+        Fun.protect
+          ~finally:(fun () -> Unix.close fd)
+          (fun () ->
+            Unix.map_file fd Bigarray.char Bigarray.c_layout false [| -1 |])
+      with
+      | genarray -> Big (Bigarray.array1_of_genarray genarray)
+      | exception (Unix.Unix_error _ | Sys_error _) -> (
+          (* Empty files make mmap fail with EINVAL and some
+             filesystems refuse mappings outright — degrade to a plain
+             read. If even that fails, report corruption, not an
+             unhandled exception. *)
+          match read_whole_file path with
+          | src -> src
+          | exception (Unix.Unix_error _ | Sys_error _) ->
+              corrupt path "cannot read"))

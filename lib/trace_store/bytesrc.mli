@@ -35,4 +35,6 @@ val map_file : string -> t
 (** Map a file read-only ([Big]); falls back to reading the whole file
     into a [Str] when mapping fails (empty file, or a filesystem
     without mmap), so callers never see the difference.
-    @raise Unix.Unix_error when the file cannot even be opened. *)
+    @raise Corrupt.Corrupt (= {!Reader.Corrupt}) naming the path when
+    it cannot be read as a container at all: missing file, directory,
+    FIFO/device, or an unreadable regular file. *)

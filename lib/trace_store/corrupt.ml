@@ -1,0 +1,6 @@
+(* The container-corruption exception lives below both [Bytesrc] and
+   [Reader] so the byte-source layer can report unreadable paths with
+   the same exception decoders raise on structural violations.
+   [Reader] re-exports it ([exception Reader.Corrupt = Corrupt.Corrupt])
+   so existing catchers keep working unchanged. *)
+exception Corrupt of string

@@ -1,0 +1,9 @@
+(** Shared corruption exception for the trace store.
+
+    Raised on any structural violation while decoding a container and
+    by {!Bytesrc.map_file} when the path cannot be read at all (missing
+    file, directory, FIFO). Defined in its own bottom module so both
+    {!Bytesrc} and {!Reader} can raise it; {!Reader.Corrupt} is a
+    rebinding of this exception, so matching either name catches it. *)
+
+exception Corrupt of string

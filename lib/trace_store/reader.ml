@@ -1,4 +1,7 @@
-exception Corrupt of string
+(* Rebinding, not a fresh exception: [Bytesrc.map_file] raises the
+   same constructor for unreadable paths, so one catch site covers
+   both mapping and decode failures. *)
+exception Corrupt = Corrupt.Corrupt
 
 let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
 

@@ -39,7 +39,10 @@ type t
 
 exception Corrupt of string
 (** The file is not a well-formed version-{!Layout.version} container.
-    The message says what failed and where it was detected. *)
+    The message says what failed and where it was detected. This is a
+    rebinding of {!Corrupt.Corrupt} — the same exception
+    {!Bytesrc.map_file} raises for unreadable paths — so catching
+    either name catches both. *)
 
 type record = { name : string; meta : Obs.Json.t }
 (** One workload record's identity: the begin-chunk name and decoded

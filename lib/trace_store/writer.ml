@@ -218,3 +218,4 @@ let container records =
   Buffer.contents out
 
 let write_container oc records = output_string oc (container records)
+let to_file ~path records = Atomic_io.write_string ~path (container records)

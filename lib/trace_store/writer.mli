@@ -52,3 +52,8 @@ val write_container : out_channel -> string list -> unit
 
 val container : string list -> string
 (** {!write_container} into a string, for tests and in-memory use. *)
+
+val to_file : path:string -> string list -> unit
+(** Write a complete container to [path] atomically
+    ({!Atomic_io.write}: temp file + fsync + rename), so a crash
+    mid-capture never leaves a truncated container behind. *)

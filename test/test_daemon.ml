@@ -1,0 +1,436 @@
+(* The profiling daemon: the wire codec round-trips (including through
+   the serialized frame), the mapping cache is a correct stat-validated
+   LRU, and a live socket server answers concurrent clients with
+   byte-identical results, survives a SIGKILLed worker, and never
+   leaves orphaned pool workers behind — even when the daemon itself
+   is SIGKILLed. *)
+
+module D = Jrpm.Daemon
+module S = Jrpm.Scheduler
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* ---------------- codec round-trips ---------------- *)
+
+(* Floats must never be integral: the JSON printer renders 2.0 as "2",
+   which reparses as Int — fine on the wire (the daemon's consumers
+   coerce), but it would make structural round-trip equality vacuously
+   fail for reasons the codec is not responsible for. *)
+let gen_nonintegral_float =
+  QCheck.Gen.map (fun n -> float_of_int ((2 * n) + 1) /. 16.) (QCheck.Gen.int_bound 500)
+
+let gen_name =
+  QCheck.Gen.(small_string ~gen:(char_range 'a' 'z'))
+
+let gen_id =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun n -> Obs.Json.Int n) (int_bound 100000);
+        map (fun s -> Obs.Json.String s) gen_name;
+      ])
+
+let gen_request =
+  QCheck.Gen.(
+    oneof
+      [
+        return D.Ping;
+        map (fun w -> D.Profile w) gen_name;
+        map2
+          (fun p r -> D.Replay { path = "/tmp/" ^ p; record = r })
+          gen_name (option gen_name);
+        map2
+          (fun p axes ->
+            D.Explore
+              {
+                path = "/tmp/" ^ p;
+                grid = List.map (fun (a, v) -> a ^ "=" ^ string_of_int v) axes;
+              })
+          gen_name
+          (small_list (pair gen_name (int_bound 64)));
+        return D.Stats;
+        map (fun s -> D.Sleep s) gen_nonintegral_float;
+        return D.Shutdown;
+      ])
+
+let gen_envelope =
+  QCheck.Gen.map2 (fun id req -> { D.id; req }) gen_id gen_request
+
+let arb_envelope =
+  QCheck.make
+    ~print:(fun env -> Obs.Json.to_string (D.request_to_json env))
+    gen_envelope
+
+(* through the JSON tree AND through the serialized bytes a frame
+   carries — the full parse path a server-side request takes *)
+let prop_request_roundtrip =
+  QCheck.Test.make ~name:"request codec round-trips" ~count:300 arb_envelope
+    (fun env ->
+      let j = D.request_to_json env in
+      D.request_of_json j = Ok env
+      && D.request_of_json (Obs.Json.parse_exn (Obs.Json.to_string j))
+         = Ok env)
+
+let gen_result_json =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun s -> Obs.Json.String s) gen_name;
+        map (fun n -> Obs.Json.Int n) (int_bound 100000);
+        return (Obs.Json.Bool true);
+        return Obs.Json.Null;
+        map
+          (fun kvs ->
+            Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Int v)) kvs))
+          (small_list (pair gen_name (int_bound 100)));
+      ])
+
+let gen_response =
+  QCheck.Gen.(
+    map
+      (fun ((rsp_id, rsp), (elapsed_s, queue_depth, tasks)) ->
+        { D.rsp_id; rsp; elapsed_s; queue_depth; tasks })
+      (pair
+         (pair gen_id
+            (oneof
+               [
+                 map (fun j -> Ok j) gen_result_json;
+                 map (fun m -> Error m) gen_name;
+               ]))
+         (triple gen_nonintegral_float (int_bound 64) (int_bound 64))))
+
+let arb_response =
+  QCheck.make
+    ~print:(fun r -> Obs.Json.to_string (D.response_to_json r))
+    gen_response
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~name:"response codec round-trips" ~count:300 arb_response
+    (fun r ->
+      let j = D.response_to_json r in
+      D.response_of_json j = r
+      && D.response_of_json (Obs.Json.parse_exn (Obs.Json.to_string j)) = r)
+
+let test_bad_requests_rejected () =
+  let rejected what j =
+    match D.request_of_json j with
+    | Ok _ -> Alcotest.fail (what ^ ": must be rejected")
+    | Error _ -> ()
+  in
+  let open Obs.Json in
+  rejected "not an object" (String "ping");
+  rejected "missing op" (Obj [ ("id", Int 1) ]);
+  rejected "unknown op" (Obj [ ("id", Int 1); ("op", String "frobnicate") ]);
+  rejected "profile without workload" (Obj [ ("id", Int 1); ("op", String "profile") ]);
+  rejected "replay without path" (Obj [ ("id", Int 1); ("op", String "replay") ]);
+  rejected "negative sleep"
+    (Obj [ ("id", Int 1); ("op", String "sleep"); ("seconds", Float (-1.)) ]);
+  rejected "NaN sleep"
+    (Obj [ ("id", Int 1); ("op", String "sleep"); ("seconds", Float Float.nan) ])
+
+(* ---------------- the mapping cache ---------------- *)
+
+let write_container path names =
+  let record name =
+    let w = Trace_store.Writer.create () in
+    let sink = Trace_store.Writer.sink w in
+    Trace_store.Event.apply sink (Trace_store.Event.Return { now = 1 });
+    Trace_store.Writer.finish ~name ~meta:(Obs.Json.Obj []) w
+  in
+  Trace_store.Atomic_io.write_string ~path
+    (Trace_store.Writer.container (List.map record names))
+
+let entry_names entries =
+  List.map
+    (fun (e : Trace_store.Index.entry) -> e.Trace_store.Index.name)
+    entries
+
+let test_mapping_cache_lru () =
+  let tmp name =
+    let p = Filename.temp_file ("jrpm_cache_" ^ name) ".jtrc" in
+    write_container p [ name ];
+    p
+  in
+  let a = tmp "a" and b = tmp "b" and c = tmp "c" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) [ a; b; c ])
+    (fun () ->
+      let cache = D.Mapping_cache.create ~capacity:2 () in
+      let get p = ignore (D.Mapping_cache.get_entries cache p) in
+      get a;
+      get b;
+      Alcotest.(check (list string)) "MRU order" [ b; a ]
+        (D.Mapping_cache.cached cache);
+      get a (* hit: refreshes a to the front *);
+      Alcotest.(check (list string)) "hit refreshes order" [ a; b ]
+        (D.Mapping_cache.cached cache);
+      get c (* brand-new path past capacity: evicts the LRU tail, b *);
+      Alcotest.(check (list string)) "eviction drops LRU" [ c; a ]
+        (D.Mapping_cache.cached cache);
+      let hits, misses, evictions = D.Mapping_cache.stats cache in
+      Alcotest.(check int) "hits" 1 hits;
+      Alcotest.(check int) "misses" 3 misses;
+      Alcotest.(check int) "evictions" 1 evictions;
+      (* an atomically re-captured container (different size ⇒ stat
+         mismatch) must remap — a miss, not an eviction *)
+      Alcotest.(check (list string)) "pre-rewrite entries" [ "a" ]
+        (entry_names (D.Mapping_cache.get_entries cache a));
+      write_container a [ "a1"; "a2" ];
+      Alcotest.(check (list string)) "stale mapping remapped" [ "a1"; "a2" ]
+        (entry_names (D.Mapping_cache.get_entries cache a));
+      let hits', misses', evictions' = D.Mapping_cache.stats cache in
+      Alcotest.(check int) "stale remap is a miss" (misses + 1) misses';
+      Alcotest.(check int) "stale remap is no eviction" evictions evictions';
+      Alcotest.(check int) "plus the one pre-rewrite hit" (hits + 1) hits';
+      (* a deleted container surfaces as Corrupt, naming the path *)
+      Sys.remove b;
+      match D.Mapping_cache.get_entries cache b with
+      | _ -> Alcotest.fail "deleted container must not resolve"
+      | exception Trace_store.Reader.Corrupt msg ->
+          Alcotest.(check bool) ("names the path: " ^ msg) true
+            (contains ~needle:b msg))
+
+(* ---------------- live server ---------------- *)
+
+let spawn_daemon ~jobs =
+  let sock = Filename.temp_file "jrpm_daemon" ".sock" in
+  Sys.remove sock;
+  match Unix.fork () with
+  | 0 ->
+      (try D.serve ~jobs (D.Socket sock) with _ -> ());
+      Unix._exit 0
+  | pid -> (pid, sock)
+
+let connect_retry sock =
+  let rec go tries =
+    match D.Client.connect sock with
+    | c -> c
+    | exception Failure _ when tries > 0 ->
+        Unix.sleepf 0.05;
+        go (tries - 1)
+  in
+  go 100
+
+let rpc_ok what client req =
+  let r = D.Client.rpc client req in
+  match r.D.rsp with
+  | Ok json -> json
+  | Error msg -> Alcotest.fail (Printf.sprintf "%s failed: %s" what msg)
+
+let jlist what = function
+  | Some (Obs.Json.List l) -> l
+  | _ -> Alcotest.fail ("malformed result: no " ^ what)
+
+(* stats helpers used by the worker-death tests *)
+let stats_workers json =
+  List.map
+    (fun w ->
+      match
+        (Obs.Json.member "pid" w, Obs.Json.member "busy" w)
+      with
+      | Some (Obs.Json.Int pid), Some (Obs.Json.Bool busy) -> (pid, busy)
+      | _ -> Alcotest.fail "malformed stats workers")
+    (jlist "workers" (Obs.Json.member "workers" json))
+
+let test_server_end_to_end () =
+  if not S.fork_available then ()
+  else begin
+    (* one real capture the replay requests share *)
+    let container = Filename.temp_file "jrpm_daemon" ".jtrc" in
+    let w = Workloads.Registry.find_exn "fft" in
+    let _report, record =
+      Jrpm.Replay.capture_run ~name:"fft" (Workloads.Registry.default_source w)
+    in
+    Trace_store.Writer.to_file ~path:container [ record ];
+    let daemon_pid, sock = spawn_daemon ~jobs:2 in
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.kill daemon_pid Sys.sigkill with Unix.Unix_error _ -> ());
+        (try ignore (Unix.waitpid [] daemon_pid) with Unix.Unix_error _ -> ());
+        List.iter
+          (fun p -> try Sys.remove p with Sys_error _ -> ())
+          [ container; sock ])
+      (fun () ->
+        let c1 = connect_retry sock in
+        let c2 = connect_retry sock in
+        (* ping *)
+        (match rpc_ok "ping" c1 D.Ping with
+        | Obs.Json.String "pong" -> ()
+        | j -> Alcotest.fail ("ping: " ^ Obs.Json.to_string j));
+        (* profile: byte-identical to the in-process pipeline *)
+        let expected =
+          Obs.Json.to_string
+            (Jrpm.Report_summary.to_json
+               (Jrpm.Report_summary.of_report
+                  (Jrpm.Pipeline.run ~name:"fft"
+                     (Workloads.Registry.default_source w))))
+        in
+        (match
+           Obs.Json.member "summary" (rpc_ok "profile" c1 (D.Profile "fft"))
+         with
+        | Some sj ->
+            Alcotest.(check string) "daemon profile = in-process pipeline"
+              expected (Obs.Json.to_string sj)
+        | None -> Alcotest.fail "profile result has no summary");
+        (* unknown workload: an error response, not a dead daemon *)
+        (match (D.Client.rpc c1 (D.Profile "no-such-workload")).D.rsp with
+        | Error msg ->
+            Alcotest.(check bool) ("names the workload: " ^ msg) true
+              (contains ~needle:"no-such-workload" msg)
+        | Ok _ -> Alcotest.fail "unknown workload must error");
+        (* concurrent clients replaying the same container get
+           byte-identical summaries, equal to the one-shot replay *)
+        let oneshot =
+          Obs.Json.to_string
+            (Obs.Json.List
+               (List.map
+                  (fun (o : Jrpm.Replay.outcome) ->
+                    Jrpm.Report_summary.to_json o.Jrpm.Replay.replayed)
+                  (Jrpm.Replay.replay_file ~jobs:1 container)))
+        in
+        let id1 =
+          D.Client.send c1 (D.Replay { path = container; record = None })
+        in
+        let id2 =
+          D.Client.send c2 (D.Replay { path = container; record = None })
+        in
+        let summaries_of (r : D.response) =
+          match r.D.rsp with
+          | Ok json ->
+              Obs.Json.to_string
+                (Obs.Json.List (jlist "summaries" (Obs.Json.member "summaries" json)))
+          | Error msg -> Alcotest.fail ("replay failed: " ^ msg)
+        in
+        let r1 = D.Client.recv c1 and r2 = D.Client.recv c2 in
+        Alcotest.(check bool) "ids echoed" true
+          (r1.D.rsp_id = id1 && r2.D.rsp_id = id2);
+        Alcotest.(check string) "client 1 = one-shot replay" oneshot
+          (summaries_of r1);
+        Alcotest.(check string) "client 2 = one-shot replay" oneshot
+          (summaries_of r2);
+        (* a worker SIGKILLed mid-request errors only that request *)
+        let sleep_id = D.Client.send c1 (D.Sleep 30.) in
+        let busy_pid =
+          let rec find tries =
+            if tries = 0 then Alcotest.fail "no busy worker appeared"
+            else
+              match
+                List.find_opt snd (stats_workers (rpc_ok "stats" c2 D.Stats))
+              with
+              | Some (pid, _) -> pid
+              | None ->
+                  Unix.sleepf 0.05;
+                  find (tries - 1)
+          in
+          find 100
+        in
+        Unix.kill busy_pid Sys.sigkill;
+        let r = D.Client.recv c1 in
+        Alcotest.(check bool) "sleep id echoed" true (r.D.rsp_id = sleep_id);
+        (match r.D.rsp with
+        | Error msg ->
+            Alcotest.(check bool) ("kill is attributed: " ^ msg) true
+              (contains ~needle:"SIGKILL" msg)
+        | Ok _ -> Alcotest.fail "killed worker's request cannot succeed");
+        (* ...and the pool keeps serving other requests afterwards *)
+        (match
+           Obs.Json.member "summary" (rpc_ok "post-kill profile" c2 (D.Profile "fft"))
+         with
+        | Some sj ->
+            Alcotest.(check string) "post-kill result still byte-identical"
+              expected (Obs.Json.to_string sj)
+        | None -> Alcotest.fail "post-kill profile has no summary");
+        let stats = rpc_ok "stats" c2 D.Stats in
+        (match Obs.Json.member "worker_deaths" stats with
+        | Some (Obs.Json.Int n) ->
+            Alcotest.(check int) "the death was counted" 1 n
+        | _ -> Alcotest.fail "stats has no worker_deaths");
+        (* clean shutdown *)
+        (match rpc_ok "shutdown" c2 D.Shutdown with
+        | Obs.Json.String "bye" -> ()
+        | j -> Alcotest.fail ("shutdown: " ^ Obs.Json.to_string j));
+        D.Client.close c1;
+        D.Client.close c2;
+        match Unix.waitpid [] daemon_pid with
+        | _, Unix.WEXITED 0 -> ()
+        | _, status ->
+            Alcotest.fail
+              (Printf.sprintf "daemon exited abnormally (%s)"
+                 (match status with
+                 | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+                 | Unix.WSIGNALED n -> Printf.sprintf "signal %d" n
+                 | Unix.WSTOPPED n -> Printf.sprintf "stopped %d" n)))
+  end
+
+(* The orphan bugfix: SIGKILL the daemon itself — no at_exit, no
+   signal handler runs — and every pool worker must still exit,
+   because the kernel closing the daemon's pipe ends EOFs the idle
+   workers and EPIPEs the busy one after its task. *)
+let test_no_orphans_after_daemon_sigkill () =
+  if not S.fork_available then ()
+  else begin
+    let daemon_pid, sock = spawn_daemon ~jobs:2 in
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.kill daemon_pid Sys.sigkill with Unix.Unix_error _ -> ());
+        (try ignore (Unix.waitpid [] daemon_pid) with Unix.Unix_error _ -> ());
+        try Sys.remove sock with Sys_error _ -> ())
+      (fun () ->
+        let c = connect_retry sock in
+        let workers =
+          List.map fst (stats_workers (rpc_ok "stats" c D.Stats))
+        in
+        Alcotest.(check int) "two workers" 2 (List.length workers);
+        (* keep one worker mid-task so the EPIPE path is exercised too *)
+        ignore (D.Client.send c (D.Sleep 1.0));
+        Unix.sleepf 0.1;
+        Unix.kill daemon_pid Sys.sigkill;
+        ignore (Unix.waitpid [] daemon_pid);
+        D.Client.close c;
+        (* workers are children of the daemon, not of us: we cannot
+           waitpid them, so poll for their disappearance *)
+        let deadline = Unix.gettimeofday () +. 10. in
+        let rec gone pid =
+          match Unix.kill pid 0 with
+          | () ->
+              if Unix.gettimeofday () > deadline then false
+              else begin
+                Unix.sleepf 0.05;
+                gone pid
+              end
+          | exception Unix.Unix_error (Unix.ESRCH, _, _) -> true
+        in
+        List.iter
+          (fun pid ->
+            Alcotest.(check bool)
+              (Printf.sprintf "worker %d exited after daemon SIGKILL" pid)
+              true (gone pid))
+          workers)
+  end
+
+let suites =
+  [
+    ( "daemon.codec",
+      [
+        QCheck_alcotest.to_alcotest prop_request_roundtrip;
+        QCheck_alcotest.to_alcotest prop_response_roundtrip;
+        Alcotest.test_case "malformed requests rejected" `Quick
+          test_bad_requests_rejected;
+      ] );
+    ( "daemon.cache",
+      [
+        Alcotest.test_case "LRU eviction, stale remap, missing file" `Quick
+          test_mapping_cache_lru;
+      ] );
+    ( "daemon.server",
+      [
+        Alcotest.test_case "socket server end-to-end" `Quick
+          test_server_end_to_end;
+        Alcotest.test_case "no orphan workers after daemon SIGKILL" `Quick
+          test_no_orphans_after_daemon_sigkill;
+      ] );
+  ]

@@ -7,4 +7,4 @@ let () =
    @ Test_workload_golden.suites @ Test_methods.suites @ Test_fuzz.suites
    @ Test_shapes.suites @ Test_obs.suites @ Test_sweep.suites
    @ Test_regression.suites @ Test_trace_store.suites @ Test_config.suites
-   @ Test_scheduler.suites)
+   @ Test_scheduler.suites @ Test_daemon.suites)

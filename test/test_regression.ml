@@ -376,6 +376,66 @@ let test_checked_in_baseline () =
        Workloads.Registry.all)
     (List.map (fun (s : RS.t) -> s.RS.name) base)
 
+(* ---------------- tolerance input validation ---------------- *)
+
+(* The library refuses thresholds that would make the gate vacuous:
+   every NaN comparison is false, so a NaN tolerance would classify
+   every field Pass; a negative one is nonsense. *)
+let test_tolerance_validation () =
+  let rejected pct =
+    match R.tolerance_of_fail_pct pct with
+    | _ -> Alcotest.failf "tolerance %f must be rejected" pct
+    | exception Invalid_argument _ -> ()
+  in
+  rejected Float.nan;
+  rejected (-1.);
+  rejected (-0.000001);
+  rejected Float.infinity;
+  rejected Float.neg_infinity;
+  let t = R.tolerance_of_fail_pct 10. in
+  Alcotest.(check (float 1e-9)) "fail pct kept" 10. t.R.fail_pct;
+  Alcotest.(check (float 1e-9)) "warn scales 2:5" 4. t.R.warn_pct;
+  let z = R.tolerance_of_fail_pct 0. in
+  Alcotest.(check (float 1e-9)) "zero allowed (exact gate)" 0. z.R.fail_pct
+
+(* Both CLIs must reject a bad --tolerance with exit 2 and a clear
+   message BEFORE doing any sweep work — spawn the built binaries.
+   (Validation precedes the sweep in both, so these are fast.) *)
+let test_cli_tolerance_rejected () =
+  let check_cli what cmd =
+    let errfile = Filename.temp_file "jrpm_tolerance" ".err" in
+    Fun.protect
+      ~finally:(fun () -> try Sys.remove errfile with Sys_error _ -> ())
+      (fun () ->
+        let code =
+          Sys.command
+            (Printf.sprintf "%s >/dev/null 2>%s" cmd (Filename.quote errfile))
+        in
+        Alcotest.(check int) (what ^ ": exit code") 2 code;
+        let ic = open_in errfile in
+        let err = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        Alcotest.(check bool)
+          (what ^ ": names the flag: " ^ err)
+          true
+          (let needle = "--tolerance must be a non-negative percentage" in
+           let n = String.length needle and h = String.length err in
+           let rec go i =
+             i + n <= h && (String.sub err i n = needle || go (i + 1))
+           in
+           go 0))
+  in
+  let jrpm = "../bin/jrpm_cli.exe" and bench = "../bench/main.exe" in
+  if Sys.file_exists jrpm then begin
+    check_cli "jrpm sweep negative" (jrpm ^ " sweep --tolerance=-1");
+    check_cli "jrpm sweep NaN" (jrpm ^ " sweep --tolerance=nan")
+  end;
+  if Sys.file_exists bench then begin
+    check_cli "bench regress negative" (bench ^ " regress --tolerance=-1");
+    check_cli "bench regress NaN" (bench ^ " regress --tolerance=nan");
+    check_cli "bench regress garbage" (bench ^ " regress --tolerance=bogus")
+  end
+
 let suites =
   [
     ( "regression.classify",
@@ -389,6 +449,10 @@ let suites =
         Alcotest.test_case "config fingerprint mismatch refused" `Quick
           test_fingerprint_mismatch;
         Alcotest.test_case "drift trend file" `Quick test_trend_file;
+        Alcotest.test_case "tolerance input validation" `Quick
+          test_tolerance_validation;
+        Alcotest.test_case "both CLIs reject bad --tolerance" `Quick
+          test_cli_tolerance_rejected;
       ] );
     ( "regression.codec",
       [

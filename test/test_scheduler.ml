@@ -246,6 +246,114 @@ let test_frame_failures () =
           (contains ~needle:"(+3 more in its frame)" msg)
   end
 
+(* ---------------- the persistent pool ---------------- *)
+
+(* The daemon's substrate: one Pool outliving many submit/drain
+   rounds. Results must match the task function (matched by ticket,
+   any completion order), and the SAME workers must serve every round
+   — no respawn between batches is the whole point of the daemon. *)
+let test_pool_reuse_across_batches () =
+  let p = S.Pool.create ~jobs:2 (fun x -> x * x) in
+  Fun.protect
+    ~finally:(fun () -> S.Pool.shutdown p)
+    (fun () ->
+      let pids_before = S.Pool.worker_pids p in
+      let batch xs =
+        let tickets = List.map (fun x -> (S.Pool.submit p x, x)) xs in
+        let completions = S.Pool.drain p in
+        Alcotest.(check int)
+          "one completion per task" (List.length xs)
+          (List.length completions);
+        Alcotest.(check int) "nothing pending after drain" 0 (S.Pool.pending p);
+        List.iter
+          (fun (ticket, x) ->
+            match
+              List.find_opt
+                (fun (c : _ S.Pool.completion) -> c.S.Pool.ticket = ticket)
+                completions
+            with
+            | Some { S.Pool.outcome = Ok got; _ } ->
+                Alcotest.(check int)
+                  (Printf.sprintf "task %d result" x)
+                  (x * x) got
+            | Some { S.Pool.outcome = Error msg; _ } ->
+                Alcotest.fail (Printf.sprintf "task %d failed: %s" x msg)
+            | None -> Alcotest.fail (Printf.sprintf "ticket %d lost" ticket))
+          tickets
+      in
+      batch [ 1; 2; 3; 4; 5; 6; 7 ];
+      batch [ 10; 20; 30 ];
+      batch [];
+      Alcotest.(check (list int))
+        "same workers across batches" pids_before (S.Pool.worker_pids p);
+      Alcotest.(check int) "no deaths" 0 (S.Pool.deaths p))
+
+(* A worker SIGKILLed mid-task: its ticket errors naming the label and
+   the signal, a replacement is forked in place, and the pool keeps
+   serving — the daemon's failure-isolation contract. *)
+let test_pool_worker_death () =
+  if not S.fork_available then ()
+  else begin
+    let p =
+      S.Pool.create ~jobs:2 (fun x ->
+          if x < 0 then Unix.sleepf 30.;
+          x + 1)
+    in
+    Fun.protect
+      ~finally:(fun () -> S.Pool.shutdown p)
+      (fun () ->
+        let ticket = S.Pool.submit ~label:"napper" p (-1) in
+        (match S.Pool.busy_pids p with
+        | pid :: _ -> Unix.kill pid Sys.sigkill
+        | [] -> Alcotest.fail "submit did not dispatch to a worker");
+        let rec await () =
+          match
+            List.find_opt
+              (fun (c : _ S.Pool.completion) -> c.S.Pool.ticket = ticket)
+              (S.Pool.poll ~timeout_s:(-1.) p)
+          with
+          | Some c -> c
+          | None -> await ()
+        in
+        (match (await ()).S.Pool.outcome with
+        | Error msg ->
+            Alcotest.(check bool)
+              ("death names the label: " ^ msg)
+              true
+              (contains ~needle:"napper" msg);
+            Alcotest.(check bool)
+              ("death names the signal: " ^ msg)
+              true
+              (contains ~needle:"SIGKILL" msg)
+        | Ok _ -> Alcotest.fail "killed worker's task cannot succeed");
+        Alcotest.(check int) "one death counted" 1 (S.Pool.deaths p);
+        Alcotest.(check int) "pool is back to strength" 2
+          (List.length (S.Pool.worker_pids p));
+        (* the respawned pool still serves *)
+        let t2 = S.Pool.submit p 41 in
+        match S.Pool.drain p with
+        | [ { S.Pool.ticket; outcome = Ok 42; _ } ] when ticket = t2 -> ()
+        | _ -> Alcotest.fail "pool did not serve after a worker death")
+  end
+
+(* shutdown closes the task pipes (workers exit on EOF) and reaps; a
+   shut pool refuses new work. *)
+let test_pool_shutdown () =
+  let p = S.Pool.create ~jobs:2 (fun x -> x) in
+  let pids = S.Pool.worker_pids p in
+  S.Pool.shutdown p;
+  S.Pool.shutdown p (* idempotent *);
+  if S.fork_available then
+    List.iter
+      (fun pid ->
+        match Unix.kill pid 0 with
+        | () -> Alcotest.fail (Printf.sprintf "worker %d still alive" pid)
+        | exception Unix.Unix_error (Unix.ESRCH, _, _) -> ())
+      pids;
+  match S.Pool.submit p 1 with
+  | _ -> Alcotest.fail "submit after shutdown must be rejected"
+  | exception Invalid_argument _ -> ()
+
 let suites =
   [
     ( "scheduler.order",
@@ -277,5 +385,14 @@ let suites =
           test_killed_worker_names_task;
         Alcotest.test_case "failures through coalesced frames" `Quick
           test_frame_failures;
+      ] );
+    ( "scheduler.pool",
+      [
+        Alcotest.test_case "one pool serves many batches" `Quick
+          test_pool_reuse_across_batches;
+        Alcotest.test_case "worker death fails only its ticket" `Quick
+          test_pool_worker_death;
+        Alcotest.test_case "shutdown reaps and refuses work" `Quick
+          test_pool_shutdown;
       ] );
   ]

@@ -595,6 +595,136 @@ let test_of_file_and_mapped_agree () =
   with_temp_container (Buffer.contents b) (fun path ->
       expect_corrupt "lying on-disk index" (fun () -> I.of_file path))
 
+(* ---------------- on-disk robustness: truncation, special files,
+   atomic writes ---------------- *)
+
+let with_temp_file ?(suffix = ".jtrc") f =
+  let path = Filename.temp_file "jrpm_test" suffix in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let write_file path bytes =
+  let oc = open_out_bin path in
+  output_string oc bytes;
+  close_out oc
+
+let drain_reader rd =
+  Fun.protect
+    ~finally:(fun () -> R.close rd)
+    (fun () ->
+      let rec go () =
+        match R.next_record rd with
+        | None -> ()
+        | Some _ ->
+            ignore (R.replay rd Hydra.Trace.null_sink : R.replay_stats);
+            go ()
+      in
+      go ())
+
+(* A container cut short on disk — a capture that died before its
+   atomic rename, read through a non-atomic writer's leftovers — must
+   surface as a clean Corrupt from BOTH reader backends, at any cut
+   point, never as a decode of garbage or an unhandled exception. *)
+let test_truncated_file_both_backends () =
+  let good =
+    W.container
+      [
+        snd (encode_record ~name:"a" (loop_events ~iters:6 ~body:4));
+        snd (encode_record ~name:"b" (loop_events ~iters:3 ~body:2));
+      ]
+  in
+  with_temp_file (fun path ->
+      List.iter
+        (fun keep ->
+          write_file path (String.sub good 0 keep);
+          List.iter
+            (fun (backend, open_rd) ->
+              expect_corrupt
+                (Printf.sprintf "%s: truncated to %d bytes" backend keep)
+                (fun () -> drain_reader (open_rd path)))
+            [ ("channel", R.open_file); ("mapped", R.open_mapped) ])
+        [ 0; 5; 8; 20; String.length good / 3; String.length good - 1 ])
+
+(* map_file on things that are not regular trace files: empty files
+   degrade to the read-whole-file fallback (and fail later as an empty
+   container), while directories, missing paths, and special files
+   raise Corrupt naming the path — never a bare Unix_error/Sys_error. *)
+let test_map_file_special_paths () =
+  let expect_corrupt_naming what path f =
+    match f () with
+    | _ -> Alcotest.fail (what ^ ": expected Reader.Corrupt")
+    | exception R.Corrupt msg ->
+        Alcotest.(check bool)
+          (what ^ " names the path: " ^ msg)
+          true
+          (let len_p = String.length path and len_m = String.length msg in
+           len_m >= len_p && String.sub msg 0 len_p = path)
+  in
+  (* empty regular file: mapping falls back to a whole-file read, and
+     the empty container is diagnosed by the reader, not the mapper *)
+  with_temp_file (fun path ->
+      write_file path "";
+      let src = B.map_file path in
+      Alcotest.(check int) "empty file maps to 0 bytes" 0 (B.length src);
+      expect_corrupt "empty container" (fun () ->
+          drain_reader (R.of_src src)));
+  (* directory *)
+  let dir = Filename.temp_file "jrpm_test" ".dir" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () -> try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () ->
+      expect_corrupt_naming "directory" dir (fun () -> B.map_file dir));
+  (* missing path *)
+  let missing = Filename.concat (Filename.get_temp_dir_name ()) "jrpm_enoent" in
+  expect_corrupt_naming "missing file" missing (fun () -> B.map_file missing);
+  (* FIFO: stat says it is not a regular file *)
+  let fifo = Filename.temp_file "jrpm_test" ".fifo" in
+  Sys.remove fifo;
+  match Unix.mkfifo fifo 0o600 with
+  | () ->
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove fifo with Sys_error _ -> ())
+        (fun () ->
+          expect_corrupt_naming "fifo" fifo (fun () -> B.map_file fifo))
+  | exception Unix.Unix_error _ -> () (* no fifos on this filesystem *)
+
+(* Atomic container writes: a crash (raising writer callback) must
+   leave a pre-existing target byte-identical and no .tmp litter; the
+   success path must land the full bytes under the final name. *)
+let test_atomic_io () =
+  let module A = Trace_store.Atomic_io in
+  with_temp_file (fun path ->
+      write_file path "precious";
+      (match A.write ~path (fun _oc -> failwith "boom") with
+      | () -> Alcotest.fail "raising writer callback must propagate"
+      | exception Failure msg ->
+          Alcotest.(check string) "callback error propagates" "boom" msg);
+      let ic = open_in_bin path in
+      let kept = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check string) "target intact after failed write" "precious"
+        kept;
+      Alcotest.(check bool) "no .tmp litter after failed write" false
+        (Sys.file_exists (A.tmp_path path));
+      A.write_string ~path "fresh bytes";
+      let ic = open_in_bin path in
+      let got = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check string) "rename landed the new bytes" "fresh bytes" got;
+      Alcotest.(check bool) "no .tmp litter after success" false
+        (Sys.file_exists (A.tmp_path path)));
+  (* Writer.to_file is the atomic capture path: the result must load *)
+  with_temp_file (fun path ->
+      W.to_file ~path
+        [ snd (encode_record ~name:"atomic" (loop_events ~iters:2 ~body:3)) ];
+      let entries = I.of_file path in
+      Alcotest.(check (list string))
+        "to_file container loads" [ "atomic" ]
+        (List.map (fun (e : I.entry) -> e.I.name) entries))
+
 (* ---------------- replay determinism vs the golden sweep ---------------- *)
 
 (* The same subset test_sweep pins against golden_sweep_summaries.json:
@@ -697,6 +827,15 @@ let suites =
           test_index_backends_agree;
         Alcotest.test_case "of_file partial read and mapped reader" `Quick
           test_of_file_and_mapped_agree;
+      ] );
+    ( "trace_store.files",
+      [
+        Alcotest.test_case "truncated file is Corrupt on both backends" `Quick
+          test_truncated_file_both_backends;
+        Alcotest.test_case "map_file on empty/dir/missing/fifo" `Quick
+          test_map_file_special_paths;
+        Alcotest.test_case "atomic writes survive a crashing writer" `Quick
+          test_atomic_io;
       ] );
     ( "trace_store.replay",
       [
